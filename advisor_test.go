@@ -1,0 +1,158 @@
+package spatialjoin
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAdviseJoinValidation(t *testing.T) {
+	db := openT(t)
+	c, _ := db.CreateCollection("c")
+	if _, err := db.AdviseJoin(nil, c, Overlaps()); err == nil {
+		t.Fatal("nil collection must fail")
+	}
+	if _, err := db.AdviseJoin(c, c, nil); err == nil {
+		t.Fatal("nil operator must fail")
+	}
+}
+
+func TestAdviseJoinEmptyCollections(t *testing.T) {
+	db := openT(t)
+	r, _ := db.CreateCollection("r")
+	s, _ := db.CreateCollection("s")
+	advice, err := db.AdviseJoin(r, s, Overlaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.Strategy != TreeStrategy {
+		t.Fatalf("empty collections should default to tree, got %v", advice.Strategy)
+	}
+	if advice.SampledPairs != 0 {
+		t.Fatal("nothing to sample on empty collections")
+	}
+}
+
+func TestAdvisePrefersTreeOverScan(t *testing.T) {
+	// With no join index, the model should essentially never pick the
+	// quadratic scan on a few hundred objects.
+	db := openT(t)
+	r, _ := db.CreateCollection("r")
+	s, _ := db.CreateCollection("s")
+	loadRandomRects(t, r, 41, 250)
+	loadRandomRects(t, s, 42, 250)
+	advice, err := db.AdviseJoin(r, s, Overlaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.Strategy != TreeStrategy {
+		t.Fatalf("advice = %v, want tree (costs %v)", advice.Strategy, advice.Costs)
+	}
+	if advice.Costs[ScanStrategy] <= advice.Costs[TreeStrategy] {
+		t.Fatalf("scan (%g) should out-cost tree (%g)",
+			advice.Costs[ScanStrategy], advice.Costs[TreeStrategy])
+	}
+	if _, ok := advice.Costs[IndexStrategy]; ok {
+		t.Fatal("index cost must not appear without an index")
+	}
+	if advice.EstimatedSelectivity <= 0 || advice.EstimatedSelectivity >= 1 {
+		t.Fatalf("p̂ = %g out of (0,1)", advice.EstimatedSelectivity)
+	}
+}
+
+func TestAdviseRanksIndexAgainstTree(t *testing.T) {
+	// Two widely separated clusters: almost nothing matches and a join
+	// index exists. Sampling floors p̂ at ≈1/202, which is still far above
+	// the model's tree/index crossover (≈1e-9 at paper scale), so the
+	// correct advice remains the tree — exactly the paper's conclusion that
+	// join indices pay off only at very low selectivities. The index must
+	// nevertheless be priced and the ranking coherent.
+	db := openT(t)
+	r, _ := db.CreateCollection("r")
+	s, _ := db.CreateCollection("s")
+	for i := 0; i < 200; i++ {
+		f := float64(i)
+		if _, err := r.Insert(NewRect(f/10, f/10, f/10+0.5, f/10+0.5), fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Insert(NewRect(900+f/10, 900+f/10, 900.5+f/10, 900.5+f/10), fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op := Overlaps()
+	if _, _, err := db.BuildJoinIndex(r, s, op); err != nil {
+		t.Fatal(err)
+	}
+	advice, err := db.AdviseJoin(r, s, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := advice.Costs[IndexStrategy]; !ok {
+		t.Fatal("index cost missing despite a built index")
+	}
+	if advice.Strategy != TreeStrategy {
+		t.Fatalf("advice = %v at p̂=%g, want tree (costs %v)",
+			advice.Strategy, advice.EstimatedSelectivity, advice.Costs)
+	}
+	// The chosen strategy must indeed be the argmin of the listed costs.
+	for strat, cost := range advice.Costs {
+		if cost < advice.Costs[advice.Strategy] {
+			t.Fatalf("%v (%g) is cheaper than the chosen %v (%g)",
+				strat, cost, advice.Strategy, advice.Costs[advice.Strategy])
+		}
+	}
+}
+
+func TestJoinAutoExecutesAdvice(t *testing.T) {
+	db := openT(t)
+	r, _ := db.CreateCollection("r")
+	s, _ := db.CreateCollection("s")
+	loadRandomRects(t, r, 43, 120)
+	loadRandomRects(t, s, 44, 120)
+	op := WithinDistance(80)
+	want, _, err := db.Join(r, s, op, ScanStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, advice, err := db.JoinAuto(r, s, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(ms []Match) string { return fmt.Sprint(sortedMatches(ms)) }
+	if key(got) != key(want) {
+		t.Fatalf("auto join (%v) disagrees with scan: %d vs %d pairs",
+			advice.Strategy, len(got), len(want))
+	}
+	if advice.Strategy == ScanStrategy {
+		t.Fatal("auto join should not have picked the scan here")
+	}
+}
+
+func sortedMatches(ms []Match) []Match {
+	out := append([]Match(nil), ms...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].R < out[j-1].R ||
+			(out[j].R == out[j-1].R && out[j].S < out[j-1].S)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestAdviceDeterministic(t *testing.T) {
+	db := openT(t)
+	r, _ := db.CreateCollection("r")
+	s, _ := db.CreateCollection("s")
+	loadRandomRects(t, r, 45, 100)
+	loadRandomRects(t, s, 46, 100)
+	a1, err := db.AdviseJoin(r, s, Overlaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := db.AdviseJoin(r, s, Overlaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.EstimatedSelectivity != a2.EstimatedSelectivity || a1.Strategy != a2.Strategy {
+		t.Fatal("advice must be deterministic for an unchanged database")
+	}
+}

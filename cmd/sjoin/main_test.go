@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/pred"
+)
+
+func TestParseOp(t *testing.T) {
+	cases := map[string]string{
+		"overlaps":       "overlaps",
+		"within:50":      "within_distance(50)",
+		"nw":             "northwest_of",
+		"includes":       "includes",
+		"containedin":    "contained_in",
+		"reachable:10:2": "reachable_within(10min@2)",
+	}
+	for spec, want := range cases {
+		op, err := parseOp(spec)
+		if err != nil {
+			t.Fatalf("parseOp(%s): %v", spec, err)
+		}
+		if op.Name() != want {
+			t.Fatalf("parseOp(%s) = %s, want %s", spec, op.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "warp", "within", "within:x", "reachable:1", "reachable:a:b"} {
+		if _, err := parseOp(bad); err == nil {
+			t.Fatalf("parseOp(%q) must fail", bad)
+		}
+	}
+	// Sanity: the parsed operator is usable.
+	op, _ := parseOp("within:5")
+	if _, ok := op.(pred.WithinDistance); !ok {
+		t.Fatal("wrong operator type")
+	}
+}
+
+func runSjoin(t *testing.T, mode, op, strategy, layout string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(&sb, mode, 3, 2, op, strategy, layout, 32, 1); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRunJoinAllStrategies(t *testing.T) {
+	out := runSjoin(t, "join", "overlaps", "all", "clustered")
+	for _, want := range []string{"workload:", "scan", "tree", "index", "cost", "amortized"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// All three strategies must report the same result count: extract the
+	// first column numbers.
+	counts := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 7 && (f[0] == "scan" || f[0] == "tree" || f[0] == "index") {
+			counts[f[1]] = true
+		}
+	}
+	if len(counts) != 1 {
+		t.Fatalf("strategies disagree on result counts: %v\n%s", counts, out)
+	}
+}
+
+func TestRunSelectSkipsIndex(t *testing.T) {
+	out := runSjoin(t, "select", "within:120", "all", "shuffled")
+	if !strings.Contains(out, "cannot answer ad-hoc selections") {
+		t.Fatalf("select must note the index limitation:\n%s", out)
+	}
+	if !strings.Contains(out, "tree") || !strings.Contains(out, "scan") {
+		t.Fatal("select must run scan and tree")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "join", 3, 2, "bogus", "all", "clustered", 32, 1); err == nil {
+		t.Error("bad operator must fail")
+	}
+	if err := run(&sb, "join", 3, 2, "overlaps", "warp", "clustered", 32, 1); err == nil {
+		t.Error("bad strategy must fail")
+	}
+	if err := run(&sb, "join", 3, 2, "overlaps", "all", "diagonal", 32, 1); err == nil {
+		t.Error("bad layout must fail")
+	}
+	if err := run(&sb, "neither", 3, 2, "overlaps", "all", "clustered", 32, 1); err == nil {
+		t.Error("bad mode must fail")
+	}
+	if err := run(&sb, "join", 3, 2, "overlaps", "all", "clustered", 0, 1); err == nil {
+		t.Error("zero buffer must fail")
+	}
+}

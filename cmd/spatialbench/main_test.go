@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/costmodel"
+)
+
+func render(t *testing.T, what string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(&sb, costmodel.PaperParams(), what, 7, 1e-12); err != nil {
+		t.Fatalf("run(%s): %v", what, err)
+	}
+	return sb.String()
+}
+
+func TestRunUnknownWhat(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, costmodel.PaperParams(), "fig99", 7, 1e-12); err == nil {
+		t.Fatal("unknown -what must fail")
+	}
+}
+
+func TestParamsOutput(t *testing.T) {
+	out := render(t, "params")
+	for _, want := range []string{"N (derived)", "1111111", "m (derived)", "d (derived)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("params output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUpdatesOutput(t *testing.T) {
+	out := render(t, "updates")
+	for _, want := range []string{"U_I", "U_IIa", "U_IIb", "U_III", "2.233e+08"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("updates output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7Output(t *testing.T) {
+	out := render(t, "fig7")
+	for _, want := range []string{"UNIFORM", "NO-LOC", "HI-LOC", "level"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestSelectFigureOutputs(t *testing.T) {
+	for what, header := range map[string]string{
+		"fig8":  "Figure 8",
+		"fig9":  "Figure 9",
+		"fig10": "Figure 10",
+	} {
+		out := render(t, what)
+		if !strings.Contains(out, header) {
+			t.Fatalf("%s missing header %q", what, header)
+		}
+		for _, col := range []string{"C_I", "C_IIa", "C_IIb", "C_III"} {
+			if !strings.Contains(out, col) {
+				t.Fatalf("%s missing column %q", what, col)
+			}
+		}
+		// 7 points requested → 7 data rows plus header.
+		if rows := strings.Count(out, "\n"); rows < 8 {
+			t.Fatalf("%s only has %d lines", what, rows)
+		}
+	}
+}
+
+func TestJoinFigureOutputs(t *testing.T) {
+	for what, header := range map[string]string{
+		"fig11": "Figure 11",
+		"fig12": "Figure 12",
+		"fig13": "Figure 13",
+	} {
+		out := render(t, what)
+		if !strings.Contains(out, header) {
+			t.Fatalf("%s missing header %q", what, header)
+		}
+		if !strings.Contains(out, "D_III") {
+			t.Fatalf("%s missing join-index column", what)
+		}
+		if !strings.Contains(out, "crossover") && !strings.Contains(out, "no crossover") {
+			t.Fatalf("%s missing crossover summary", what)
+		}
+	}
+	// Figure 11's headline: the UNIFORM crossover near 1e-9, resolved on a
+	// fine grid (25 points over 12 decades → half-decade steps).
+	var sb strings.Builder
+	if err := run(&sb, costmodel.PaperParams(), "fig11", 25, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "crossover D_IIa vs D_III near p = 1e-09") &&
+		!strings.Contains(out, "crossover D_IIa vs D_III near p = 3.2e-10") {
+		t.Fatalf("fig11 crossover not at the published point:\n%s", out)
+	}
+}
+
+func TestAllOutputIncludesEverything(t *testing.T) {
+	out := render(t, "all")
+	for _, want := range []string{
+		"Table 2/3", "§4.2", "Figure 7", "Figure 8", "Figure 9",
+		"Figure 10", "Figure 11", "Figure 12", "Figure 13",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("all output missing %q", want)
+		}
+	}
+}

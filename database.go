@@ -1,0 +1,174 @@
+package spatialjoin
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/join"
+	"spatialjoin/internal/relation"
+	"spatialjoin/internal/rtree"
+	"spatialjoin/internal/storage"
+)
+
+// Config sizes the simulated storage subsystem, mirroring the cost model's
+// system parameters (Table 2).
+type Config struct {
+	// PageSize is the disk page size s in bytes.
+	PageSize int
+	// BufferPages is the buffer-pool capacity M in pages.
+	BufferPages int
+	// FillFactor is the average page utilization l in (0, 1].
+	FillFactor float64
+	// IndexOptions configures the per-collection R-tree indices.
+	IndexOptions rtree.Options
+	// JoinIndexOrder is the B+-tree order z for precomputed join indices.
+	JoinIndexOrder int
+}
+
+// DefaultConfig returns a laptop-scale configuration with the paper's page
+// geometry (s = 2000, l = 0.75) and a 256-page buffer pool.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:       2000,
+		BufferPages:    256,
+		FillFactor:     0.75,
+		IndexOptions:   rtree.DefaultOptions(),
+		JoinIndexOrder: 100,
+	}
+}
+
+// Database is an embedded spatial database over a simulated paged disk.
+// All collections share one buffer pool, so measured page I/O reflects real
+// cache contention between the inner and outer relations of a join.
+// Database is not safe for concurrent use.
+type Database struct {
+	cfg         Config
+	pool        *storage.BufferPool
+	collections map[string]*Collection
+	joinIndices map[string]*JoinIndex
+}
+
+// Open creates an empty database.
+func Open(cfg Config) (*Database, error) {
+	if cfg.PageSize <= 0 || cfg.BufferPages <= 0 {
+		return nil, fmt.Errorf("spatialjoin: page size and buffer pages must be positive")
+	}
+	if cfg.FillFactor <= 0 || cfg.FillFactor > 1 {
+		return nil, fmt.Errorf("spatialjoin: fill factor %g out of (0,1]", cfg.FillFactor)
+	}
+	if cfg.JoinIndexOrder < 3 {
+		return nil, fmt.Errorf("spatialjoin: join index order %d < 3", cfg.JoinIndexOrder)
+	}
+	pool, err := storage.NewBufferPool(storage.NewDisk(cfg.PageSize), cfg.BufferPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{
+		cfg:         cfg,
+		pool:        pool,
+		collections: make(map[string]*Collection),
+		joinIndices: make(map[string]*JoinIndex),
+	}, nil
+}
+
+// Collection is a named set of spatial objects, stored in a heap file and
+// indexed by an R-tree generalization tree.
+type Collection struct {
+	db    *Database
+	name  string
+	rel   *relation.Relation
+	table join.Table
+	index *rtree.Tree
+}
+
+// CreateCollection makes an empty collection. Names must be unique.
+func (db *Database) CreateCollection(name string) (*Collection, error) {
+	if name == "" {
+		return nil, fmt.Errorf("spatialjoin: empty collection name")
+	}
+	if _, dup := db.collections[name]; dup {
+		return nil, fmt.Errorf("spatialjoin: collection %q already exists", name)
+	}
+	sch, err := relation.NewSchema(
+		relation.Column{Name: "payload", Type: relation.TypeString},
+		relation.Column{Name: "shape", Type: relation.TypeGeometry},
+	)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := relation.Create(db.pool, name, sch, db.cfg.FillFactor)
+	if err != nil {
+		return nil, err
+	}
+	table, err := join.NewTable(rel, 1, db.pool)
+	if err != nil {
+		return nil, err
+	}
+	index, err := rtree.New(db.cfg.IndexOptions)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{db: db, name: name, rel: rel, table: table, index: index}
+	db.collections[name] = c
+	return c, nil
+}
+
+// Collection returns the named collection.
+func (db *Database) Collection(name string) (*Collection, bool) {
+	c, ok := db.collections[name]
+	return c, ok
+}
+
+// ResetIOStats zeroes the shared buffer pool counters; measurements after a
+// reset start from a warm (still-resident) cache. Use DropCache for cold
+// measurements.
+func (db *Database) ResetIOStats() { db.pool.ResetStats() }
+
+// DropCache flushes and empties the buffer pool so the next query runs
+// cold.
+func (db *Database) DropCache() error { return db.pool.DropAll() }
+
+// IOStats returns the shared pool's counters since the last reset.
+func (db *Database) IOStats() storage.PoolStats { return db.pool.Stats() }
+
+// Name returns the collection's name.
+func (c *Collection) Name() string { return c.name }
+
+// Len returns the number of stored objects.
+func (c *Collection) Len() int { return c.rel.Len() }
+
+// Pages returns the number of disk pages the collection occupies.
+func (c *Collection) Pages() int { return c.rel.NumPages() }
+
+// IndexHeight returns the height of the collection's R-tree.
+func (c *Collection) IndexHeight() int { return c.index.Height() }
+
+// Insert stores the object with an arbitrary payload string and returns its
+// ID. Any precomputed join index involving this collection is maintained
+// incrementally — at the full cost the paper warns about.
+func (c *Collection) Insert(shape Spatial, payload string) (int, error) {
+	if shape == nil {
+		return 0, fmt.Errorf("spatialjoin: nil shape")
+	}
+	id, err := c.rel.Insert(relation.Tuple{payload, shape})
+	if err != nil {
+		return 0, err
+	}
+	c.index.Insert(shape, id)
+	if err := c.db.maintainJoinIndices(c, id, shape); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Get returns the object's shape and payload.
+func (c *Collection) Get(id int) (Spatial, string, error) {
+	t, err := c.rel.Get(id)
+	if err != nil {
+		return nil, "", err
+	}
+	shape, err := c.rel.Schema().SpatialValue(t, 1)
+	if err != nil {
+		return nil, "", err
+	}
+	return shape, t[0].(string), nil
+}

@@ -1,0 +1,74 @@
+// Quickstart: create a database, load two collections of rectangles, and
+// compute a spatial join with each strategy, comparing their measured
+// costs — the core workflow of the library in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"spatialjoin"
+)
+
+func main() {
+	db, err := spatialjoin.Open(spatialjoin.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	parcels, err := db.CreateCollection("parcels")
+	if err != nil {
+		log.Fatal(err)
+	}
+	zones, err := db.CreateCollection("zones")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load 400 land parcels and 60 larger planning zones.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		x, y := rng.Float64()*950, rng.Float64()*950
+		r := spatialjoin.NewRect(x, y, x+2+rng.Float64()*10, y+2+rng.Float64()*10)
+		if _, err := parcels.Insert(r, fmt.Sprintf("parcel-%03d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		x, y := rng.Float64()*850, rng.Float64()*850
+		r := spatialjoin.NewRect(x, y, x+40+rng.Float64()*80, y+40+rng.Float64()*80)
+		if _, err := zones.Insert(r, fmt.Sprintf("zone-%02d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Which parcels overlap which zones? Run all three strategies.
+	op := spatialjoin.Overlaps()
+	if _, _, err := db.BuildJoinIndex(parcels, zones, op); err != nil {
+		log.Fatal(err)
+	}
+	for _, strat := range []spatialjoin.Strategy{
+		spatialjoin.ScanStrategy,
+		spatialjoin.TreeStrategy,
+		spatialjoin.IndexStrategy,
+	} {
+		if err := db.DropCache(); err != nil {
+			log.Fatal(err)
+		}
+		pairs, stats, err := db.Join(parcels, zones, op, strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %4d pairs  %6d evals  %4d page reads  cost %8.0f\n",
+			strat, len(pairs), stats.FilterEvals+stats.ExactEvals,
+			stats.PageReads+stats.IndexReads, stats.Cost(1, 1000))
+	}
+
+	// A spatial selection: everything within 50 units of a query box.
+	q := spatialjoin.NewRect(300, 300, 350, 350)
+	ids, _, err := db.Select(parcels, q, spatialjoin.WithinDistance(50), spatialjoin.TreeStrategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parcels within 50 of %v: %d\n", q, len(ids))
+}

@@ -1,0 +1,254 @@
+package spatialjoin
+
+// Integration tests exercising several subsystems together: the
+// cartographic hierarchy, the R-tree-backed Database, the z-order merge
+// join and the executable strategies must all agree on the same workloads.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/carto"
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+)
+
+// matchKey canonicalizes a match list for comparison.
+func matchKey(ms []Match) string {
+	sorted := append([]Match(nil), ms...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].R != sorted[j].R {
+			return sorted[i].R < sorted[j].R
+		}
+		return sorted[i].S < sorted[j].S
+	})
+	return fmt.Sprint(sorted)
+}
+
+func TestIntegrationCartoHierarchyVsDatabase(t *testing.T) {
+	// The same city polygons, queried through two different generalization
+	// trees — the application-defined cartographic hierarchy and the
+	// Database's R-tree — must produce identical join results.
+	rng := rand.New(rand.NewSource(31))
+	hierarchy, feats, err := datagen.GenerateMap(rng, datagen.MapSpec{
+		World:            geom.NewRect(0, 0, 800, 800),
+		Countries:        4,
+		StatesPerCountry: 3,
+		CitiesPerState:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cities only, re-numbered densely.
+	var cities []carto.Feature
+	for _, f := range feats {
+		if f.Kind == carto.KindCity {
+			cities = append(cities, f)
+		}
+	}
+
+	db := openT(t)
+	col, err := db.CreateCollection("cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cities {
+		id, err := col.Insert(c.Shape, c.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("city %d got id %d", i, id)
+		}
+	}
+
+	for _, op := range []Operator{WithinDistance(120), DirectionOf(DirNortheast)} {
+		// Reference: brute force over the city features.
+		var want []Match
+		for i, a := range cities {
+			for j, b := range cities {
+				if op.Eval(a.Shape, b.Shape) {
+					want = append(want, Match{R: i, S: j})
+				}
+			}
+		}
+		// Via the Database (R-tree generalization tree).
+		got, _, err := db.Join(col, col, op, TreeStrategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matchKey(got) != matchKey(want) {
+			t.Fatalf("%s: database join %d pairs, brute force %d", op.Name(), len(got), len(want))
+		}
+		// Via the cartographic hierarchy (restricted to city results and
+		// re-mapped onto the dense city numbering).
+		res, err := core.Join(hierarchy.Tree(), hierarchy.Tree(), op, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tupleToCity := map[int]int{}
+		for i, c := range cities {
+			tupleToCity[c.TupleID] = i
+		}
+		var viaCarto []Match
+		for _, m := range res.Pairs {
+			r, okR := tupleToCity[m.R]
+			s, okS := tupleToCity[m.S]
+			if okR && okS {
+				viaCarto = append(viaCarto, Match{R: r, S: s})
+			}
+		}
+		if matchKey(viaCarto) != matchKey(want) {
+			t.Fatalf("%s: carto join %d city pairs, brute force %d",
+				op.Name(), len(viaCarto), len(want))
+		}
+	}
+}
+
+func TestIntegrationZOrderAgreesWithDatabaseJoin(t *testing.T) {
+	// The z-order sort-merge join (the §2.2 sort-merge exception) and the
+	// database's tree join must agree on an overlaps workload.
+	rng := rand.New(rand.NewSource(32))
+	world := NewRect(0, 0, 512, 512)
+	rs := datagen.UniformRects(rng, 300, world, 2, 25)
+	ss := datagen.UniformRects(rng, 300, world, 2, 25)
+
+	db := openT(t)
+	rc, _ := db.CreateCollection("r")
+	sc, _ := db.CreateCollection("s")
+	for i, r := range rs {
+		rc.Insert(r, fmt.Sprintf("r%d", i))
+	}
+	for i, s := range ss {
+		sc.Insert(s, fmt.Sprintf("s%d", i))
+	}
+	treePairs, _, err := db.Join(rc, sc, Overlaps(), TreeStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zPairs, err := ZOverlapJoin(rs, ss, world, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchKey(treePairs) != matchKey(zPairs) {
+		t.Fatalf("tree join %d pairs, z-order merge %d", len(treePairs), len(zPairs))
+	}
+}
+
+func TestIntegrationLakesHousesAllStrategies(t *testing.T) {
+	// The paper's motivating query end-to-end, all strategies plus the
+	// degenerate selection, on mixed geometry types (polygons + points).
+	rng := rand.New(rand.NewSource(33))
+	world := geom.NewRect(0, 0, 100, 100)
+	lakes, houses := datagen.LakesAndHouses(rng, 12, 300, world)
+
+	db := openT(t)
+	lc, _ := db.CreateCollection("lakes")
+	hc, _ := db.CreateCollection("houses")
+	for _, l := range lakes {
+		if _, err := lc.Insert(l.Shape, l.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, h := range houses {
+		if _, err := hc.Insert(h.Location, fmt.Sprintf("h%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op := ReachableWithin(10, 1)
+	scan, _, err := db.Join(hc, lc, op, ScanStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _, err := db.Join(hc, lc, op, TreeStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.BuildJoinIndex(hc, lc, op); err != nil {
+		t.Fatal(err)
+	}
+	idx, _, err := db.Join(hc, lc, op, IndexStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchKey(scan) != matchKey(tree) || matchKey(scan) != matchKey(idx) {
+		t.Fatalf("strategies disagree: %d/%d/%d", len(scan), len(tree), len(idx))
+	}
+	if len(scan) == 0 {
+		t.Fatal("lakeside workload must produce matches")
+	}
+
+	// The degenerate join (selection around one lake) agrees with the
+	// full join restricted to that lake.
+	shape, _, err := lc.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selection semantics: o θ house — ReachableWithin is symmetric in
+	// geometry distance, so the same pairs result.
+	sel, _, err := db.Select(hc, shape, op, TreeStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantIDs []int
+	for _, m := range scan {
+		if m.S == 0 {
+			wantIDs = append(wantIDs, m.R)
+		}
+	}
+	sort.Ints(sel)
+	sort.Ints(wantIDs)
+	if fmt.Sprint(sel) != fmt.Sprint(wantIDs) {
+		t.Fatalf("degenerate join mismatch: select %d, join-restriction %d", len(sel), len(wantIDs))
+	}
+}
+
+func TestIntegrationUpdateStorm(t *testing.T) {
+	// Interleave inserts with queries across every structure at once: the
+	// R-trees, the global join index and the relation files must stay
+	// mutually consistent throughout.
+	db := openT(t)
+	rc, _ := db.CreateCollection("r")
+	sc, _ := db.CreateCollection("s")
+	rng := rand.New(rand.NewSource(34))
+	op := Overlaps()
+	add := func(c *Collection, tag string) {
+		x, y := rng.Float64()*400, rng.Float64()*400
+		if _, err := c.Insert(NewRect(x, y, x+30+rng.Float64()*40, y+30+rng.Float64()*40), tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		add(rc, "seed-r")
+		add(sc, "seed-s")
+	}
+	if _, _, err := db.BuildJoinIndex(rc, sc, op); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 5; i++ {
+			add(rc, "storm-r")
+			add(sc, "storm-s")
+		}
+		scan, _, err := db.Join(rc, sc, op, ScanStrategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, _, err := db.Join(rc, sc, op, TreeStrategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, _, err := db.Join(rc, sc, op, IndexStrategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matchKey(scan) != matchKey(tree) || matchKey(scan) != matchKey(idx) {
+			t.Fatalf("round %d: strategies diverged (%d/%d/%d pairs)",
+				round, len(scan), len(tree), len(idx))
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package btree implements an order-z B+-tree over 128-bit composite keys.
+// It is the substrate the paper's strategy III assumes for join indices
+// (modeling assumption S4: "join indices are implemented using B+-trees"),
+// with the order parameter playing the role of z (Table 2: number of index
+// entries per page) and Height() the role of d.
+//
+// Keys are unique; a join index stores each (tuple, tuple) pair as one key.
+// Leaves are chained for range scans, and search/range operations report how
+// many nodes they visited so executors can charge page I/O.
+package btree
+
+import (
+	"fmt"
+)
+
+// Key is a 128-bit composite key ordered lexicographically (Hi, then Lo).
+// Join indices use Hi for the outer tuple ID and Lo for the inner.
+type Key struct {
+	Hi, Lo uint64
+}
+
+// Less reports whether k orders before o.
+func (k Key) Less(o Key) bool {
+	if k.Hi != o.Hi {
+		return k.Hi < o.Hi
+	}
+	return k.Lo < o.Lo
+}
+
+// node is one B+-tree node. Interior nodes hold len(keys)+1 children, with
+// keys[i] the smallest key in children[i+1]'s subtree. Leaves hold the keys
+// themselves and chain via next.
+type node struct {
+	leaf bool
+	keys []Key
+	kids []*node
+	next *node
+}
+
+// Tree is a B+-tree.
+type Tree struct {
+	order  int // maximum keys per node
+	root   *node
+	height int // levels below the root
+	size   int
+}
+
+// New returns an empty B+-tree of the given order (maximum keys per node,
+// the paper's z). Order must be at least 3.
+func New(order int) (*Tree, error) {
+	if order < 3 {
+		return nil, fmt.Errorf("btree: order %d < 3", order)
+	}
+	return &Tree{order: order, root: &node{leaf: true}}, nil
+}
+
+// MustNew is New that panics on error, for static configurations.
+func MustNew(order int) *Tree {
+	t, err := New(order)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Order returns the tree's order z.
+func (t *Tree) Order() int { return t.order }
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels below the root (the paper's d minus
+// one, since the paper counts pages on a root-to-leaf path).
+func (t *Tree) Height() int { return t.height }
+
+// minKeys returns the minimum number of keys a non-root node must hold.
+func (t *Tree) minKeys() int { return t.order / 2 }
+
+// searchLeaf descends to the leaf that would hold k, counting node visits.
+func (t *Tree) searchLeaf(k Key) (*node, int) {
+	n := t.root
+	visits := 1
+	for !n.leaf {
+		n = n.kids[childIndex(n, k)]
+		visits++
+	}
+	return n, visits
+}
+
+// childIndex returns the index of the child of n whose subtree covers k.
+func childIndex(n *node, k Key) int {
+	i := lowerBound(n.keys, k)
+	if i < len(n.keys) && !k.Less(n.keys[i]) {
+		return i + 1
+	}
+	return i
+}
+
+// lowerBound returns the first index whose key is ≥ k.
+func lowerBound(keys []Key, k Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid].Less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Contains reports whether k is stored, along with the number of nodes
+// visited.
+func (t *Tree) Contains(k Key) (found bool, visits int) {
+	leaf, visits := t.searchLeaf(k)
+	i := lowerBound(leaf.keys, k)
+	return i < len(leaf.keys) && leaf.keys[i] == k, visits
+}
+
+// Insert adds k and reports whether it was newly inserted (false on
+// duplicate).
+func (t *Tree) Insert(k Key) bool {
+	promoted, sibling, inserted := t.insert(t.root, k)
+	if !inserted {
+		return false
+	}
+	t.size++
+	if sibling != nil {
+		newRoot := &node{
+			leaf: false,
+			keys: []Key{promoted},
+			kids: []*node{t.root, sibling},
+		}
+		t.root = newRoot
+		t.height++
+	}
+	return true
+}
+
+// insert adds k under n. When n splits, it returns the promoted separator
+// and the new right sibling.
+func (t *Tree) insert(n *node, k Key) (promoted Key, sibling *node, inserted bool) {
+	if n.leaf {
+		i := lowerBound(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			return Key{}, nil, false
+		}
+		n.keys = append(n.keys, Key{})
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		if len(n.keys) <= t.order {
+			return Key{}, nil, true
+		}
+		mid := len(n.keys) / 2
+		s := &node{leaf: true, keys: append([]Key(nil), n.keys[mid:]...)}
+		n.keys = n.keys[:mid:mid]
+		s.next = n.next
+		n.next = s
+		return s.keys[0], s, true
+	}
+	ci := childIndex(n, k)
+	p, s, ins := t.insert(n.kids[ci], k)
+	if !ins {
+		return Key{}, nil, false
+	}
+	if s == nil {
+		return Key{}, nil, true
+	}
+	// Insert the promoted separator and new child into n.
+	i := lowerBound(n.keys, p)
+	n.keys = append(n.keys, Key{})
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = p
+	n.kids = append(n.kids, nil)
+	copy(n.kids[i+2:], n.kids[i+1:])
+	n.kids[i+1] = s
+	if len(n.keys) <= t.order {
+		return Key{}, nil, true
+	}
+	return t.splitInterior(n)
+}
+
+// splitInterior splits an overfull interior node, promoting the middle key.
+func (t *Tree) splitInterior(n *node) (Key, *node, bool) {
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	sibling := &node{
+		leaf: false,
+		keys: append([]Key(nil), n.keys[mid+1:]...),
+		kids: append([]*node(nil), n.kids[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.kids = n.kids[: mid+1 : mid+1]
+	return promoted, sibling, true
+}
+
+// Range calls f for every stored key in [lo, hi] in ascending order,
+// stopping early when f returns false. It returns the number of nodes
+// visited (descent plus leaf-chain walk).
+func (t *Tree) Range(lo, hi Key, f func(Key) bool) (visits int) {
+	if hi.Less(lo) {
+		return 0
+	}
+	leaf, v := t.searchLeaf(lo)
+	visits = v
+	for leaf != nil {
+		for _, k := range leaf.keys {
+			if k.Less(lo) {
+				continue
+			}
+			if hi.Less(k) {
+				return visits
+			}
+			if !f(k) {
+				return visits
+			}
+		}
+		leaf = leaf.next
+		if leaf != nil {
+			visits++
+		}
+	}
+	return visits
+}
+
+// All calls f for every key in ascending order.
+func (t *Tree) All(f func(Key) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	for n != nil {
+		for _, k := range n.keys {
+			if !f(k) {
+				return
+			}
+		}
+		n = n.next
+	}
+}

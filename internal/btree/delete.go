@@ -1,0 +1,198 @@
+package btree
+
+import "fmt"
+
+// Delete removes k, rebalancing by borrowing from or merging with siblings.
+// It reports whether the key was present.
+func (t *Tree) Delete(k Key) bool {
+	if !t.delete(t.root, k) {
+		return false
+	}
+	t.size--
+	// Shrink the tree when the root is an interior node with one child.
+	for !t.root.leaf && len(t.root.kids) == 1 {
+		t.root = t.root.kids[0]
+		t.height--
+	}
+	return true
+}
+
+// delete removes k from the subtree under n and rebalances n's children.
+func (t *Tree) delete(n *node, k Key) bool {
+	if n.leaf {
+		i := lowerBound(n.keys, k)
+		if i >= len(n.keys) || n.keys[i] != k {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		return true
+	}
+	ci := childIndex(n, k)
+	child := n.kids[ci]
+	if !t.delete(child, k) {
+		return false
+	}
+	if len(child.keys) >= t.minKeys() {
+		return true
+	}
+	t.rebalance(n, ci)
+	return true
+}
+
+// rebalance restores the minimum occupancy of n.kids[ci] by borrowing from a
+// sibling or merging with one.
+func (t *Tree) rebalance(n *node, ci int) {
+	child := n.kids[ci]
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		left := n.kids[ci-1]
+		if len(left.keys) > t.minKeys() {
+			if child.leaf {
+				// Move left's last key over; separator becomes that key.
+				k := left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				child.keys = append([]Key{k}, child.keys...)
+				n.keys[ci-1] = child.keys[0]
+			} else {
+				// Rotate through the separator.
+				child.keys = append([]Key{n.keys[ci-1]}, child.keys...)
+				n.keys[ci-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				child.kids = append([]*node{left.kids[len(left.kids)-1]}, child.kids...)
+				left.kids = left.kids[:len(left.kids)-1]
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.kids)-1 {
+		right := n.kids[ci+1]
+		if len(right.keys) > t.minKeys() {
+			if child.leaf {
+				k := right.keys[0]
+				right.keys = right.keys[1:]
+				child.keys = append(child.keys, k)
+				n.keys[ci] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[ci])
+				n.keys[ci] = right.keys[0]
+				right.keys = right.keys[1:]
+				child.kids = append(child.kids, right.kids[0])
+				right.kids = right.kids[1:]
+			}
+			return
+		}
+	}
+	// Merge with a sibling (prefer left).
+	if ci > 0 {
+		t.merge(n, ci-1)
+	} else {
+		t.merge(n, ci)
+	}
+}
+
+// merge combines n.kids[i] and n.kids[i+1] into n.kids[i], dropping
+// separator n.keys[i].
+func (t *Tree) merge(n *node, i int) {
+	left, right := n.kids[i], n.kids[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.kids = append(left.kids, right.kids...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.kids = append(n.kids[:i+1], n.kids[i+2:]...)
+}
+
+// Validate checks the B+-tree invariants: sorted keys, occupancy bounds,
+// uniform leaf depth, correct separators, an intact leaf chain, and a key
+// count matching Len().
+func (t *Tree) Validate() error {
+	// Structure walk.
+	leafDepth := -1
+	count := 0
+	var walk func(n *node, depth int, isRoot bool, lo, hi *Key) error
+	walk = func(n *node, depth int, isRoot bool, lo, hi *Key) error {
+		for i := 1; i < len(n.keys); i++ {
+			if !n.keys[i-1].Less(n.keys[i]) {
+				return fmt.Errorf("btree: unsorted keys at depth %d", depth)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && k.Less(*lo) {
+				return fmt.Errorf("btree: key below subtree bound at depth %d", depth)
+			}
+			if hi != nil && !k.Less(*hi) {
+				return fmt.Errorf("btree: key above subtree bound at depth %d", depth)
+			}
+		}
+		if !isRoot && len(n.keys) < t.minKeys() {
+			return fmt.Errorf("btree: underfull node at depth %d: %d < %d", depth, len(n.keys), t.minKeys())
+		}
+		if len(n.keys) > t.order {
+			return fmt.Errorf("btree: overfull node at depth %d: %d > %d", depth, len(n.keys), t.order)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			count += len(n.keys)
+			return nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return fmt.Errorf("btree: interior at depth %d has %d kids for %d keys", depth, len(n.kids), len(n.keys))
+		}
+		for i, c := range n.kids {
+			var clo, chi *Key
+			if i > 0 {
+				clo = &n.keys[i-1]
+			} else {
+				clo = lo
+			}
+			if i < len(n.keys) {
+				chi = &n.keys[i]
+			} else {
+				chi = hi
+			}
+			if err := walk(c, depth+1, false, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, true, nil, nil); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: %d keys counted, Len() says %d", count, t.size)
+	}
+	if t.size > 0 && leafDepth != t.height {
+		return fmt.Errorf("btree: leaf depth %d != Height() %d", leafDepth, t.height)
+	}
+	// Leaf chain must enumerate exactly the same keys, in order.
+	chain := 0
+	var prev *Key
+	bad := false
+	t.All(func(k Key) bool {
+		if prev != nil && !prev.Less(k) {
+			bad = true
+			return false
+		}
+		kk := k
+		prev = &kk
+		chain++
+		return true
+	})
+	if bad {
+		return fmt.Errorf("btree: leaf chain out of order")
+	}
+	if chain != t.size {
+		return fmt.Errorf("btree: leaf chain has %d keys, Len() says %d", chain, t.size)
+	}
+	return nil
+}

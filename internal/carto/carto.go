@@ -1,0 +1,150 @@
+// Package carto implements application-defined generalization trees for
+// cartographic PART-OF hierarchies, the paper's second family of
+// generalization trees (Figure 3): a map divided into countries, which
+// divide into states, which divide into cities. Unlike abstract indices
+// such as R-trees, every node here is an application object that is
+// "relevant to the user" and may qualify for query results — including
+// interior nodes.
+package carto
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+)
+
+// Kind classifies a cartographic feature by its hierarchy level.
+type Kind uint8
+
+// Feature kinds, from coarse to fine.
+const (
+	KindWorld Kind = iota
+	KindCountry
+	KindState
+	KindCity
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindWorld:
+		return "world"
+	case KindCountry:
+		return "country"
+	case KindState:
+		return "state"
+	case KindCity:
+		return "city"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Feature is one named cartographic object.
+type Feature struct {
+	// Name is the feature's unique name within its hierarchy.
+	Name string
+	// Kind is the hierarchy level.
+	Kind Kind
+	// Shape is the feature's geometry.
+	Shape geom.Spatial
+	// TupleID is the tuple holding the feature's attributes, or negative
+	// when the feature is not materialized in a relation.
+	TupleID int
+}
+
+// Hierarchy is a cartographic generalization tree built from features with
+// explicit parent-child (PART-OF) links. Children must be spatially
+// contained in their parents.
+type Hierarchy struct {
+	tree   *core.BasicTree
+	byName map[string]*core.BasicNode
+	feats  map[*core.BasicNode]Feature
+}
+
+// NewHierarchy creates a hierarchy rooted at the given feature (typically
+// the whole map).
+func NewHierarchy(root Feature) (*Hierarchy, error) {
+	if root.Name == "" {
+		return nil, fmt.Errorf("carto: root feature needs a name")
+	}
+	if root.Shape == nil {
+		return nil, fmt.Errorf("carto: root feature %q needs a shape", root.Name)
+	}
+	rn := core.NewBasicNode(root.Shape, root.TupleID)
+	h := &Hierarchy{
+		tree:   core.NewBasicTree(rn),
+		byName: map[string]*core.BasicNode{root.Name: rn},
+		feats:  map[*core.BasicNode]Feature{rn: root},
+	}
+	return h, nil
+}
+
+// Add attaches feature as a child of the named parent. The feature's MBR
+// must be contained in the parent's MBR (the generalization-tree
+// invariant); names must be unique.
+func (h *Hierarchy) Add(parentName string, f Feature) error {
+	if f.Name == "" {
+		return fmt.Errorf("carto: feature needs a name")
+	}
+	if f.Shape == nil {
+		return fmt.Errorf("carto: feature %q needs a shape", f.Name)
+	}
+	if _, dup := h.byName[f.Name]; dup {
+		return fmt.Errorf("carto: duplicate feature name %q", f.Name)
+	}
+	parent, ok := h.byName[parentName]
+	if !ok {
+		return fmt.Errorf("carto: unknown parent %q", parentName)
+	}
+	if !parent.Bounds().ContainsRect(f.Shape.Bounds()) {
+		return fmt.Errorf("carto: %q (%v) is not contained in %q (%v)",
+			f.Name, f.Shape.Bounds(), parentName, parent.Bounds())
+	}
+	n := core.NewBasicNode(f.Shape, f.TupleID)
+	parent.AddChild(n)
+	h.byName[f.Name] = n
+	h.feats[n] = f
+	return nil
+}
+
+// Tree returns the hierarchy as a core.Tree for SELECT/JOIN.
+func (h *Hierarchy) Tree() core.Tree { return h.tree }
+
+// Len returns the number of features.
+func (h *Hierarchy) Len() int { return len(h.byName) }
+
+// Feature returns the named feature.
+func (h *Hierarchy) Feature(name string) (Feature, bool) {
+	n, ok := h.byName[name]
+	if !ok {
+		return Feature{}, false
+	}
+	return h.feats[n], true
+}
+
+// FeatureByTuple returns the feature with the given tuple ID.
+func (h *Hierarchy) FeatureByTuple(id int) (Feature, bool) {
+	for _, f := range h.feats {
+		if f.TupleID == id {
+			return f, true
+		}
+	}
+	return Feature{}, false
+}
+
+// Walk visits every feature with its hierarchy level in breadth-first
+// order.
+func (h *Hierarchy) Walk(f func(feat Feature, level int) bool) {
+	core.Walk(h.tree, func(n core.Node, level int) bool {
+		bn, ok := n.(*core.BasicNode)
+		if !ok {
+			return true
+		}
+		return f(h.feats[bn], level)
+	})
+}
+
+// Validate checks the containment invariant over the whole hierarchy.
+func (h *Hierarchy) Validate() error { return h.tree.Validate() }

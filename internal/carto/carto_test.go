@@ -1,0 +1,165 @@
+package carto
+
+import (
+	"testing"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pred"
+)
+
+func world(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(Feature{
+		Name: "world", Kind: KindWorld,
+		Shape: geom.NewRect(0, 0, 100, 100), TupleID: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{KindWorld: "world", KindCountry: "country", KindState: "state", KindCity: "city"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(Feature{Shape: geom.NewRect(0, 0, 1, 1)}); err == nil {
+		t.Error("nameless root must fail")
+	}
+	if _, err := NewHierarchy(Feature{Name: "x"}); err == nil {
+		t.Error("shapeless root must fail")
+	}
+}
+
+func TestAddEnforcesInvariants(t *testing.T) {
+	h := world(t)
+	ok := Feature{Name: "a", Kind: KindCountry, Shape: geom.NewRect(0, 0, 50, 50), TupleID: 1}
+	if err := h.Add("world", ok); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		parent string
+		f      Feature
+	}{
+		{"world", Feature{Name: "", Shape: geom.NewRect(0, 0, 1, 1)}},  // nameless
+		{"world", Feature{Name: "b"}},                                  // shapeless
+		{"world", Feature{Name: "a", Shape: geom.NewRect(0, 0, 1, 1)}}, // duplicate
+		{"mars", Feature{Name: "c", Shape: geom.NewRect(0, 0, 1, 1)}},  // unknown parent
+		{"a", Feature{Name: "d", Shape: geom.NewRect(40, 40, 60, 60)}}, // escapes parent
+	}
+	for i, c := range cases {
+		if err := h.Add(c.parent, c.f); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d after failed adds", h.Len())
+	}
+}
+
+func TestLookups(t *testing.T) {
+	h := world(t)
+	h.Add("world", Feature{Name: "nation", Kind: KindCountry, Shape: geom.NewRect(10, 10, 40, 40), TupleID: 7})
+	f, ok := h.Feature("nation")
+	if !ok || f.Kind != KindCountry || f.TupleID != 7 {
+		t.Fatalf("Feature lookup = %+v, %t", f, ok)
+	}
+	if _, ok := h.Feature("atlantis"); ok {
+		t.Fatal("phantom feature found")
+	}
+	f, ok = h.FeatureByTuple(7)
+	if !ok || f.Name != "nation" {
+		t.Fatalf("FeatureByTuple = %+v, %t", f, ok)
+	}
+	if _, ok := h.FeatureByTuple(99); ok {
+		t.Fatal("phantom tuple found")
+	}
+}
+
+func TestWalkLevels(t *testing.T) {
+	h := world(t)
+	h.Add("world", Feature{Name: "c1", Kind: KindCountry, Shape: geom.NewRect(0, 0, 50, 100), TupleID: 1})
+	h.Add("c1", Feature{Name: "s1", Kind: KindState, Shape: geom.NewRect(0, 0, 25, 50), TupleID: 2})
+	h.Add("s1", Feature{Name: "city1", Kind: KindCity, Shape: geom.NewRect(1, 1, 5, 5), TupleID: 3})
+	levels := map[string]int{}
+	h.Walk(func(f Feature, level int) bool {
+		levels[f.Name] = level
+		return true
+	})
+	want := map[string]int{"world": 0, "c1": 1, "s1": 2, "city1": 3}
+	for name, lvl := range want {
+		if levels[name] != lvl {
+			t.Fatalf("level of %s = %d, want %d", name, levels[name], lvl)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchySelectInteriorNodesQualify(t *testing.T) {
+	// The defining property of application hierarchies: a SELECT can return
+	// countries and states, not just leaf cities.
+	h := world(t)
+	h.Add("world", Feature{Name: "c1", Kind: KindCountry, Shape: geom.NewRect(0, 0, 60, 60), TupleID: 1})
+	h.Add("c1", Feature{Name: "s1", Kind: KindState, Shape: geom.NewRect(5, 5, 30, 30), TupleID: 2})
+	h.Add("s1", Feature{Name: "city1", Kind: KindCity, Shape: geom.NewRect(6, 6, 8, 8), TupleID: 3})
+	h.Add("c1", Feature{Name: "s2", Kind: KindState, Shape: geom.NewRect(35, 35, 55, 55), TupleID: 4})
+
+	res, err := core.Select(h.Tree(), geom.NewRect(6.5, 6.5, 7, 7), pred.Overlaps{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, id := range res.Tuples {
+		got[id] = true
+	}
+	// The query box sits inside city1, so world, c1, s1 and city1 all
+	// overlap it; s2 does not.
+	for _, want := range []int{0, 1, 2, 3} {
+		if !got[want] {
+			t.Fatalf("tuple %d missing from %v", want, res.Tuples)
+		}
+	}
+	if got[4] {
+		t.Fatal("s2 must not match")
+	}
+}
+
+func TestHierarchyJoinWithItself(t *testing.T) {
+	h := world(t)
+	h.Add("world", Feature{Name: "c1", Kind: KindCountry, Shape: geom.NewRect(0, 0, 45, 45), TupleID: 1})
+	h.Add("world", Feature{Name: "c2", Kind: KindCountry, Shape: geom.NewRect(50, 50, 95, 95), TupleID: 2})
+	h.Add("c1", Feature{Name: "s1", Kind: KindState, Shape: geom.NewRect(0, 0, 20, 20), TupleID: 3})
+	h.Add("c2", Feature{Name: "s2", Kind: KindState, Shape: geom.NewRect(60, 60, 80, 80), TupleID: 4})
+
+	res, err := core.Join(h.Tree(), h.Tree(), pred.Overlaps{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := map[core.Match]bool{}
+	for _, m := range res.Pairs {
+		pairs[m] = true
+	}
+	// c1 and c2 are disjoint; both overlap the world; states overlap their
+	// own countries.
+	mustHave := []core.Match{{R: 0, S: 0}, {R: 1, S: 0}, {R: 3, S: 1}, {R: 4, S: 2}}
+	for _, m := range mustHave {
+		if !pairs[m] {
+			t.Fatalf("missing pair %+v", m)
+		}
+	}
+	if pairs[(core.Match{R: 1, S: 2})] {
+		t.Fatal("disjoint countries must not pair")
+	}
+}

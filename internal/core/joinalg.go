@@ -1,0 +1,194 @@
+package core
+
+import (
+	"spatialjoin/internal/pred"
+)
+
+// Match is one result pair of a spatial join: tuple IDs from the R-side and
+// S-side relations.
+type Match struct {
+	R, S int
+}
+
+// JoinOptions tunes algorithm JOIN.
+type JoinOptions struct {
+	// TouchR / TouchS are invoked once per examined node of the respective
+	// tree, before its filter is evaluated; executors charge page I/O here.
+	TouchR func(Node) error
+	TouchS func(Node) error
+}
+
+// JoinResult is the output of algorithm JOIN.
+type JoinResult struct {
+	// Pairs are the matching tuple pairs in discovery order. Each matching
+	// pair appears exactly once.
+	Pairs []Match
+	// Stats is the work performed across both trees.
+	Stats Stats
+}
+
+// Join implements algorithm JOIN (§3.3): the general spatial join R ⋈θ S of
+// two relations indexed by generalization trees tr and ts. Levels are
+// processed via QualPairs lists exactly as in the paper: a pair (a, b) whose
+// Θ filter passes (JOIN2) contributes its own tuples if a θ b (JOIN3), and
+// then two SELECT passes find all matches between a and strict descendants
+// of b and between strict descendants of a and b, while the direct
+// descendants that passed their Θ checks are crossed into QualPairs[j+1]
+// (JOIN4).
+//
+// The operand order is fixed: R-side values are always the left operand of
+// Eval and Filter, so asymmetric operators (northwest_of, includes) join in
+// the expected direction. Unlike the paper's pseudocode, iteration continues
+// until QualPairs empties rather than to min(height, height), which also
+// handles ragged (non-balanced) generalization trees.
+func Join(tr, ts Tree, op pred.Operator, opts *JoinOptions) (*JoinResult, error) {
+	var options JoinOptions
+	if opts != nil {
+		options = *opts
+	}
+	res := &JoinResult{}
+	rootR, rootS := tr.Root(), ts.Root()
+	if rootR == nil || rootS == nil {
+		return res, nil
+	}
+
+	type pair struct{ a, b Node }
+	qual := []pair{{rootR, rootS}}
+	for len(qual) > 0 {
+		if len(qual) > res.Stats.MaxQueue {
+			res.Stats.MaxQueue = len(qual)
+		}
+		var next []pair
+		for _, p := range qual {
+			a, b := p.a, p.b
+			// JOIN2: Θ check for the pair.
+			if err := touch2(a, b, &options, res); err != nil {
+				return nil, err
+			}
+			res.Stats.FilterEvals++
+			if !op.Filter(a.Bounds(), b.Bounds()) {
+				continue
+			}
+			// JOIN3: exact match of the pair itself.
+			if ra, okA := a.Tuple(); okA {
+				if sb, okB := b.Tuple(); okB {
+					res.Stats.ExactEvals++
+					if op.Eval(a.Object(), b.Object()) {
+						res.Pairs = append(res.Pairs, Match{R: ra, S: sb})
+					}
+				}
+			}
+			// JOIN4: SELECT a against b's subtrees, and b against a's.
+			aKids, bKids := a.Children(), b.Children()
+			bQual := make([]bool, len(bKids))
+			for i, b2 := range bKids {
+				ok, err := joinSelect(a, b2, op, rightSide, &options, res)
+				if err != nil {
+					return nil, err
+				}
+				bQual[i] = ok
+			}
+			aQual := make([]bool, len(aKids))
+			for i, a2 := range aKids {
+				ok, err := joinSelect(b, a2, op, leftSide, &options, res)
+				if err != nil {
+					return nil, err
+				}
+				aQual[i] = ok
+			}
+			for i, a2 := range aKids {
+				if !aQual[i] {
+					continue
+				}
+				for j, b2 := range bKids {
+					if bQual[j] {
+						next = append(next, pair{a2, b2})
+					}
+				}
+			}
+		}
+		qual = next
+	}
+	return res, nil
+}
+
+// side distinguishes which tree the moving node of a join-side SELECT pass
+// belongs to, so operands stay in R-before-S order.
+type side uint8
+
+const (
+	rightSide side = iota // fixed node is from R, moving subtree from S
+	leftSide              // fixed node is from S, moving subtree from R
+)
+
+// joinSelect runs a SELECT pass of JOIN4: fixed is compared against the
+// subtree rooted at n. It reports whether the Θ filter passed at n itself
+// (the qualification JOIN4 uses to build QualPairs[j+1]).
+func joinSelect(fixed, n Node, op pred.Operator, s side,
+	opts *JoinOptions, res *JoinResult) (bool, error) {
+
+	if err := touch1(n, s, opts, res); err != nil {
+		return false, err
+	}
+	res.Stats.FilterEvals++
+	var pass bool
+	if s == rightSide {
+		pass = op.Filter(fixed.Bounds(), n.Bounds())
+	} else {
+		pass = op.Filter(n.Bounds(), fixed.Bounds())
+	}
+	if !pass {
+		return false, nil
+	}
+	if fid, okF := fixed.Tuple(); okF {
+		if nid, okN := n.Tuple(); okN {
+			res.Stats.ExactEvals++
+			if s == rightSide {
+				if op.Eval(fixed.Object(), n.Object()) {
+					res.Pairs = append(res.Pairs, Match{R: fid, S: nid})
+				}
+			} else {
+				if op.Eval(n.Object(), fixed.Object()) {
+					res.Pairs = append(res.Pairs, Match{R: nid, S: fid})
+				}
+			}
+		}
+	}
+	for _, c := range n.Children() {
+		if _, err := joinSelect(fixed, c, op, s, opts, res); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// touch2 charges node examinations for both members of a QualPairs pair.
+func touch2(a, b Node, opts *JoinOptions, res *JoinResult) error {
+	res.Stats.NodesExamined += 2
+	if opts.TouchR != nil {
+		if err := opts.TouchR(a); err != nil {
+			return err
+		}
+	}
+	if opts.TouchS != nil {
+		if err := opts.TouchS(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// touch1 charges a node examination on the moving side of a SELECT pass.
+func touch1(n Node, s side, opts *JoinOptions, res *JoinResult) error {
+	res.Stats.NodesExamined++
+	if s == rightSide {
+		if opts.TouchS != nil {
+			return opts.TouchS(n)
+		}
+		return nil
+	}
+	if opts.TouchR != nil {
+		return opts.TouchR(n)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pred"
+)
+
+// Stats counts the work an algorithm performed, in the units of the paper's
+// cost model: Θ filter evaluations (charged C_Θ each), exact θ evaluations,
+// and node examinations (each of which the executor layer may turn into a
+// page access).
+type Stats struct {
+	// FilterEvals is the number of Θ evaluations.
+	FilterEvals int64
+	// ExactEvals is the number of θ evaluations.
+	ExactEvals int64
+	// NodesExamined is the number of node visits (Touch calls).
+	NodesExamined int64
+	// MaxQueue is the peak size of the traversal worklist, a memory proxy.
+	MaxQueue int
+}
+
+// add accumulates other into s.
+func (s *Stats) add(other Stats) {
+	s.FilterEvals += other.FilterEvals
+	s.ExactEvals += other.ExactEvals
+	s.NodesExamined += other.NodesExamined
+	if other.MaxQueue > s.MaxQueue {
+		s.MaxQueue = other.MaxQueue
+	}
+}
+
+// Traversal selects the tree-search order of algorithm SELECT. The paper
+// formulates SELECT breadth-first and notes a depth-first variant is equally
+// possible, with the better choice depending on the physical clustering of
+// the tree (§3.2).
+type Traversal uint8
+
+const (
+	// BreadthFirst is the paper's QualNodes-per-level formulation.
+	BreadthFirst Traversal = iota
+	// DepthFirst recurses into each qualifying subtree immediately.
+	DepthFirst
+)
+
+// SelectOptions tunes algorithm SELECT.
+type SelectOptions struct {
+	// Traversal is the search order; the zero value is BreadthFirst.
+	Traversal Traversal
+	// Touch, when non-nil, is invoked once per examined node, before its Θ
+	// filter is evaluated. Executors use it to charge page I/O for reading
+	// the node's tuple.
+	Touch func(Node) error
+}
+
+// SelectResult is the output of algorithm SELECT.
+type SelectResult struct {
+	// Tuples are the IDs of matching tuples, in discovery order.
+	Tuples []int
+	// Stats is the work performed.
+	Stats Stats
+}
+
+// Select implements algorithm SELECT (§3.2): given a selector object o and a
+// relation indexed by the generalization tree tree, it returns the tuples a
+// with o θ a. The Θ filter of op prunes subtrees that cannot contain
+// matches; interior nodes that carry tuples may themselves qualify.
+//
+// The operand order follows the paper's selection criterion "o θ R.A": o is
+// always the left operand of both Eval and Filter.
+func Select(tree Tree, o geom.Spatial, op pred.Operator, opts *SelectOptions) (*SelectResult, error) {
+	var options SelectOptions
+	if opts != nil {
+		options = *opts
+	}
+	res := &SelectResult{}
+	root := tree.Root()
+	if root == nil {
+		return res, nil
+	}
+	ob := o.Bounds()
+	if options.Traversal == DepthFirst {
+		if err := selectDFS(root, o, ob, op, &options, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	// Breadth-first: QualNodes[j] is the worklist for the current level.
+	qual := []Node{root}
+	for len(qual) > 0 {
+		if len(qual) > res.Stats.MaxQueue {
+			res.Stats.MaxQueue = len(qual)
+		}
+		var next []Node
+		for _, a := range qual {
+			ok, err := examine(a, o, ob, op, &options, res)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				next = append(next, a.Children()...)
+			}
+		}
+		qual = next
+	}
+	return res, nil
+}
+
+// selectDFS is the depth-first variant of SELECT.
+func selectDFS(n Node, o geom.Spatial, ob geom.Rect, op pred.Operator,
+	opts *SelectOptions, res *SelectResult) error {
+
+	ok, err := examine(n, o, ob, op, opts, res)
+	if err != nil || !ok {
+		return err
+	}
+	for _, c := range n.Children() {
+		if err := selectDFS(c, o, ob, op, opts, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// examine performs the per-node work of SELECT2: touch the node, evaluate
+// the Θ filter and — if it passes — the exact θ predicate, recording a
+// match for tuple-bearing nodes. It reports whether the node's children
+// should be searched.
+func examine(a Node, o geom.Spatial, ob geom.Rect, op pred.Operator,
+	opts *SelectOptions, res *SelectResult) (descend bool, err error) {
+
+	res.Stats.NodesExamined++
+	if opts.Touch != nil {
+		if err := opts.Touch(a); err != nil {
+			return false, err
+		}
+	}
+	res.Stats.FilterEvals++
+	if !op.Filter(ob, a.Bounds()) {
+		return false, nil
+	}
+	if _, hasTuple := a.Tuple(); hasTuple {
+		res.Stats.ExactEvals++
+		if op.Eval(o, a.Object()) {
+			id, _ := a.Tuple()
+			res.Tuples = append(res.Tuples, id)
+		}
+	}
+	return true, nil
+}

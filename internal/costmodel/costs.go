@@ -1,0 +1,203 @@
+package costmodel
+
+import "math"
+
+// UpdateCosts holds the §4.2 insertion costs per strategy.
+type UpdateCosts struct {
+	// UI is U_I: nested loop maintains nothing.
+	UI float64
+	// UIIa / UIIb are the unclustered / clustered generalization-tree
+	// insertion costs.
+	UIIa, UIIb float64
+	// UIII is U_III(T): join-index maintenance across all T spatially
+	// indexed tuples.
+	UIII float64
+}
+
+// expectedInsertDepthFactor returns (1/N)·Σ_{i=1..n} i·k^i: the expected
+// storage level of a new object when the probability of landing at level i
+// is proportional to the number of objects already there.
+func (m Model) expectedInsertDepthFactor() float64 {
+	sum := 0.0
+	for i := 1; i <= m.Prm.Nlevels; i++ {
+		sum += float64(i) * m.Prm.LevelCount(i)
+	}
+	return sum / m.Prm.N()
+}
+
+// UpdateCosts evaluates U_I, U_IIa, U_IIb and U_III(T). Update costs do not
+// depend on the distribution or p.
+func (m Model) UpdateCosts() UpdateCosts {
+	prm := m.Prm
+	k := float64(prm.K)
+	mt := prm.Mtuples()
+	depth := m.expectedInsertDepthFactor()
+
+	perLevelCPU := k / 2 * prm.CU
+	uIIa := (perLevelCPU + Yao(math.Ceil(k/2), prm.RelationPages(), prm.N())*prm.CIO) * depth
+	uIIb := (perLevelCPU + k/(2*mt)*prm.CIO) * depth
+	uIII := prm.T * (prm.CU + prm.CIO/mt)
+
+	return UpdateCosts{UI: 0, UIIa: uIIa, UIIb: uIIb, UIII: uIII}
+}
+
+// SelectCosts holds the §4.3 spatial-selection costs per strategy.
+type SelectCosts struct {
+	// CI is C_I: exhaustive scan.
+	CI float64
+	// CIITheta is C_II^Θ(h): the computation component shared by IIa/IIb.
+	CIITheta float64
+	// CIIa / CIIb are total costs with unclustered / clustered storage.
+	CIIa, CIIb float64
+	// CIII is C_III(h): the join-index lookup cost.
+	CIII float64
+}
+
+// SelectCosts evaluates the selection cost formulas for a selector object at
+// level h of its own generalization tree.
+func (m Model) SelectCosts(h int) SelectCosts {
+	prm := m.Prm
+	n := prm.Nlevels
+	k := float64(prm.K)
+	mt := prm.Mtuples()
+	pages := prm.RelationPages()
+	N := prm.N()
+
+	var sc SelectCosts
+	sc.CI = N * (prm.CTheta + prm.CIO/mt)
+
+	// C_II^Θ(h) = C_Θ(1 + Σ_{i=0}^{n-1} π_{h,i} k^{i+1}).
+	comp := 1.0
+	for i := 0; i < n; i++ {
+		comp += m.Pi(h, i) * math.Pow(k, float64(i+1))
+	}
+	sc.CIITheta = prm.CTheta * comp
+
+	// I/O, unclustered: each examined node is fetched individually.
+	ioA := 0.0
+	for i := 0; i < n; i++ {
+		x := math.Ceil(m.Pi(h, i) * math.Pow(k, float64(i+1)))
+		ioA += Yao(x, pages, N)
+	}
+	sc.CIIa = sc.CIITheta + prm.CIO*ioA
+
+	// I/O, clustered: each matching level-i node pulls one k-child record.
+	ioB := 0.0
+	for i := 0; i < n; i++ {
+		x := math.Ceil(m.Pi(h, i) * math.Pow(k, float64(i)))
+		recPages := math.Ceil(math.Pow(k, float64(i+1)) / mt)
+		ioB += Yao(x, recPages, math.Pow(k, float64(i)))
+	}
+	sc.CIIb = sc.CIITheta + prm.CIO*ioB
+
+	// Join index: page in the relevant index entries (root pinned) plus the
+	// qualifying tuples.
+	entries := 0.0
+	for i := 0; i <= n; i++ {
+		entries += m.Pi(h, i) * math.Pow(k, float64(i))
+	}
+	sc.CIII = prm.CIO * (prm.D() + math.Ceil(entries/prm.Z) +
+		Yao(math.Ceil(entries), pages, N))
+	return sc
+}
+
+// JoinCosts holds the §4.4 general-spatial-join costs per strategy.
+type JoinCosts struct {
+	// DI is D_I: blocked nested loop.
+	DI float64
+	// DIITheta is D_II^Θ: the computation component shared by IIa/IIb.
+	DIITheta float64
+	// DIIa / DIIb are total generalization-tree join costs.
+	DIIa, DIIb float64
+	// DIII is D_III: the join-index strategy.
+	DIII float64
+	// Cardinality is the expected join result size Σ_i Σ_j π_ij k^i k^j.
+	Cardinality float64
+}
+
+// JoinCosts evaluates the join cost formulas for R ⋈θ S with both relations
+// shaped per the parameters.
+func (m Model) JoinCosts() JoinCosts {
+	prm := m.Prm
+	n := prm.Nlevels
+	k := float64(prm.K)
+	mt := prm.Mtuples()
+	pages := prm.RelationPages()
+	N := prm.N()
+	blockTuples := mt * (prm.M - 10)
+
+	var jc JoinCosts
+
+	// D_I = N²·C_Θ + (⌈N/(m(M−10))⌉ + 1)·⌈N/m⌉·C_IO.
+	passes := math.Ceil(N / blockTuples)
+	jc.DI = N*N*prm.CTheta + (passes+1)*pages*prm.CIO
+
+	// D_II^Θ: for each QualPairs match at level i (π_{i,i−1}·k^{2i} of
+	// them), two SELECT passes over the partner subtrees.
+	comp := 0.0
+	for i := 0; i <= n; i++ {
+		pairMatch := m.Pi(i, i-1) * math.Pow(k, float64(2*i))
+		inner := 1.0
+		for j := i; j < n; j++ {
+			inner += (m.Pi(i, j) + m.Pi(j, i)) * math.Pow(k, float64(j-i+1))
+		}
+		comp += pairMatch * inner
+	}
+	jc.DIITheta = prm.CTheta * comp
+
+	// Participating nodes per tree: 1 + Σ_{i=0}^{n-1} π_{0,i} k^{i+1}
+	// (children of nodes that match the partner root).
+	partS := 1.0
+	partR := 1.0
+	for i := 0; i < n; i++ {
+		partS += m.Pi(0, i) * math.Pow(k, float64(i+1))
+		partR += m.Pi(i, 0) * math.Pow(k, float64(i+1))
+	}
+	treePasses := math.Ceil(partR / blockTuples)
+
+	// Per-pass scan I/O of GT_S,B and one-time page-in of GT_R,A.
+	scanA, scanB := 0.0, 0.0
+	loadA, loadB := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		xS := math.Ceil(m.Pi(0, i) * math.Pow(k, float64(i+1)))
+		xR := math.Ceil(m.Pi(i, 0) * math.Pow(k, float64(i+1)))
+		scanA += Yao(xS, pages, N)
+		loadA += Yao(xR, pages, N)
+
+		xSc := math.Ceil(m.Pi(0, i) * math.Pow(k, float64(i)))
+		xRc := math.Ceil(m.Pi(i, 0) * math.Pow(k, float64(i)))
+		recPages := math.Ceil(math.Pow(k, float64(i+1)) / mt)
+		recs := math.Pow(k, float64(i))
+		scanB += Yao(xSc, recPages, recs)
+		loadB += Yao(xRc, recPages, recs)
+	}
+	jc.DIIa = jc.DIITheta + prm.CIO*(treePasses*scanA+loadA)
+	jc.DIIb = jc.DIITheta + prm.CIO*(treePasses*scanB+loadB)
+
+	// D_III: read the join index and the qualifying tuples. |J| is the
+	// expected join cardinality.
+	cardinality := 0.0
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			cardinality += m.Pi(i, j) * math.Pow(k, float64(i)) * math.Pow(k, float64(j))
+		}
+	}
+	jc.Cardinality = cardinality
+
+	// Participating R tuples Σ_i π_{i,0} k^i drive the blocked retrieval.
+	rPart := 0.0
+	for i := 0; i <= n; i++ {
+		rPart += m.Pi(i, 0) * math.Pow(k, float64(i))
+	}
+	jiPasses := math.Ceil(rPart / blockTuples)
+	// Probability an S tuple matches anything currently in memory.
+	q := cardinality / (N * N)
+	if q > 1 {
+		q = 1
+	}
+	pMatch := 1 - math.Pow(1-q, blockTuples)
+	jc.DIII = prm.CIO * (math.Ceil(cardinality/prm.Z) +
+		Yao(math.Ceil(rPart), pages, N) +
+		jiPasses*Yao(math.Ceil(pMatch*N), pages, N))
+	return jc
+}

@@ -1,0 +1,197 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistKind identifies one of the paper's three match-probability
+// distributions (§4.1).
+type DistKind uint8
+
+const (
+	// Uniform: ρ(o₁, o₂) = p for all pairs; models operators with no
+	// spatial locality at all (e.g. "to the Northwest of").
+	Uniform DistKind = iota
+	// NoLoc: ρ = p^max(min(i₁,i₂),1); still no locality, but matches
+	// between large objects (low levels) are more likely — e.g. "between
+	// 50 and 100 kilometers from".
+	NoLoc
+	// HiLoc: matches are driven by tree proximity: ρ = p^min(d₁,d₂) where
+	// d₁, d₂ are the level distances of the two objects to their lowest
+	// common ancestor. Ancestor/descendant pairs match with certainty and
+	// siblings with probability p (σ_i = p), the two properties the paper
+	// states. Only meaningful when both objects are in the same tree
+	// (self-joins, or selection with the selector stored in the relation).
+	HiLoc
+)
+
+// String implements fmt.Stringer.
+func (d DistKind) String() string {
+	switch d {
+	case Uniform:
+		return "UNIFORM"
+	case NoLoc:
+		return "NO-LOC"
+	case HiLoc:
+		return "HI-LOC"
+	default:
+		return fmt.Sprintf("DistKind(%d)", uint8(d))
+	}
+}
+
+// Distributions lists all three kinds, for sweeps and tests.
+func Distributions() []DistKind { return []DistKind{Uniform, NoLoc, HiLoc} }
+
+// Model binds parameters, a distribution and a join selectivity p; all cost
+// formulas hang off it.
+type Model struct {
+	// Prm are the model parameters (Table 2/3).
+	Prm Params
+	// Dist is the match-probability distribution.
+	Dist DistKind
+	// P is the join selectivity parameter p ∈ [0, 1].
+	P float64
+}
+
+// NewModel validates and returns a model.
+func NewModel(prm Params, dist DistKind, p float64) (Model, error) {
+	if err := prm.Validate(); err != nil {
+		return Model{}, err
+	}
+	if p < 0 || p > 1 {
+		return Model{}, fmt.Errorf("costmodel: selectivity p = %g out of [0,1]", p)
+	}
+	if dist != Uniform && dist != NoLoc && dist != HiLoc {
+		return Model{}, fmt.Errorf("costmodel: unknown distribution %d", dist)
+	}
+	return Model{Prm: prm, Dist: dist, P: p}, nil
+}
+
+// MustModel is NewModel that panics on error.
+func MustModel(prm Params, dist DistKind, p float64) Model {
+	m, err := NewModel(prm, dist, p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Pi returns π_ij: the probability that two objects at levels i and j (in
+// their respective trees) Θ-match. Levels outside [0, n] are treated via
+// the paper's technical convention π_{0,−1} = π_{−1,0} = 1.
+func (m Model) Pi(i, j int) float64 {
+	if i < 0 || j < 0 {
+		return 1
+	}
+	switch m.Dist {
+	case Uniform:
+		return m.P
+	case NoLoc:
+		e := minInt(i, j)
+		if e < 1 {
+			e = 1
+		}
+		return math.Pow(m.P, float64(e))
+	case HiLoc:
+		return m.piHiLoc(i, j)
+	default:
+		return m.P
+	}
+}
+
+// piHiLoc averages ρ = p^{min(d₁,d₂)} over a uniformly random node pair at
+// levels i and j of one k-ary tree. With ℓ the level of the lowest common
+// ancestor, min(d₁, d₂) = min(i, j) − ℓ and
+//
+//	P(ℓ) = k^{−ℓ} − k^{−(ℓ+1)}  for ℓ < min(i, j),
+//	P(min(i, j)) = k^{−min(i,j)}  (covers ancestor/descendant and identity),
+//
+// so π_ij = Σ_ℓ P(ℓ)·p^{min(i,j)−ℓ}. This reconstructs the corrupted
+// formula in the source text from its stated invariants (see DESIGN.md).
+func (m Model) piHiLoc(i, j int) float64 {
+	mn := minInt(i, j)
+	k := float64(m.Prm.K)
+	total := 0.0
+	for l := 0; l <= mn; l++ {
+		var prob float64
+		if l < mn {
+			prob = math.Pow(k, -float64(l)) - math.Pow(k, -float64(l+1))
+		} else {
+			prob = math.Pow(k, -float64(mn))
+		}
+		total += prob * math.Pow(m.P, float64(mn-l))
+	}
+	return total
+}
+
+// Sigma returns σ_i: the probability that two sibling nodes at level i
+// Θ-match.
+func (m Model) Sigma(i int) float64 {
+	switch m.Dist {
+	case Uniform:
+		return m.P
+	case NoLoc:
+		e := i
+		if e < 1 {
+			e = 1
+		}
+		return math.Pow(m.P, float64(e))
+	case HiLoc:
+		// Siblings have their parent as LCA: min(d₁,d₂) = 1.
+		return m.P
+	default:
+		return m.P
+	}
+}
+
+// RhoLeftmostLeaf returns ρ(o₁, o₂) with o₁ the leftmost leaf and o₂ the
+// node with the given index (0-based, left to right) at the given level —
+// the quantity plotted in Figure 7 for each distribution.
+func (m Model) RhoLeftmostLeaf(level, index int) float64 {
+	n := m.Prm.Nlevels
+	switch m.Dist {
+	case Uniform:
+		return m.P
+	case NoLoc:
+		e := minInt(n, level)
+		if e < 1 {
+			e = 1
+		}
+		return math.Pow(m.P, float64(e))
+	case HiLoc:
+		// The leftmost leaf's path is all zeros; the LCA level is the
+		// number of leading zero digits of index in base k.
+		l := 0
+		digits := digitsBaseK(index, m.Prm.K, level)
+		for _, d := range digits {
+			if d != 0 {
+				break
+			}
+			l++
+		}
+		d1 := n - l
+		d2 := level - l
+		return math.Pow(m.P, float64(minInt(d1, d2)))
+	default:
+		return m.P
+	}
+}
+
+// digitsBaseK returns the width-digit base-k representation of v, most
+// significant digit first.
+func digitsBaseK(v, k, width int) []int {
+	out := make([]int, width)
+	for i := width - 1; i >= 0; i-- {
+		out[i] = v % k
+		v /= k
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

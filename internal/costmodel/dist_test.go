@@ -1,0 +1,255 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParamsDerived(t *testing.T) {
+	prm := PaperParams()
+	if err := prm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 3's derived variables.
+	if n := prm.N(); n != 1111111 {
+		t.Fatalf("N = %g, want 1111111", n)
+	}
+	if m := prm.Mtuples(); m != 5 {
+		t.Fatalf("m = %g, want 5", m)
+	}
+	if d := prm.D(); d != 4 {
+		t.Fatalf("d = %g, want 4", d)
+	}
+	if p := prm.RelationPages(); p != 222223 {
+		t.Fatalf("pages = %g, want 222223", p)
+	}
+	if c := prm.LevelCount(3); c != 1000 {
+		t.Fatalf("k^3 = %g", c)
+	}
+}
+
+func TestParamsValidateRejectsBadValues(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.Nlevels = 0 },
+		func(p *Params) { p.K = 1 },
+		func(p *Params) { p.V = 0 },
+		func(p *Params) { p.L = 1.5 },
+		func(p *Params) { p.H = 99 },
+		func(p *Params) { p.Z = 1 },
+		func(p *Params) { p.M = 5 },
+		func(p *Params) { p.CIO = -1 },
+		func(p *Params) { p.V = 1e9 }, // m < 1
+	}
+	for i, mut := range mutations {
+		prm := PaperParams()
+		mut(&prm)
+		if err := prm.Validate(); err == nil {
+			t.Errorf("mutation %d must fail validation", i)
+		}
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	prm := PaperParams()
+	if _, err := NewModel(prm, Uniform, -0.1); err == nil {
+		t.Error("negative p must fail")
+	}
+	if _, err := NewModel(prm, Uniform, 1.1); err == nil {
+		t.Error("p > 1 must fail")
+	}
+	if _, err := NewModel(prm, DistKind(9), 0.5); err == nil {
+		t.Error("unknown distribution must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustModel must panic on bad input")
+		}
+	}()
+	MustModel(prm, Uniform, 2)
+}
+
+func TestDistKindString(t *testing.T) {
+	if Uniform.String() != "UNIFORM" || NoLoc.String() != "NO-LOC" || HiLoc.String() != "HI-LOC" {
+		t.Fatal("distribution names wrong")
+	}
+	if DistKind(9).String() != "DistKind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+	if len(Distributions()) != 3 {
+		t.Fatal("Distributions must list all three")
+	}
+}
+
+func TestUniformPi(t *testing.T) {
+	m := MustModel(PaperParams(), Uniform, 0.37)
+	for i := 0; i <= 6; i++ {
+		for j := 0; j <= 6; j++ {
+			if m.Pi(i, j) != 0.37 {
+				t.Fatalf("UNIFORM π_%d%d = %g", i, j, m.Pi(i, j))
+			}
+		}
+		if m.Sigma(i) != 0.37 {
+			t.Fatalf("UNIFORM σ_%d = %g", i, m.Sigma(i))
+		}
+	}
+}
+
+func TestNoLocPi(t *testing.T) {
+	p := 0.5
+	m := MustModel(PaperParams(), NoLoc, p)
+	// π_ij = p^max(min(i,j),1).
+	if got := m.Pi(0, 0); got != p {
+		t.Fatalf("π_00 = %g, want p", got)
+	}
+	if got := m.Pi(0, 6); got != p {
+		t.Fatalf("π_06 = %g, want p", got)
+	}
+	if got := m.Pi(3, 5); got != math.Pow(p, 3) {
+		t.Fatalf("π_35 = %g, want p³", got)
+	}
+	if got := m.Sigma(0); got != p {
+		t.Fatalf("σ_0 = %g", got)
+	}
+	if got := m.Sigma(4); got != math.Pow(p, 4) {
+		t.Fatalf("σ_4 = %g", got)
+	}
+	// Larger objects (lower levels) are more likely to match.
+	if m.Pi(1, 1) < m.Pi(5, 5) {
+		t.Fatal("NO-LOC must favour low levels")
+	}
+}
+
+func TestHiLocSigmaIsP(t *testing.T) {
+	// The paper states σ_i = p for HI-LOC.
+	m := MustModel(PaperParams(), HiLoc, 0.23)
+	for i := 0; i <= 6; i++ {
+		if got := m.Sigma(i); got != 0.23 {
+			t.Fatalf("HI-LOC σ_%d = %g, want p", i, got)
+		}
+	}
+}
+
+func TestHiLocPiAgainstMonteCarlo(t *testing.T) {
+	// Verify the closed-form π_ij against direct simulation of random node
+	// pairs in a k-ary tree.
+	prm := PaperParams()
+	prm.Nlevels = 4
+	prm.K = 3
+	prm.H = 4
+	p := 0.4
+	m := MustModel(prm, HiLoc, p)
+	rng := rand.New(rand.NewSource(42))
+	const samples = 200000
+	for _, lv := range [][2]int{{2, 2}, {1, 3}, {4, 4}, {0, 4}, {3, 2}} {
+		i, j := lv[0], lv[1]
+		sum := 0.0
+		for s := 0; s < samples; s++ {
+			// Random paths of length i and j; LCA level = common prefix.
+			l := 0
+			for l < minInt(i, j) && rng.Intn(prm.K) == 0 {
+				// A shared next step happens with probability 1/k when the
+				// prefix so far is shared.
+				l++
+			}
+			// The loop above models P(extend shared prefix) = 1/k per step.
+			d1, d2 := i-l, j-l
+			sum += math.Pow(p, float64(minInt(d1, d2)))
+		}
+		got := m.Pi(i, j)
+		mc := sum / samples
+		if math.Abs(got-mc) > 0.01 {
+			t.Fatalf("π_%d%d = %g, Monte Carlo %g", i, j, got, mc)
+		}
+	}
+}
+
+func TestHiLocAncestorCertainty(t *testing.T) {
+	// ρ = 1 whenever one node is an ancestor of the other; with j = 0 the
+	// second node is the root, an ancestor of everything: π_i0 = 1.
+	m := MustModel(PaperParams(), HiLoc, 0.1)
+	for i := 0; i <= 6; i++ {
+		if got := m.Pi(i, 0); got != 1 {
+			t.Fatalf("HI-LOC π_%d0 = %g, want 1 (root is everyone's ancestor)", i, got)
+		}
+	}
+}
+
+func TestPiTechnicalConvention(t *testing.T) {
+	// π_{0,-1} = π_{-1,0} = 1 per the paper's footnote.
+	for _, d := range Distributions() {
+		m := MustModel(PaperParams(), d, 0.3)
+		if m.Pi(0, -1) != 1 || m.Pi(-1, 0) != 1 {
+			t.Fatalf("%v: negative-level convention broken", d)
+		}
+	}
+}
+
+func TestPiInUnitInterval(t *testing.T) {
+	for _, d := range Distributions() {
+		for _, p := range []float64{0, 1e-9, 0.01, 0.5, 1} {
+			m := MustModel(PaperParams(), d, p)
+			for i := 0; i <= 6; i++ {
+				for j := 0; j <= 6; j++ {
+					v := m.Pi(i, j)
+					if v < 0 || v > 1 {
+						t.Fatalf("%v p=%g: π_%d%d = %g out of [0,1]", d, p, i, j, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPiMonotoneInP(t *testing.T) {
+	// More selectivity (larger p) can never lower a match probability.
+	for _, d := range Distributions() {
+		lo := MustModel(PaperParams(), d, 0.1)
+		hi := MustModel(PaperParams(), d, 0.5)
+		for i := 0; i <= 6; i++ {
+			for j := 0; j <= 6; j++ {
+				if lo.Pi(i, j) > hi.Pi(i, j)+1e-12 {
+					t.Fatalf("%v: π_%d%d not monotone in p", d, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRhoLeftmostLeafFig7(t *testing.T) {
+	prm := PaperParams()
+	prm.Nlevels = 3
+	prm.K = 2
+	prm.H = 3
+	p := 0.5
+
+	// UNIFORM: flat at p.
+	mu := MustModel(prm, Uniform, p)
+	if mu.RhoLeftmostLeaf(3, 5) != p || mu.RhoLeftmostLeaf(0, 0) != p {
+		t.Fatal("UNIFORM ρ must be flat")
+	}
+	// NO-LOC: depends only on the level.
+	mn := MustModel(prm, NoLoc, p)
+	if mn.RhoLeftmostLeaf(2, 0) != mn.RhoLeftmostLeaf(2, 3) {
+		t.Fatal("NO-LOC ρ must not depend on the index")
+	}
+	if mn.RhoLeftmostLeaf(1, 0) <= mn.RhoLeftmostLeaf(3, 0) {
+		t.Fatal("NO-LOC ρ must shrink with level")
+	}
+	// HI-LOC: the leftmost leaf matches its own ancestors with certainty
+	// and nearby leaves more than distant ones.
+	mh := MustModel(prm, HiLoc, p)
+	for level := 0; level <= 3; level++ {
+		if got := mh.RhoLeftmostLeaf(level, 0); got != 1 {
+			t.Fatalf("HI-LOC ρ(leftmost ancestor at level %d) = %g, want 1", level, got)
+		}
+	}
+	// Leaf 1 shares the level-2 parent: min(d1,d2)=1 → p. Leaf 7 (the
+	// rightmost) only shares the root: min = 3 → p³.
+	if got := mh.RhoLeftmostLeaf(3, 1); got != p {
+		t.Fatalf("HI-LOC ρ(sibling leaf) = %g, want p", got)
+	}
+	if got := mh.RhoLeftmostLeaf(3, 7); got != math.Pow(p, 3) {
+		t.Fatalf("HI-LOC ρ(far leaf) = %g, want p³", got)
+	}
+}

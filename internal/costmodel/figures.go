@@ -1,0 +1,133 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Series is one labelled curve of a figure: Y[i] is the cost at selectivity
+// X[i].
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LogSpace returns n points logarithmically spaced over [lo, hi]; lo and hi
+// must be positive with lo < hi and n ≥ 2.
+func LogSpace(lo, hi float64, n int) ([]float64, error) {
+	if lo <= 0 || hi <= lo || n < 2 {
+		return nil, fmt.Errorf("costmodel: bad log space [%g, %g] x %d", lo, hi, n)
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, llo+(lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out, nil
+}
+
+// SelectFigure computes the curves of Figures 8–10: selection cost against
+// selectivity p for strategies I, IIa, IIb and III under the given
+// distribution, with the selector at level h (the paper uses h = n). The
+// flat update-cost lines U_IIa, U_IIb and U_III discussed alongside the
+// figures are included as additional series.
+func SelectFigure(prm Params, dist DistKind, ps []float64, h int) ([]Series, error) {
+	names := []string{"C_I", "C_IIa", "C_IIb", "C_III", "U_IIa", "U_IIb", "U_III"}
+	out := make([]Series, len(names))
+	for i, name := range names {
+		out[i] = Series{Name: name, X: append([]float64(nil), ps...), Y: make([]float64, len(ps))}
+	}
+	for i, p := range ps {
+		m, err := NewModel(prm, dist, p)
+		if err != nil {
+			return nil, err
+		}
+		sc := m.SelectCosts(h)
+		uc := m.UpdateCosts()
+		out[0].Y[i] = sc.CI
+		out[1].Y[i] = sc.CIIa
+		out[2].Y[i] = sc.CIIb
+		out[3].Y[i] = sc.CIII
+		out[4].Y[i] = uc.UIIa
+		out[5].Y[i] = uc.UIIb
+		out[6].Y[i] = uc.UIII
+	}
+	return out, nil
+}
+
+// JoinFigure computes the curves of Figures 11–13: general-join cost against
+// selectivity p for strategies I, IIa, IIb and III under the given
+// distribution.
+func JoinFigure(prm Params, dist DistKind, ps []float64) ([]Series, error) {
+	names := []string{"D_I", "D_IIa", "D_IIb", "D_III"}
+	out := make([]Series, len(names))
+	for i, name := range names {
+		out[i] = Series{Name: name, X: append([]float64(nil), ps...), Y: make([]float64, len(ps))}
+	}
+	for i, p := range ps {
+		m, err := NewModel(prm, dist, p)
+		if err != nil {
+			return nil, err
+		}
+		jc := m.JoinCosts()
+		out[0].Y[i] = jc.DI
+		out[1].Y[i] = jc.DIIa
+		out[2].Y[i] = jc.DIIb
+		out[3].Y[i] = jc.DIII
+	}
+	return out, nil
+}
+
+// Fig7 computes the ρ(o₁, o₂) profile of Figure 7: o₁ is the leftmost leaf
+// and o₂ sweeps the nodes of each level in left-to-right order. One series
+// per level is returned, X being the node index within the level.
+func Fig7(prm Params, dist DistKind, p float64) ([]Series, error) {
+	m, err := NewModel(prm, dist, p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Series
+	for level := 0; level <= prm.Nlevels; level++ {
+		count := int(prm.LevelCount(level))
+		// Cap the per-level sweep so the full figure stays printable for
+		// the paper's k=10, n=6 tree.
+		if count > 1000 {
+			count = 1000
+		}
+		s := Series{Name: fmt.Sprintf("level_%d", level)}
+		for idx := 0; idx < count; idx++ {
+			s.X = append(s.X, float64(idx))
+			s.Y = append(s.Y, m.RhoLeftmostLeaf(level, idx))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Crossover finds the smallest x at which curve a stops being at least as
+// expensive as curve b (i.e. where b overtakes a, scanning from large to
+// small x). Both series must share X. It returns the X value of the sign
+// change and ok=false when the curves never cross.
+func Crossover(a, b Series) (x float64, ok bool) {
+	if len(a.X) != len(b.X) || len(a.X) == 0 {
+		return 0, false
+	}
+	for i := len(a.X) - 1; i > 0; i-- {
+		hereAWins := a.Y[i] <= b.Y[i]
+		prevAWins := a.Y[i-1] <= b.Y[i-1]
+		if hereAWins != prevAWins {
+			return a.X[i], true
+		}
+	}
+	return 0, false
+}
+
+// SeriesByName returns the series with the given name.
+func SeriesByName(ss []Series, name string) (Series, bool) {
+	for _, s := range ss {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}

@@ -1,0 +1,173 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogSpace(t *testing.T) {
+	ps, err := LogSpace(1e-4, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1e-4, 1e-3, 1e-2, 1e-1, 1}
+	for i := range want {
+		if math.Abs(ps[i]-want[i])/want[i] > 1e-9 {
+			t.Fatalf("LogSpace[%d] = %g, want %g", i, ps[i], want[i])
+		}
+	}
+	if _, err := LogSpace(0, 1, 5); err == nil {
+		t.Error("lo=0 must fail")
+	}
+	if _, err := LogSpace(1, 1, 5); err == nil {
+		t.Error("lo=hi must fail")
+	}
+	if _, err := LogSpace(1, 2, 1); err == nil {
+		t.Error("n=1 must fail")
+	}
+}
+
+func TestSelectFigureSeries(t *testing.T) {
+	ps, _ := LogSpace(1e-4, 1, 9)
+	series, err := SelectFigure(PaperParams(), Uniform, ps, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"C_I", "C_IIa", "C_IIb", "C_III", "U_IIa", "U_IIb", "U_III"}
+	if len(series) != len(wantNames) {
+		t.Fatalf("series count = %d", len(series))
+	}
+	for i, name := range wantNames {
+		if series[i].Name != name {
+			t.Fatalf("series %d = %q, want %q", i, series[i].Name, name)
+		}
+		if len(series[i].X) != 9 || len(series[i].Y) != 9 {
+			t.Fatalf("series %q wrong length", name)
+		}
+		for _, y := range series[i].Y {
+			if y < 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+				t.Fatalf("series %q has bad value %g", name, y)
+			}
+		}
+	}
+	// Update-cost series are flat.
+	for _, name := range []string{"U_IIa", "U_IIb", "U_III"} {
+		s, _ := SeriesByName(series, name)
+		for _, y := range s.Y {
+			if y != s.Y[0] {
+				t.Fatalf("%s must be flat in p", name)
+			}
+		}
+	}
+}
+
+func TestJoinFigureSeries(t *testing.T) {
+	ps, _ := LogSpace(1e-10, 1e-2, 9)
+	for _, d := range Distributions() {
+		series, err := JoinFigure(PaperParams(), d, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != 4 {
+			t.Fatalf("%v: series count = %d", d, len(series))
+		}
+		di, _ := SeriesByName(series, "D_I")
+		for _, y := range di.Y {
+			if y != di.Y[0] {
+				t.Fatalf("%v: D_I must be flat", d)
+			}
+		}
+	}
+}
+
+func TestFig7Profiles(t *testing.T) {
+	prm := PaperParams()
+	prm.Nlevels = 3
+	prm.K = 4
+	prm.H = 3
+	for _, d := range Distributions() {
+		series, err := Fig7(prm, d, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != 4 { // levels 0..3
+			t.Fatalf("%v: %d level series", d, len(series))
+		}
+		// Level 0 has a single node (the root).
+		if len(series[0].X) != 1 {
+			t.Fatalf("%v: root level has %d entries", d, len(series[0].X))
+		}
+		// Leaf level has k^n = 64 nodes.
+		if len(series[3].X) != 64 {
+			t.Fatalf("%v: leaf level has %d entries", d, len(series[3].X))
+		}
+		for _, s := range series {
+			for _, y := range s.Y {
+				if y < 0 || y > 1 {
+					t.Fatalf("%v: ρ = %g out of [0,1]", d, y)
+				}
+			}
+		}
+	}
+	// HI-LOC is the only distribution where ρ varies within a level
+	// (locality): the profile for the leaf level must be non-constant.
+	series, _ := Fig7(prm, HiLoc, 0.5)
+	leaf := series[3]
+	varies := false
+	for _, y := range leaf.Y {
+		if y != leaf.Y[0] {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("HI-LOC leaf profile must vary with distance from the leftmost leaf")
+	}
+	// And it must be non-increasing left to right in blocks: the very first
+	// entry (the leftmost leaf itself) has ρ = 1, the last has the minimum.
+	if leaf.Y[0] != 1 {
+		t.Fatalf("ρ(o1, o1) = %g, want 1", leaf.Y[0])
+	}
+	if leaf.Y[len(leaf.Y)-1] >= leaf.Y[0] {
+		t.Fatal("distant leaf must have lower ρ than the leftmost leaf itself")
+	}
+}
+
+func TestFig7CapsHugeLevels(t *testing.T) {
+	series, err := Fig7(PaperParams(), Uniform, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper tree's leaf level has 10^6 nodes; the sweep must be capped.
+	last := series[len(series)-1]
+	if len(last.X) > 1000 {
+		t.Fatalf("leaf sweep not capped: %d entries", len(last.X))
+	}
+}
+
+func TestCrossoverDetector(t *testing.T) {
+	a := Series{Name: "a", X: []float64{1, 2, 3, 4}, Y: []float64{10, 10, 10, 10}}
+	b := Series{Name: "b", X: []float64{1, 2, 3, 4}, Y: []float64{1, 5, 20, 40}}
+	x, ok := Crossover(a, b)
+	if !ok || x != 3 {
+		t.Fatalf("crossover = %g, %t; want 3", x, ok)
+	}
+	c := Series{Name: "c", X: []float64{1, 2}, Y: []float64{1, 1}}
+	d := Series{Name: "d", X: []float64{1, 2}, Y: []float64{2, 2}}
+	if _, ok := Crossover(c, d); ok {
+		t.Fatal("parallel curves must not cross")
+	}
+	if _, ok := Crossover(a, Series{X: []float64{1}, Y: []float64{1}}); ok {
+		t.Fatal("mismatched series must not cross")
+	}
+}
+
+func TestSeriesByName(t *testing.T) {
+	ss := []Series{{Name: "x"}, {Name: "y"}}
+	if _, ok := SeriesByName(ss, "y"); !ok {
+		t.Fatal("existing series not found")
+	}
+	if _, ok := SeriesByName(ss, "z"); ok {
+		t.Fatal("phantom series found")
+	}
+}

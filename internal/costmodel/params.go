@@ -1,0 +1,122 @@
+// Package costmodel implements the paper's analytical cost model (§4): the
+// Yao function, the UNIFORM / NO-LOC / HI-LOC match-probability
+// distributions, and the cost formulas for updates (U_I, U_IIa, U_IIb,
+// U_III), spatial selections (C_I, C_IIa, C_IIb, C_III) and general spatial
+// joins (D_I, D_IIa, D_IIb, D_III), together with the sweep generators that
+// regenerate Figures 7–13.
+//
+// Notation follows Table 2. Levels count from the root: the root is level 0
+// and leaves are level n (the paper calls this "height"). Costs are unitless
+// time units with C_Θ = 1 per Θ evaluation, C_IO = 1000 per page access and
+// C_U = 1 per update computation in the paper's configuration (Table 3).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the database- and system-dependent model parameters of
+// Table 2.
+type Params struct {
+	// N_ is unused; N is derived. (kept unexported via method N)
+
+	// Nlevels is n: the height of the generalization trees (root at 0).
+	Nlevels int
+	// K is k: the tree fanout.
+	K int
+	// V is v: the tuple size in bytes.
+	V float64
+	// L is l: the average space utilization of disk pages.
+	L float64
+	// H is h: the level of the selector object in its tree (the paper's
+	// evaluation uses h = n, a leaf).
+	H int
+	// T is the total number of tuples with spatial attributes in the
+	// database, used by the all-relations update cost U_III(T).
+	T float64
+	// S is s: the disk page size in bytes.
+	S float64
+	// Z is z: the number of join-index entries per B+-tree page.
+	Z float64
+	// M is the number of main-memory buffer pages.
+	M float64
+	// CTheta is C_Θ: the cost of one Θ evaluation.
+	CTheta float64
+	// CIO is C_IO: the cost of one page access.
+	CIO float64
+	// CU is C_U: the computation cost of one update step.
+	CU float64
+}
+
+// PaperParams returns the exact configuration of Table 3.
+func PaperParams() Params {
+	return Params{
+		Nlevels: 6,
+		K:       10,
+		V:       300,
+		L:       0.75,
+		H:       6,
+		T:       1111111,
+		S:       2000,
+		Z:       100,
+		M:       4000,
+		CTheta:  1,
+		CIO:     1000,
+		CU:      1,
+	}
+}
+
+// Validate checks that the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Nlevels < 1:
+		return fmt.Errorf("costmodel: n = %d < 1", p.Nlevels)
+	case p.K < 2:
+		return fmt.Errorf("costmodel: k = %d < 2", p.K)
+	case p.V <= 0 || p.S <= 0:
+		return fmt.Errorf("costmodel: tuple size %g / page size %g must be positive", p.V, p.S)
+	case p.L <= 0 || p.L > 1:
+		return fmt.Errorf("costmodel: utilization l = %g out of (0,1]", p.L)
+	case p.H < 0 || p.H > p.Nlevels:
+		return fmt.Errorf("costmodel: selector level h = %d out of [0,%d]", p.H, p.Nlevels)
+	case p.Z < 2:
+		return fmt.Errorf("costmodel: z = %g < 2", p.Z)
+	case p.M <= 11:
+		return fmt.Errorf("costmodel: M = %g too small for the M-10 blocking technique", p.M)
+	case p.CTheta < 0 || p.CIO < 0 || p.CU < 0:
+		return fmt.Errorf("costmodel: negative cost weights")
+	case p.Mtuples() < 1:
+		return fmt.Errorf("costmodel: fewer than one tuple per page (m = %g)", p.Mtuples())
+	}
+	return nil
+}
+
+// N returns the derived relation cardinality: a full k-ary tree with levels
+// 0..n has N = (k^{n+1} − 1)/(k − 1) nodes, each a tuple (assumption S2).
+// Table 3: 1,111,111.
+func (p Params) N() float64 {
+	k := float64(p.K)
+	return (math.Pow(k, float64(p.Nlevels+1)) - 1) / (k - 1)
+}
+
+// Mtuples returns the derived m: tuples per disk page, s·l/v (Table 3: 5).
+func (p Params) Mtuples() float64 {
+	return p.S * p.L / p.V
+}
+
+// D returns the derived d: the number of pages on a root-to-leaf path of the
+// join index's B+-tree, ⌈log_z N⌉ (Table 3: 4).
+func (p Params) D() float64 {
+	return math.Ceil(math.Log(p.N()) / math.Log(p.Z))
+}
+
+// LevelCount returns k^i, the number of nodes at level i.
+func (p Params) LevelCount(i int) float64 {
+	return math.Pow(float64(p.K), float64(i))
+}
+
+// RelationPages returns ⌈N/m⌉, the pages the relation occupies.
+func (p Params) RelationPages() float64 {
+	return math.Ceil(p.N() / p.Mtuples())
+}

@@ -1,0 +1,45 @@
+package costmodel
+
+import "math"
+
+// Yao returns Yao's estimate [Yao77] of the expected number of disk pages
+// touched when accessing x records chosen at random from z records stored on
+// y pages:
+//
+//	Y(x, y, z) = y · [1 − Π_{i=1..x} (z − z/y − i + 1)/(z − i + 1)]
+//
+// The product is evaluated in closed form with log-gamma functions so large
+// arguments (the paper's N ≈ 10⁶) stay cheap and stable. Arguments are
+// clamped to their meaningful ranges: x ≤ z, y ≥ 1, and x ≥ z − z/y makes
+// every page qualify.
+func Yao(x, y, z float64) float64 {
+	if x <= 0 || y <= 0 || z <= 0 {
+		return 0
+	}
+	if y == 1 {
+		return 1
+	}
+	if x >= z {
+		return y
+	}
+	// w = z − z/y: records not on one particular page.
+	w := z - z/y
+	if x > w {
+		// More records requested than can avoid any page: all pages hit.
+		return y
+	}
+	// Π_{i=1..x} (w − i + 1)/(z − i + 1) = B(w+1, w−x+1) / B(z+1, z−x+1)
+	// in falling-factorial form, computed via lgamma.
+	lw1, _ := math.Lgamma(w + 1)
+	lwx, _ := math.Lgamma(w - x + 1)
+	lz1, _ := math.Lgamma(z + 1)
+	lzx, _ := math.Lgamma(z - x + 1)
+	prod := math.Exp((lw1 - lwx) - (lz1 - lzx))
+	if prod < 0 {
+		prod = 0
+	}
+	if prod > 1 {
+		prod = 1
+	}
+	return y * (1 - prod)
+}

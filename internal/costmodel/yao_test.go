@@ -1,0 +1,122 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// yaoExact evaluates the Yao product literally, for cross-checking the
+// log-gamma implementation at small arguments.
+func yaoExact(x, y, z float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	prod := 1.0
+	for i := 1.0; i <= x; i++ {
+		prod *= (z - z/y - i + 1) / (z - i + 1)
+	}
+	if prod < 0 {
+		prod = 0
+	}
+	return y * (1 - prod)
+}
+
+func TestYaoMatchesLiteralProduct(t *testing.T) {
+	cases := []struct{ x, y, z float64 }{
+		{1, 10, 100}, {5, 10, 100}, {50, 10, 100}, {99, 10, 100},
+		{3, 7, 21}, {10, 2, 20}, {1, 1000, 5000}, {500, 1000, 5000},
+	}
+	for _, c := range cases {
+		got := Yao(c.x, c.y, c.z)
+		want := yaoExact(c.x, c.y, c.z)
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("Yao(%g,%g,%g) = %g, literal product %g", c.x, c.y, c.z, got, want)
+		}
+	}
+}
+
+func TestYaoBoundaries(t *testing.T) {
+	if Yao(0, 10, 100) != 0 {
+		t.Error("x=0 must cost nothing")
+	}
+	if Yao(5, 0, 100) != 0 || Yao(5, 10, 0) != 0 {
+		t.Error("degenerate y/z must be 0")
+	}
+	if Yao(100, 10, 100) != 10 {
+		t.Error("x=z must touch every page")
+	}
+	if Yao(200, 10, 100) != 10 {
+		t.Error("x>z must clamp to every page")
+	}
+	if Yao(3, 1, 100) != 1 {
+		t.Error("a single page costs exactly 1")
+	}
+}
+
+func TestYaoBounds(t *testing.T) {
+	// 0 ≤ Y ≤ min(x, y): you cannot touch more pages than records accessed
+	// or than exist.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		z := float64(1 + rng.Intn(100000))
+		y := float64(1 + rng.Intn(int(z)))
+		x := float64(rng.Intn(int(z) + 1))
+		got := Yao(x, y, z)
+		if got < -1e-9 {
+			t.Fatalf("Yao(%g,%g,%g) = %g < 0", x, y, z, got)
+		}
+		if got > y+1e-9 {
+			t.Fatalf("Yao(%g,%g,%g) = %g > y", x, y, z, got)
+		}
+		if got > x+1e-9 && x >= 1 {
+			t.Fatalf("Yao(%g,%g,%g) = %g > x", x, y, z, got)
+		}
+	}
+}
+
+func TestYaoMonotoneInX(t *testing.T) {
+	f := func(a, b uint16, zz uint16) bool {
+		z := float64(zz%5000) + 100
+		y := math.Ceil(z / 5)
+		x1 := float64(a) * z / 65536
+		x2 := float64(b) * z / 65536
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return Yao(x1, y, z) <= Yao(x2, y, z)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYaoApproachesAllPages(t *testing.T) {
+	// Drawing nearly all records touches nearly all pages.
+	y := Yao(1e6, 222223, 1111111)
+	if y < 0.9999*222223 {
+		t.Fatalf("Yao(1e6 of 1.1e6) = %g, want ≈ all 222223 pages", y)
+	}
+}
+
+func TestYaoLargeArgumentsFastAndFinite(t *testing.T) {
+	// The paper-scale arguments must be finite (and fast, via lgamma).
+	for _, x := range []float64{1, 10, 1e3, 1e5, 1e6} {
+		v := Yao(x, 222223, 1111111)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Yao(%g, ...) = %g", x, v)
+		}
+	}
+}
+
+func TestYaoFractionalXInterpolates(t *testing.T) {
+	// Fractional x (expected values) must land between the integer
+	// neighbours.
+	lo := Yao(3, 100, 1000)
+	mid := Yao(3.5, 100, 1000)
+	hi := Yao(4, 100, 1000)
+	if !(lo <= mid && mid <= hi) {
+		t.Fatalf("no interpolation: %g, %g, %g", lo, mid, hi)
+	}
+}

@@ -1,0 +1,282 @@
+// Package datagen generates deterministic synthetic spatial workloads: the
+// data side of every measured experiment in this repository. The paper
+// evaluates its model analytically; these generators provide the concrete
+// relations, trees and maps the simulator runs the same strategies on.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatialjoin/internal/carto"
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+)
+
+// UniformRects returns n rectangles with corners uniform in world and edge
+// lengths uniform in [minSide, maxSide] (clamped to the world).
+func UniformRects(rng *rand.Rand, n int, world geom.Rect, minSide, maxSide float64) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		w := minSide + rng.Float64()*(maxSide-minSide)
+		h := minSide + rng.Float64()*(maxSide-minSide)
+		x := world.MinX + rng.Float64()*(world.Width()-w)
+		y := world.MinY + rng.Float64()*(world.Height()-h)
+		out[i] = geom.NewRect(x, y, x+w, y+h)
+	}
+	return out
+}
+
+// ClusteredRects returns n rectangles grouped around `clusters` random
+// centers with Gaussian spread, modelling the skewed object distributions
+// of real maps.
+func ClusteredRects(rng *rand.Rand, n, clusters int, world geom.Rect, spread, side float64) []geom.Rect {
+	if clusters < 1 {
+		clusters = 1
+	}
+	centers := make([]geom.Point, clusters)
+	for i := range centers {
+		centers[i] = geom.Pt(
+			world.MinX+rng.Float64()*world.Width(),
+			world.MinY+rng.Float64()*world.Height(),
+		)
+	}
+	out := make([]geom.Rect, n)
+	for i := range out {
+		c := centers[rng.Intn(clusters)]
+		x := clamp(c.X+rng.NormFloat64()*spread, world.MinX, world.MaxX-side)
+		y := clamp(c.Y+rng.NormFloat64()*spread, world.MinY, world.MaxY-side)
+		out[i] = geom.NewRect(x, y, x+side, y+side)
+	}
+	return out
+}
+
+// UniformPoints returns n points uniform in world.
+func UniformPoints(rng *rand.Rand, n int, world geom.Rect) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(
+			world.MinX+rng.Float64()*world.Width(),
+			world.MinY+rng.Float64()*world.Height(),
+		)
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lake is a polygonal water body for the paper's motivating query.
+type Lake struct {
+	Name  string
+	Shape geom.Polygon
+}
+
+// House is a point-located building for the paper's motivating query.
+type House struct {
+	Price    float64
+	Location geom.Point
+}
+
+// LakesAndHouses generates the workload behind the paper's example (2):
+// "Find all houses within 10 kilometers from a lake". Lakes are irregular
+// polygons clustered in part of the world; houses are points, denser near
+// lakes (as in reality) but present everywhere.
+func LakesAndHouses(rng *rand.Rand, nLakes, nHouses int, world geom.Rect) ([]Lake, []House) {
+	lakes := make([]Lake, nLakes)
+	for i := range lakes {
+		r := 1 + rng.Float64()*(world.Width()/40)
+		cx := world.MinX + r + rng.Float64()*(world.Width()-2*r)
+		cy := world.MinY + r + rng.Float64()*(world.Height()-2*r)
+		// Irregular lake: a regular polygon with jittered radii.
+		v := 6 + rng.Intn(7)
+		base := geom.RegularPolygon(geom.Pt(cx, cy), r, v)
+		for j := range base {
+			d := base[j].Sub(geom.Pt(cx, cy)).Scale(0.7 + 0.3*rng.Float64())
+			base[j] = geom.Pt(cx, cy).Add(d)
+		}
+		lakes[i] = Lake{Name: fmt.Sprintf("lake-%03d", i), Shape: base}
+	}
+	houses := make([]House, nHouses)
+	for i := range houses {
+		var loc geom.Point
+		if len(lakes) > 0 && rng.Float64() < 0.5 {
+			// Lakeside settlement.
+			l := lakes[rng.Intn(len(lakes))]
+			c := l.Shape.Centroid()
+			loc = geom.Pt(
+				clamp(c.X+rng.NormFloat64()*world.Width()/20, world.MinX, world.MaxX),
+				clamp(c.Y+rng.NormFloat64()*world.Height()/20, world.MinY, world.MaxY),
+			)
+		} else {
+			loc = geom.Pt(
+				world.MinX+rng.Float64()*world.Width(),
+				world.MinY+rng.Float64()*world.Height(),
+			)
+		}
+		houses[i] = House{Price: 50000 + rng.Float64()*950000, Location: loc}
+	}
+	return lakes, houses
+}
+
+// ModelTree builds a balanced k-ary generalization tree of the given height
+// whose node rectangles nest properly (each child a random subrectangle of
+// its parent), with tuple IDs assigned in breadth-first order starting at 0
+// — the synthetic counterpart of the cost model's idealized tree
+// (assumptions S1 and S2). It returns the tree and the number of tuples.
+func ModelTree(rng *rand.Rand, world geom.Rect, k, height int) (*core.BasicTree, int) {
+	if k < 1 || height < 0 {
+		panic(fmt.Sprintf("datagen: bad tree shape k=%d height=%d", k, height))
+	}
+	nextID := 0
+	root := core.NewBasicNode(world, -1)
+	level := []*core.BasicNode{root}
+	for depth := 0; depth <= height; depth++ {
+		var next []*core.BasicNode
+		for _, n := range level {
+			n.TupleID = nextID
+			nextID++
+			if depth == height {
+				continue
+			}
+			for c := 0; c < k; c++ {
+				n.AddChild(core.NewBasicNode(subRect(rng, n.Bounds()), -1))
+			}
+			next = append(next, n.Kids...)
+		}
+		level = next
+	}
+	return core.NewBasicTree(root), nextID
+}
+
+// subRect returns a random rectangle inside parent.
+func subRect(rng *rand.Rand, parent geom.Rect) geom.Rect {
+	w, h := parent.Width(), parent.Height()
+	x1 := parent.MinX + rng.Float64()*w
+	x2 := parent.MinX + rng.Float64()*w
+	y1 := parent.MinY + rng.Float64()*h
+	y2 := parent.MinY + rng.Float64()*h
+	return geom.NewRect(x1, y1, x2, y2)
+}
+
+// MapSpec configures GenerateMap.
+type MapSpec struct {
+	// World is the map extent.
+	World geom.Rect
+	// Countries, StatesPerCountry and CitiesPerState set the fanout of the
+	// three levels of Figure 3.
+	Countries, StatesPerCountry, CitiesPerState int
+	// FirstTupleID numbers the generated features' tuples consecutively in
+	// BFS order starting here.
+	FirstTupleID int
+}
+
+// GenerateMap builds a Figure 3-style cartographic hierarchy: the world is
+// split into disjoint country boxes, each split into state boxes, each
+// containing small city polygons. It returns the hierarchy and the features
+// in BFS (tuple-ID) order.
+func GenerateMap(rng *rand.Rand, spec MapSpec) (*carto.Hierarchy, []carto.Feature, error) {
+	if spec.Countries < 1 || spec.StatesPerCountry < 1 || spec.CitiesPerState < 1 {
+		return nil, nil, fmt.Errorf("datagen: map spec needs at least one feature per level")
+	}
+	id := spec.FirstTupleID
+	world := carto.Feature{Name: "world", Kind: carto.KindWorld, Shape: spec.World, TupleID: id}
+	id++
+	h, err := carto.NewHierarchy(world)
+	if err != nil {
+		return nil, nil, err
+	}
+	feats := []carto.Feature{world}
+
+	countries := splitRect(rng, spec.World, spec.Countries)
+	type pending struct {
+		name string
+		rect geom.Rect
+	}
+	var states []pending
+	for ci, cr := range countries {
+		f := carto.Feature{
+			Name:    fmt.Sprintf("country-%02d", ci),
+			Kind:    carto.KindCountry,
+			Shape:   cr,
+			TupleID: id,
+		}
+		id++
+		if err := h.Add("world", f); err != nil {
+			return nil, nil, err
+		}
+		feats = append(feats, f)
+		for si, sr := range splitRect(rng, cr, spec.StatesPerCountry) {
+			states = append(states, pending{
+				name: fmt.Sprintf("state-%02d-%02d", ci, si),
+				rect: sr,
+			})
+			_ = si
+		}
+	}
+	// Add states level (BFS order), then cities.
+	for _, st := range states {
+		f := carto.Feature{Name: st.name, Kind: carto.KindState, Shape: st.rect, TupleID: id}
+		id++
+		country := "country-" + st.name[6:8]
+		if err := h.Add(country, f); err != nil {
+			return nil, nil, err
+		}
+		feats = append(feats, f)
+	}
+	for _, st := range states {
+		for ci := 0; ci < spec.CitiesPerState; ci++ {
+			r := 0.05 * minf(st.rect.Width(), st.rect.Height())
+			cx := st.rect.MinX + r + rng.Float64()*(st.rect.Width()-2*r)
+			cy := st.rect.MinY + r + rng.Float64()*(st.rect.Height()-2*r)
+			f := carto.Feature{
+				Name:    fmt.Sprintf("city-%s-%02d", st.name[6:], ci),
+				Kind:    carto.KindCity,
+				Shape:   geom.RegularPolygon(geom.Pt(cx, cy), r, 5+rng.Intn(4)),
+				TupleID: id,
+			}
+			id++
+			if err := h.Add(st.name, f); err != nil {
+				return nil, nil, err
+			}
+			feats = append(feats, f)
+		}
+	}
+	return h, feats, nil
+}
+
+// splitRect partitions r into n disjoint boxes by recursive halving with a
+// randomized split coordinate.
+func splitRect(rng *rand.Rand, r geom.Rect, n int) []geom.Rect {
+	if n <= 1 {
+		return []geom.Rect{r}
+	}
+	nl := n / 2
+	frac := 0.35 + 0.3*rng.Float64()
+	var a, b geom.Rect
+	if r.Width() >= r.Height() {
+		mid := r.MinX + frac*r.Width()
+		a = geom.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: mid, MaxY: r.MaxY}
+		b = geom.Rect{MinX: mid, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+	} else {
+		mid := r.MinY + frac*r.Height()
+		a = geom.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: mid}
+		b = geom.Rect{MinX: r.MinX, MinY: mid, MaxX: r.MaxX, MaxY: r.MaxY}
+	}
+	out := splitRect(rng, a, nl)
+	return append(out, splitRect(rng, b, n-nl)...)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/carto"
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+)
+
+var world = geom.NewRect(0, 0, 1000, 1000)
+
+func TestUniformRectsInWorld(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rects := UniformRects(rng, 500, world, 1, 20)
+	if len(rects) != 500 {
+		t.Fatalf("count = %d", len(rects))
+	}
+	for i, r := range rects {
+		if !world.ContainsRect(r) {
+			t.Fatalf("rect %d escapes world: %v", i, r)
+		}
+		if r.Width() < 1 || r.Width() > 20 || r.Height() < 1 || r.Height() > 20 {
+			t.Fatalf("rect %d side out of range: %v", i, r)
+		}
+	}
+}
+
+func TestUniformRectsDeterministic(t *testing.T) {
+	a := UniformRects(rand.New(rand.NewSource(7)), 50, world, 1, 5)
+	b := UniformRects(rand.New(rand.NewSource(7)), 50, world, 1, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same data")
+		}
+	}
+}
+
+func TestClusteredRectsClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rects := ClusteredRects(rng, 1000, 3, world, 15, 4)
+	if len(rects) != 1000 {
+		t.Fatalf("count = %d", len(rects))
+	}
+	for i, r := range rects {
+		if !world.Intersects(r) {
+			t.Fatalf("rect %d outside world", i)
+		}
+	}
+	// Clustered data occupies far less of the world than uniform data: the
+	// average pairwise center distance must be well below the uniform
+	// expectation (~521 for a 1000² world).
+	sum, cnt := 0.0, 0
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			sum += rects[i].Center().DistanceTo(rects[j].Center())
+			cnt++
+		}
+	}
+	if avg := sum / float64(cnt); avg > 450 {
+		t.Fatalf("avg pairwise distance %g — no clustering visible", avg)
+	}
+	// clusters < 1 is clamped, not fatal.
+	_ = ClusteredRects(rng, 10, 0, world, 5, 2)
+}
+
+func TestUniformPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := UniformPoints(rng, 300, world)
+	for i, p := range pts {
+		if !world.Contains(p) {
+			t.Fatalf("point %d outside world", i)
+		}
+	}
+}
+
+func TestLakesAndHouses(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lakes, houses := LakesAndHouses(rng, 20, 500, world)
+	if len(lakes) != 20 || len(houses) != 500 {
+		t.Fatalf("counts = %d, %d", len(lakes), len(houses))
+	}
+	names := map[string]bool{}
+	for _, l := range lakes {
+		if names[l.Name] {
+			t.Fatalf("duplicate lake name %s", l.Name)
+		}
+		names[l.Name] = true
+		if err := l.Shape.Validate(); err != nil {
+			t.Fatalf("lake %s invalid: %v", l.Name, err)
+		}
+		if !world.Intersects(l.Shape.Bounds()) {
+			t.Fatalf("lake %s outside world", l.Name)
+		}
+	}
+	for i, h := range houses {
+		if !world.Contains(h.Location) {
+			t.Fatalf("house %d outside world", i)
+		}
+		if h.Price <= 0 {
+			t.Fatalf("house %d has price %g", i, h.Price)
+		}
+	}
+}
+
+func TestLakesAndHousesNoLakes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lakes, houses := LakesAndHouses(rng, 0, 100, world)
+	if len(lakes) != 0 || len(houses) != 100 {
+		t.Fatal("zero-lake workload must still produce houses")
+	}
+}
+
+func TestModelTreeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tree, n := ModelTree(rng, world, 3, 4)
+	// (3^5 - 1) / 2 = 121 nodes.
+	if n != 121 {
+		t.Fatalf("tuples = %d, want 121", n)
+	}
+	if got := core.CountNodes(tree); got != 121 {
+		t.Fatalf("nodes = %d", got)
+	}
+	if tree.Height() != 4 {
+		t.Fatalf("height = %d", tree.Height())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tuple IDs are dense, in BFS order.
+	order := core.BFSOrder(tree)
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("BFS order broken at %d: %d", i, id)
+		}
+	}
+}
+
+func TestModelTreePanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ModelTree(rand.New(rand.NewSource(1)), world, 0, 3)
+}
+
+func TestGenerateMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, feats, err := GenerateMap(rng, MapSpec{
+		World:            world,
+		Countries:        4,
+		StatesPerCountry: 3,
+		CitiesPerState:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 world + 4 countries + 12 states + 60 cities.
+	if h.Len() != 77 || len(feats) != 77 {
+		t.Fatalf("feature count = %d / %d, want 77", h.Len(), len(feats))
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tuple IDs are consecutive in BFS order.
+	for i, f := range feats {
+		if f.TupleID != i {
+			t.Fatalf("feature %d has tuple %d", i, f.TupleID)
+		}
+	}
+	// Kind histogram.
+	kinds := map[carto.Kind]int{}
+	h.Walk(func(f carto.Feature, _ int) bool {
+		kinds[f.Kind]++
+		return true
+	})
+	if kinds[carto.KindCountry] != 4 || kinds[carto.KindState] != 12 || kinds[carto.KindCity] != 60 {
+		t.Fatalf("kind histogram = %v", kinds)
+	}
+	// Countries partition the world disjointly.
+	var countries []geom.Rect
+	h.Walk(func(f carto.Feature, _ int) bool {
+		if f.Kind == carto.KindCountry {
+			countries = append(countries, f.Shape.Bounds())
+		}
+		return true
+	})
+	var area float64
+	for i, a := range countries {
+		area += a.Area()
+		for j := i + 1; j < len(countries); j++ {
+			if inter, ok := a.Intersection(countries[j]); ok && inter.Area() > 1e-6 {
+				t.Fatalf("countries %d and %d overlap", i, j)
+			}
+		}
+	}
+	if diff := area - world.Area(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("countries cover %g of %g", area, world.Area())
+	}
+}
+
+func TestGenerateMapValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, _, err := GenerateMap(rng, MapSpec{World: world}); err == nil {
+		t.Fatal("zero-feature spec must fail")
+	}
+}
+
+func TestGenerateMapFirstTupleID(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	_, feats, err := GenerateMap(rng, MapSpec{
+		World: world, Countries: 2, StatesPerCountry: 2, CitiesPerState: 2,
+		FirstTupleID: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feats[0].TupleID != 100 || feats[len(feats)-1].TupleID != 100+len(feats)-1 {
+		t.Fatalf("tuple range = %d..%d", feats[0].TupleID, feats[len(feats)-1].TupleID)
+	}
+}
+
+func TestSplitRectPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		parts := splitRect(rng, world, n)
+		if len(parts) != n {
+			t.Fatalf("splitRect(%d) gave %d parts", n, len(parts))
+		}
+		var area float64
+		for _, p := range parts {
+			if !world.ContainsRect(p) {
+				t.Fatalf("part escapes world")
+			}
+			area += p.Area()
+		}
+		if d := area - world.Area(); d > 1e-6 || d < -1e-6 {
+			t.Fatalf("split of %d loses area: %g vs %g", n, area, world.Area())
+		}
+	}
+}

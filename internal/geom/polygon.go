@@ -1,0 +1,323 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Segment is a directed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the Euclidean length of s.
+func (s Segment) Length() float64 { return s.A.DistanceTo(s.B) }
+
+// Bounds implements Spatial.
+func (s Segment) Bounds() Rect { return RectFromPoints(s.A, s.B) }
+
+// orientation classifies the turn a→b→c: +1 counterclockwise, -1 clockwise,
+// 0 collinear (within a small epsilon scaled to the magnitudes involved).
+func orientation(a, b, c Point) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	eps := 1e-12 * (math.Abs(b.X-a.X) + math.Abs(b.Y-a.Y) + math.Abs(c.X-a.X) + math.Abs(c.Y-a.Y))
+	switch {
+	case v > eps:
+		return 1
+	case v < -eps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// onSegment reports whether collinear point p lies on segment s.
+func onSegment(s Segment, p Point) bool {
+	return p.X >= math.Min(s.A.X, s.B.X)-1e-12 && p.X <= math.Max(s.A.X, s.B.X)+1e-12 &&
+		p.Y >= math.Min(s.A.Y, s.B.Y)-1e-12 && p.Y <= math.Max(s.A.Y, s.B.Y)+1e-12
+}
+
+// Intersects reports whether segments s and t share at least one point,
+// including endpoint touching and collinear overlap.
+func (s Segment) Intersects(t Segment) bool {
+	o1 := orientation(s.A, s.B, t.A)
+	o2 := orientation(s.A, s.B, t.B)
+	o3 := orientation(t.A, t.B, s.A)
+	o4 := orientation(t.A, t.B, s.B)
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	// Collinear special cases.
+	if o1 == 0 && onSegment(s, t.A) {
+		return true
+	}
+	if o2 == 0 && onSegment(s, t.B) {
+		return true
+	}
+	if o3 == 0 && onSegment(t, s.A) {
+		return true
+	}
+	if o4 == 0 && onSegment(t, s.B) {
+		return true
+	}
+	return false
+}
+
+// DistanceToPoint returns the smallest distance from p to any point of s.
+func (s Segment) DistanceToPoint(p Point) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return p.DistanceTo(s.A)
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	proj := s.A.Add(d.Scale(t))
+	return p.DistanceTo(proj)
+}
+
+// Distance returns the smallest distance between any point of s and any
+// point of t; zero if they intersect.
+func (s Segment) Distance(t Segment) float64 {
+	if s.Intersects(t) {
+		return 0
+	}
+	return math.Min(
+		math.Min(s.DistanceToPoint(t.A), s.DistanceToPoint(t.B)),
+		math.Min(t.DistanceToPoint(s.A), t.DistanceToPoint(s.B)),
+	)
+}
+
+// Polygon is a simple polygon given as a ring of vertices; the closing edge
+// from the last vertex back to the first is implicit. Vertex order may be
+// clockwise or counterclockwise. A Polygon with fewer than 3 vertices is
+// degenerate; predicates treat it as empty.
+type Polygon []Point
+
+// Validate returns an error when pg is not a usable simple polygon: fewer
+// than three vertices, repeated consecutive vertices, or self-intersecting
+// edges. Validation is O(v²) and intended for ingest paths, not inner loops.
+func (pg Polygon) Validate() error {
+	if len(pg) < 3 {
+		return fmt.Errorf("geom: polygon needs at least 3 vertices, got %d", len(pg))
+	}
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		if pg[i] == pg[(i+1)%n] {
+			return fmt.Errorf("geom: polygon has repeated consecutive vertex at index %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ei := Segment{pg[i], pg[(i+1)%n]}
+		for j := i + 1; j < n; j++ {
+			// Skip adjacent edges, which legitimately share a vertex.
+			if j == i || (j+1)%n == i || (i+1)%n == j {
+				continue
+			}
+			ej := Segment{pg[j], pg[(j+1)%n]}
+			if ei.Intersects(ej) {
+				return fmt.Errorf("geom: polygon edges %d and %d intersect", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// edges calls f for every edge of pg, stopping early when f returns false.
+func (pg Polygon) edges(f func(Segment) bool) {
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		if !f(Segment{pg[i], pg[(i+1)%n]}) {
+			return
+		}
+	}
+}
+
+// Bounds implements Spatial, returning the MBR of the polygon. Degenerate
+// polygons yield a zero rectangle.
+func (pg Polygon) Bounds() Rect {
+	if len(pg) == 0 {
+		return Rect{}
+	}
+	return RectFromPoints(pg...)
+}
+
+// SignedArea returns the signed area of pg: positive for counterclockwise
+// vertex order, negative for clockwise.
+func (pg Polygon) SignedArea() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	var a float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += pg[i].Cross(pg[j])
+	}
+	return a / 2
+}
+
+// Area returns the (unsigned) area of pg.
+func (pg Polygon) Area() float64 { return math.Abs(pg.SignedArea()) }
+
+// Centroid returns the center of gravity of pg. For degenerate polygons it
+// falls back to the mean of the vertices.
+func (pg Polygon) Centroid() Point {
+	a := pg.SignedArea()
+	if a == 0 {
+		var c Point
+		if len(pg) == 0 {
+			return c
+		}
+		for _, p := range pg {
+			c = c.Add(p)
+		}
+		return c.Scale(1 / float64(len(pg)))
+	}
+	var cx, cy float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		f := pg[i].Cross(pg[j])
+		cx += (pg[i].X + pg[j].X) * f
+		cy += (pg[i].Y + pg[j].Y) * f
+	}
+	return Point{cx / (6 * a), cy / (6 * a)}
+}
+
+// ContainsPoint reports whether p lies inside pg (boundary inclusive), using
+// the even-odd ray-casting rule.
+func (pg Polygon) ContainsPoint(p Point) bool {
+	if len(pg) < 3 {
+		return false
+	}
+	// Boundary check first so edge points are deterministically inside.
+	onBoundary := false
+	pg.edges(func(e Segment) bool {
+		if e.DistanceToPoint(p) < 1e-12 {
+			onBoundary = true
+			return false
+		}
+		return true
+	})
+	if onBoundary {
+		return true
+	}
+	inside := false
+	n := len(pg)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := pg[i], pg[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := (vj.X-vi.X)*(p.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Intersects reports whether pg and other share at least one point: an edge
+// crossing, or full containment of one polygon in the other.
+func (pg Polygon) Intersects(other Polygon) bool {
+	if len(pg) < 3 || len(other) < 3 {
+		return false
+	}
+	if !pg.Bounds().Intersects(other.Bounds()) {
+		return false
+	}
+	cross := false
+	pg.edges(func(e Segment) bool {
+		other.edges(func(f Segment) bool {
+			if e.Intersects(f) {
+				cross = true
+				return false
+			}
+			return true
+		})
+		return !cross
+	})
+	if cross {
+		return true
+	}
+	return pg.ContainsPoint(other[0]) || other.ContainsPoint(pg[0])
+}
+
+// Contains reports whether other lies entirely inside pg.
+func (pg Polygon) Contains(other Polygon) bool {
+	if len(pg) < 3 || len(other) < 3 {
+		return false
+	}
+	if !pg.Bounds().ContainsRect(other.Bounds()) {
+		return false
+	}
+	for _, p := range other {
+		if !pg.ContainsPoint(p) {
+			return false
+		}
+	}
+	// No edge of other may cross an edge of pg; vertex containment alone is
+	// not sufficient for non-convex pg.
+	crossing := false
+	pg.edges(func(e Segment) bool {
+		other.edges(func(f Segment) bool {
+			if e.Intersects(f) && orientation(e.A, e.B, f.A) != 0 && orientation(e.A, e.B, f.B) != 0 {
+				crossing = true
+				return false
+			}
+			return true
+		})
+		return !crossing
+	})
+	return !crossing
+}
+
+// DistanceToPoint returns the smallest distance from p to pg: zero when p is
+// inside, the distance to the nearest edge otherwise.
+func (pg Polygon) DistanceToPoint(p Point) float64 {
+	if pg.ContainsPoint(p) {
+		return 0
+	}
+	best := math.Inf(1)
+	pg.edges(func(e Segment) bool {
+		if d := e.DistanceToPoint(p); d < best {
+			best = d
+		}
+		return true
+	})
+	return best
+}
+
+// Distance returns the smallest distance between any point of pg and any
+// point of other; zero when they intersect.
+func (pg Polygon) Distance(other Polygon) float64 {
+	if pg.Intersects(other) {
+		return 0
+	}
+	best := math.Inf(1)
+	pg.edges(func(e Segment) bool {
+		other.edges(func(f Segment) bool {
+			if d := e.Distance(f); d < best {
+				best = d
+			}
+			return true
+		})
+		return true
+	})
+	return best
+}
+
+// RegularPolygon returns a v-vertex regular polygon centered at c with
+// circumradius r, counterclockwise. It is a convenient generator for tests
+// and synthetic workloads. It panics if v < 3.
+func RegularPolygon(c Point, r float64, v int) Polygon {
+	if v < 3 {
+		panic("geom: RegularPolygon requires at least 3 vertices")
+	}
+	pg := make(Polygon, v)
+	for i := 0; i < v; i++ {
+		a := 2 * math.Pi * float64(i) / float64(v)
+		pg[i] = Point{c.X + r*math.Cos(a), c.Y + r*math.Sin(a)}
+	}
+	return pg
+}

@@ -1,0 +1,246 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// unitSquare is the counterclockwise unit square.
+var unitSquare = Polygon{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}
+
+func TestSegmentLength(t *testing.T) {
+	if l := (Segment{Pt(0, 0), Pt(3, 4)}).Length(); !almostEq(l, 5) {
+		t.Fatalf("length = %g", l)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		s, u Segment
+		want bool
+	}{
+		{Segment{Pt(0, 0), Pt(2, 2)}, Segment{Pt(0, 2), Pt(2, 0)}, true},      // X crossing
+		{Segment{Pt(0, 0), Pt(1, 0)}, Segment{Pt(2, 0), Pt(3, 0)}, false},     // collinear, disjoint
+		{Segment{Pt(0, 0), Pt(2, 0)}, Segment{Pt(1, 0), Pt(3, 0)}, true},      // collinear, overlap
+		{Segment{Pt(0, 0), Pt(1, 1)}, Segment{Pt(1, 1), Pt(2, 0)}, true},      // shared endpoint
+		{Segment{Pt(0, 0), Pt(1, 1)}, Segment{Pt(0, 1), Pt(0.4, 0.6)}, false}, // near miss
+		{Segment{Pt(0, 0), Pt(4, 0)}, Segment{Pt(2, -1), Pt(2, 1)}, true},     // T crossing
+		{Segment{Pt(0, 0), Pt(4, 0)}, Segment{Pt(2, 0), Pt(2, 1)}, true},      // touch mid-edge
+	}
+	for i, c := range cases {
+		if got := c.s.Intersects(c.u); got != c.want {
+			t.Errorf("case %d: got %t, want %t", i, got, c.want)
+		}
+		if got := c.u.Intersects(c.s); got != c.want {
+			t.Errorf("case %d: intersection must be symmetric", i)
+		}
+	}
+}
+
+func TestSegmentDistanceToPoint(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(4, 0)}
+	if d := s.DistanceToPoint(Pt(2, 3)); !almostEq(d, 3) {
+		t.Fatalf("perpendicular distance = %g", d)
+	}
+	if d := s.DistanceToPoint(Pt(7, 4)); !almostEq(d, 5) {
+		t.Fatalf("beyond-endpoint distance = %g", d)
+	}
+	if d := s.DistanceToPoint(Pt(1, 0)); d != 0 {
+		t.Fatalf("on-segment distance = %g", d)
+	}
+	zero := Segment{Pt(1, 1), Pt(1, 1)}
+	if d := zero.DistanceToPoint(Pt(4, 5)); !almostEq(d, 5) {
+		t.Fatalf("degenerate segment distance = %g", d)
+	}
+}
+
+func TestSegmentDistance(t *testing.T) {
+	a := Segment{Pt(0, 0), Pt(1, 0)}
+	b := Segment{Pt(0, 2), Pt(1, 2)}
+	if d := a.Distance(b); !almostEq(d, 2) {
+		t.Fatalf("parallel distance = %g", d)
+	}
+	c := Segment{Pt(0.5, -1), Pt(0.5, 1)}
+	if d := a.Distance(c); d != 0 {
+		t.Fatalf("crossing distance = %g", d)
+	}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := unitSquare.Validate(); err != nil {
+		t.Fatalf("unit square should validate: %v", err)
+	}
+	if err := (Polygon{Pt(0, 0), Pt(1, 1)}).Validate(); err == nil {
+		t.Error("2-vertex polygon must fail")
+	}
+	if err := (Polygon{Pt(0, 0), Pt(0, 0), Pt(1, 1)}).Validate(); err == nil {
+		t.Error("repeated vertex must fail")
+	}
+	bowtie := Polygon{Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)}
+	if err := bowtie.Validate(); err == nil {
+		t.Error("self-intersecting polygon must fail")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if a := unitSquare.Area(); !almostEq(a, 1) {
+		t.Fatalf("area = %g", a)
+	}
+	cw := Polygon{Pt(0, 0), Pt(0, 1), Pt(1, 1), Pt(1, 0)}
+	if sa := cw.SignedArea(); sa >= 0 {
+		t.Fatalf("clockwise signed area should be negative, got %g", sa)
+	}
+	if a := cw.Area(); !almostEq(a, 1) {
+		t.Fatalf("unsigned area = %g", a)
+	}
+	tri := Polygon{Pt(0, 0), Pt(4, 0), Pt(0, 3)}
+	if a := tri.Area(); !almostEq(a, 6) {
+		t.Fatalf("triangle area = %g", a)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	if c := unitSquare.Centroid(); !almostEq(c.X, 0.5) || !almostEq(c.Y, 0.5) {
+		t.Fatalf("centroid = %v", c)
+	}
+	tri := Polygon{Pt(0, 0), Pt(3, 0), Pt(0, 3)}
+	if c := tri.Centroid(); !almostEq(c.X, 1) || !almostEq(c.Y, 1) {
+		t.Fatalf("triangle centroid = %v", c)
+	}
+}
+
+func TestPolygonBounds(t *testing.T) {
+	tri := Polygon{Pt(-1, 0), Pt(3, -2), Pt(0, 5)}
+	if b := tri.Bounds(); b != (Rect{-1, -2, 3, 5}) {
+		t.Fatalf("bounds = %v", b)
+	}
+	if b := (Polygon{}).Bounds(); b != (Rect{}) {
+		t.Fatalf("empty polygon bounds = %v", b)
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	if !unitSquare.ContainsPoint(Pt(0.5, 0.5)) {
+		t.Error("interior point should be inside")
+	}
+	if !unitSquare.ContainsPoint(Pt(0, 0.5)) {
+		t.Error("boundary point should be inside")
+	}
+	if !unitSquare.ContainsPoint(Pt(1, 1)) {
+		t.Error("vertex should be inside")
+	}
+	if unitSquare.ContainsPoint(Pt(1.5, 0.5)) {
+		t.Error("outside point should be outside")
+	}
+	// Concave polygon: a U shape; the notch interior is outside.
+	u := Polygon{Pt(0, 0), Pt(3, 0), Pt(3, 3), Pt(2, 3), Pt(2, 1), Pt(1, 1), Pt(1, 3), Pt(0, 3)}
+	if u.ContainsPoint(Pt(1.5, 2)) {
+		t.Error("notch interior should be outside the U")
+	}
+	if !u.ContainsPoint(Pt(0.5, 2)) {
+		t.Error("left arm interior should be inside the U")
+	}
+}
+
+func TestPolygonIntersects(t *testing.T) {
+	shifted := Polygon{Pt(0.5, 0.5), Pt(1.5, 0.5), Pt(1.5, 1.5), Pt(0.5, 1.5)}
+	if !unitSquare.Intersects(shifted) {
+		t.Error("overlapping squares must intersect")
+	}
+	far := Polygon{Pt(5, 5), Pt(6, 5), Pt(6, 6), Pt(5, 6)}
+	if unitSquare.Intersects(far) {
+		t.Error("distant squares must not intersect")
+	}
+	inner := Polygon{Pt(0.25, 0.25), Pt(0.75, 0.25), Pt(0.75, 0.75), Pt(0.25, 0.75)}
+	if !unitSquare.Intersects(inner) {
+		t.Error("containment counts as intersection")
+	}
+	if !inner.Intersects(unitSquare) {
+		t.Error("containment intersection must be symmetric")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	inner := Polygon{Pt(0.25, 0.25), Pt(0.75, 0.25), Pt(0.75, 0.75), Pt(0.25, 0.75)}
+	if !unitSquare.Contains(inner) {
+		t.Error("unit square should contain inner square")
+	}
+	if inner.Contains(unitSquare) {
+		t.Error("inner square cannot contain the unit square")
+	}
+	overlap := Polygon{Pt(0.5, 0.5), Pt(1.5, 0.5), Pt(1.5, 1.5), Pt(0.5, 1.5)}
+	if unitSquare.Contains(overlap) {
+		t.Error("partially-overlapping square is not contained")
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// All four vertices of the probe are inside the U's MBR and inside the
+	// U's arms, but the probe spans the notch, so it is NOT contained.
+	u := Polygon{Pt(0, 0), Pt(5, 0), Pt(5, 5), Pt(4, 5), Pt(4, 1), Pt(1, 1), Pt(1, 5), Pt(0, 5)}
+	probe := Polygon{Pt(0.5, 0.2), Pt(4.5, 0.2), Pt(4.5, 4), Pt(0.5, 4)}
+	if u.Contains(probe) {
+		t.Fatal("probe spanning the notch must not be contained")
+	}
+}
+
+func TestPolygonDistanceToPoint(t *testing.T) {
+	if d := unitSquare.DistanceToPoint(Pt(0.5, 0.5)); d != 0 {
+		t.Fatalf("inside distance = %g", d)
+	}
+	if d := unitSquare.DistanceToPoint(Pt(3, 1)); !almostEq(d, 2) {
+		t.Fatalf("edge distance = %g", d)
+	}
+	if d := unitSquare.DistanceToPoint(Pt(4, 5)); !almostEq(d, 5) {
+		t.Fatalf("corner distance = %g", d)
+	}
+}
+
+func TestPolygonDistance(t *testing.T) {
+	right := Polygon{Pt(3, 0), Pt(4, 0), Pt(4, 1), Pt(3, 1)}
+	if d := unitSquare.Distance(right); !almostEq(d, 2) {
+		t.Fatalf("distance = %g, want 2", d)
+	}
+	if d := unitSquare.Distance(unitSquare); d != 0 {
+		t.Fatalf("self distance = %g", d)
+	}
+}
+
+func TestRegularPolygon(t *testing.T) {
+	hex := RegularPolygon(Pt(2, 3), 1, 6)
+	if len(hex) != 6 {
+		t.Fatalf("vertex count = %d", len(hex))
+	}
+	c := hex.Centroid()
+	if !almostEq(c.X, 2) || !almostEq(c.Y, 3) {
+		t.Fatalf("hexagon centroid = %v", c)
+	}
+	// Area of regular hexagon with circumradius 1 is 3√3/2.
+	want := 3 * math.Sqrt(3) / 2
+	if a := hex.Area(); !almostEq(a, want) {
+		t.Fatalf("hexagon area = %g, want %g", a, want)
+	}
+	if err := hex.Validate(); err != nil {
+		t.Fatalf("regular polygon should validate: %v", err)
+	}
+}
+
+func TestRegularPolygonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for v < 3")
+		}
+	}()
+	RegularPolygon(Pt(0, 0), 1, 2)
+}
+
+func TestPolygonSpatialInterface(t *testing.T) {
+	var s Spatial = unitSquare
+	if s.Bounds() != (Rect{0, 0, 1, 1}) {
+		t.Fatalf("bounds via interface = %v", s.Bounds())
+	}
+	var seg Spatial = Segment{Pt(0, 0), Pt(2, 2)}
+	if seg.Bounds() != (Rect{0, 0, 2, 2}) {
+		t.Fatalf("segment bounds = %v", seg.Bounds())
+	}
+}

@@ -1,0 +1,162 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// boundedRect builds a valid rectangle from four arbitrary float64 values,
+// clamping to a finite range so area arithmetic stays well-conditioned.
+func boundedRect(a, b, c, d float64) Rect {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1000)
+	}
+	return NewRect(clamp(a), clamp(b), clamp(c), clamp(d))
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 float64) bool {
+		a := boundedRect(a1, a2, a3, a4)
+		b := boundedRect(b1, b2, b3, b4)
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectionInsideBoth(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 float64) bool {
+		a := boundedRect(a1, a2, a3, a4)
+		b := boundedRect(b1, b2, b3, b4)
+		i, ok := a.Intersection(b)
+		if !ok {
+			// Disjoint: the min distance must then be positive or zero with
+			// touching — but Intersects already returned false, so distance
+			// must be strictly positive or the rects only touch, which
+			// Intersects counts as true. Hence distance > 0.
+			return a.MinDistance(b) > 0
+		}
+		return a.ContainsRect(i) && b.ContainsRect(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectsSymmetricAndConsistent(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 float64) bool {
+		a := boundedRect(a1, a2, a3, a4)
+		b := boundedRect(b1, b2, b3, b4)
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		// Intersects ⇔ MinDistance == 0.
+		return a.Intersects(b) == (a.MinDistance(b) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExpandMonotone(t *testing.T) {
+	f := func(a1, a2, a3, a4 float64, duint uint8) bool {
+		a := boundedRect(a1, a2, a3, a4)
+		d := float64(duint)
+		e := a.Expand(d)
+		return e.ContainsRect(a) && e.Area() >= a.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEnlargementNonNegative(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 float64) bool {
+		a := boundedRect(a1, a2, a3, a4)
+		b := boundedRect(b1, b2, b3, b4)
+		return a.Enlargement(b) >= -1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinDistanceTriangleLike(t *testing.T) {
+	// MinDistance between rects never exceeds center distance.
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 float64) bool {
+		a := boundedRect(a1, a2, a3, a4)
+		b := boundedRect(b1, b2, b3, b4)
+		return a.MinDistance(b) <= a.Center().DistanceTo(b.Center())+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickContainmentImpliesIntersection(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 float64) bool {
+		a := boundedRect(a1, a2, a3, a4)
+		b := boundedRect(b1, b2, b3, b4)
+		if a.ContainsRect(b) && !a.Intersects(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPolygonAreaMatchesMBRBound(t *testing.T) {
+	// A polygon's area never exceeds the area of its MBR.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		c := Pt(rng.Float64()*100, rng.Float64()*100)
+		pg := RegularPolygon(c, 1+rng.Float64()*10, 3+rng.Intn(9))
+		if pg.Area() > pg.Bounds().Area()+1e-9 {
+			t.Fatalf("polygon area %g exceeds MBR area %g", pg.Area(), pg.Bounds().Area())
+		}
+	}
+}
+
+func TestQuickPolygonCentroidInsideConvex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		c := Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		pg := RegularPolygon(c, 0.5+rng.Float64()*20, 3+rng.Intn(10))
+		if !pg.ContainsPoint(pg.Centroid()) {
+			t.Fatalf("centroid of convex polygon %v not inside", pg.Centroid())
+		}
+	}
+}
+
+func TestQuickPointInPolygonAgreesWithMBR(t *testing.T) {
+	// inside polygon ⇒ inside MBR (never the other way is required).
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		pg := RegularPolygon(Pt(0, 0), 5, 3+rng.Intn(8))
+		p := Pt(rng.Float64()*12-6, rng.Float64()*12-6)
+		if pg.ContainsPoint(p) && !pg.Bounds().Contains(p) {
+			t.Fatalf("point %v inside polygon but outside MBR", p)
+		}
+	}
+}
+
+func TestQuickSegmentDistanceZeroIffIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		s := Segment{Pt(rng.Float64()*10, rng.Float64()*10), Pt(rng.Float64()*10, rng.Float64()*10)}
+		u := Segment{Pt(rng.Float64()*10, rng.Float64()*10), Pt(rng.Float64()*10, rng.Float64()*10)}
+		d := s.Distance(u)
+		if s.Intersects(u) != (d == 0) {
+			t.Fatalf("Intersects=%t but Distance=%g for %v %v", s.Intersects(u), d, s, u)
+		}
+	}
+}

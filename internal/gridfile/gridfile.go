@@ -1,0 +1,460 @@
+// Package gridfile implements the grid file of Nievergelt, Hinterberger and
+// Sevcik [Niev84] and a grid-partition spatial join in the spirit of Rotem
+// [Rote91] — the index-supported join approach the paper credits as the
+// address-computation counterpart of its tree-based strategy (§2.2: "Rotem
+// has demonstrated the potential of this approach for the case of the grid
+// file").
+//
+// The structure indexes objects by their centerpoints: two orthogonal
+// linear scales partition the plane into a directory of cells, each mapping
+// to a bucket of bounded capacity. Overflowing buckets split by refining
+// one scale (cyclically alternating axes); cells can share buckets until
+// they split. Range searches touch only the directory cells overlapping the
+// query region.
+//
+// The grid join pairs buckets whose regions pass the operator's Θ filter —
+// regions are expanded by each grid's maximum object half-extent, so
+// geometry that protrudes beyond its centerpoint's cell is never missed —
+// and evaluates θ exactly within qualifying bucket pairs.
+package gridfile
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pred"
+)
+
+// Entry is one indexed object.
+type Entry struct {
+	// Obj is the exact geometry; the index key is its centerpoint.
+	Obj geom.Spatial
+	// ID is the tuple the object belongs to.
+	ID int
+}
+
+// bucket holds the entries of one or more directory cells.
+type bucket struct {
+	entries []Entry
+}
+
+// Grid is a grid file over a fixed world rectangle.
+type Grid struct {
+	world    geom.Rect
+	capacity int
+	// xs and ys are the interior split points of the linear scales, sorted
+	// ascending. With len(xs) = a and len(ys) = b the directory is
+	// (a+1) × (b+1) cells.
+	xs, ys []float64
+	// dir maps cell (i, j) → bucket; multiple cells may share a bucket.
+	dir [][]*bucket
+	// splitX alternates the split axis.
+	splitX bool
+	size   int
+	// maxHalfW and maxHalfH track the largest object half-extents, for
+	// sound region expansion in joins and searches.
+	maxHalfW, maxHalfH float64
+}
+
+// New returns an empty grid file over world with the given bucket capacity.
+func New(world geom.Rect, capacity int) (*Grid, error) {
+	if !world.Valid() || world.Area() <= 0 {
+		return nil, fmt.Errorf("gridfile: invalid world %v", world)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("gridfile: capacity %d < 1", capacity)
+	}
+	b := &bucket{}
+	return &Grid{
+		world:    world,
+		capacity: capacity,
+		dir:      [][]*bucket{{b}},
+		splitX:   true,
+	}, nil
+}
+
+// Len returns the number of stored entries.
+func (g *Grid) Len() int { return g.size }
+
+// DirectorySize returns the directory dimensions (columns, rows).
+func (g *Grid) DirectorySize() (int, int) { return len(g.xs) + 1, len(g.ys) + 1 }
+
+// Buckets returns the number of distinct buckets.
+func (g *Grid) Buckets() int {
+	seen := make(map[*bucket]bool)
+	for _, col := range g.dir {
+		for _, b := range col {
+			seen[b] = true
+		}
+	}
+	return len(seen)
+}
+
+// cellOf returns the directory indices of the cell containing p (clamped to
+// the world).
+func (g *Grid) cellOf(p geom.Point) (int, int) {
+	return upperBound(g.xs, p.X), upperBound(g.ys, p.Y)
+}
+
+// upperBound returns the number of split points ≤ v, i.e. the cell index
+// along one scale.
+func upperBound(scale []float64, v float64) int {
+	return sort.Search(len(scale), func(i int) bool { return scale[i] > v })
+}
+
+// cellRegion returns the world-space rectangle of cell (i, j).
+func (g *Grid) cellRegion(i, j int) geom.Rect {
+	lo := func(scale []float64, idx int, min float64) float64 {
+		if idx == 0 {
+			return min
+		}
+		return scale[idx-1]
+	}
+	hi := func(scale []float64, idx int, max float64) float64 {
+		if idx == len(scale) {
+			return max
+		}
+		return scale[idx]
+	}
+	return geom.Rect{
+		MinX: lo(g.xs, i, g.world.MinX),
+		MinY: lo(g.ys, j, g.world.MinY),
+		MaxX: hi(g.xs, i, g.world.MaxX),
+		MaxY: hi(g.ys, j, g.world.MaxY),
+	}
+}
+
+// Insert stores the object under its centerpoint. Objects whose centerpoint
+// lies outside the world are rejected.
+func (g *Grid) Insert(obj geom.Spatial, id int) error {
+	c := geom.CenterOf(obj)
+	if !g.world.Contains(c) {
+		return fmt.Errorf("gridfile: centerpoint %v outside world %v", c, g.world)
+	}
+	b := obj.Bounds()
+	if hw := b.Width() / 2; hw > g.maxHalfW {
+		g.maxHalfW = hw
+	}
+	if hh := b.Height() / 2; hh > g.maxHalfH {
+		g.maxHalfH = hh
+	}
+	for {
+		i, j := g.cellOf(c)
+		bk := g.dir[i][j]
+		if len(bk.entries) < g.capacity {
+			bk.entries = append(bk.entries, Entry{Obj: obj, ID: id})
+			g.size++
+			return nil
+		}
+		if !g.split(i, j) {
+			// The bucket cannot be split further (all centerpoints
+			// coincide); grow it beyond capacity rather than fail.
+			bk.entries = append(bk.entries, Entry{Obj: obj, ID: id})
+			g.size++
+			return nil
+		}
+	}
+}
+
+// split refines the grid to relieve the bucket of cell (i, j). It first
+// tries to unshare the bucket within the existing directory; otherwise it
+// adds a split point on the alternating axis. It reports whether any
+// progress was made.
+func (g *Grid) split(i, j int) bool {
+	bk := g.dir[i][j]
+	// If the bucket is shared by several cells, splitting means giving this
+	// region its own buckets along the sharing cells.
+	if g.unshare(bk) {
+		return true
+	}
+	// The bucket owns exactly one cell: refine the scales through its
+	// region's midpoint, alternating axes; fall back to the other axis when
+	// one is degenerate.
+	region := g.cellRegion(i, j)
+	for attempt := 0; attempt < 2; attempt++ {
+		useX := g.splitX
+		g.splitX = !g.splitX
+		if useX {
+			mid := (region.MinX + region.MaxX) / 2
+			if mid > region.MinX && mid < region.MaxX && g.addSplitX(mid, bk) {
+				return true
+			}
+		} else {
+			mid := (region.MinY + region.MaxY) / 2
+			if mid > region.MinY && mid < region.MaxY && g.addSplitY(mid, bk) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unshare gives each cell currently mapped to bk its own bucket,
+// repartitioning the entries. It reports whether bk was shared at all.
+func (g *Grid) unshare(bk *bucket) bool {
+	var cells [][2]int
+	for i, col := range g.dir {
+		for j, b := range col {
+			if b == bk {
+				cells = append(cells, [2]int{i, j})
+			}
+		}
+	}
+	if len(cells) < 2 {
+		return false
+	}
+	fresh := make(map[[2]int]*bucket, len(cells))
+	for _, c := range cells {
+		fresh[c] = &bucket{}
+		g.dir[c[0]][c[1]] = fresh[c]
+	}
+	for _, e := range bk.entries {
+		i, j := g.cellOf(geom.CenterOf(e.Obj))
+		g.dir[i][j].entries = append(g.dir[i][j].entries, e)
+	}
+	return true
+}
+
+// addSplitX inserts a vertical split point, duplicating the directory
+// column; only the overflowing bucket is repartitioned (other cells keep
+// sharing their bucket across the new boundary, the grid file's hallmark).
+func (g *Grid) addSplitX(x float64, overflow *bucket) bool {
+	idx := upperBound(g.xs, x)
+	if idx < len(g.xs) && g.xs[idx] == x {
+		return false
+	}
+	g.xs = append(g.xs, 0)
+	copy(g.xs[idx+1:], g.xs[idx:])
+	g.xs[idx] = x
+	// Duplicate column idx.
+	col := g.dir[idx]
+	newCol := make([]*bucket, len(col))
+	copy(newCol, col)
+	g.dir = append(g.dir, nil)
+	copy(g.dir[idx+1:], g.dir[idx:])
+	g.dir[idx+1] = newCol
+	g.repartition(overflow)
+	return true
+}
+
+// addSplitY inserts a horizontal split point, duplicating the directory
+// row.
+func (g *Grid) addSplitY(y float64, overflow *bucket) bool {
+	idx := upperBound(g.ys, y)
+	if idx < len(g.ys) && g.ys[idx] == y {
+		return false
+	}
+	g.ys = append(g.ys, 0)
+	copy(g.ys[idx+1:], g.ys[idx:])
+	g.ys[idx] = y
+	for i, col := range g.dir {
+		col = append(col, nil)
+		copy(col[idx+1:], col[idx:])
+		col[idx+1] = col[idx]
+		g.dir[i] = col
+	}
+	g.repartition(overflow)
+	return true
+}
+
+// repartition splits the overflowing bucket's entries across the (now
+// refined) cells that map to it.
+func (g *Grid) repartition(bk *bucket) {
+	var cells [][2]int
+	for i, col := range g.dir {
+		for j, b := range col {
+			if b == bk {
+				cells = append(cells, [2]int{i, j})
+			}
+		}
+	}
+	if len(cells) < 2 {
+		return
+	}
+	for _, c := range cells {
+		g.dir[c[0]][c[1]] = &bucket{}
+	}
+	for _, e := range bk.entries {
+		i, j := g.cellOf(geom.CenterOf(e.Obj))
+		g.dir[i][j].entries = append(g.dir[i][j].entries, e)
+	}
+}
+
+// Search calls f for every entry whose exact geometry intersects query,
+// visiting only directory cells whose (extent-expanded) regions overlap it.
+// It returns the number of buckets inspected.
+func (g *Grid) Search(query geom.Rect, f func(Entry) bool) (bucketsVisited int) {
+	expanded := geom.Rect{
+		MinX: query.MinX - g.maxHalfW,
+		MinY: query.MinY - g.maxHalfH,
+		MaxX: query.MaxX + g.maxHalfW,
+		MaxY: query.MaxY + g.maxHalfH,
+	}
+	iLo := upperBound(g.xs, expanded.MinX)
+	iHi := upperBound(g.xs, expanded.MaxX)
+	jLo := upperBound(g.ys, expanded.MinY)
+	jHi := upperBound(g.ys, expanded.MaxY)
+	seen := make(map[*bucket]bool)
+	for i := iLo; i <= iHi && i < len(g.dir); i++ {
+		for j := jLo; j <= jHi && j < len(g.dir[i]); j++ {
+			bk := g.dir[i][j]
+			if seen[bk] {
+				continue
+			}
+			seen[bk] = true
+			bucketsVisited++
+			for _, e := range bk.entries {
+				if e.Obj.Bounds().Intersects(query) {
+					if !f(e) {
+						return bucketsVisited
+					}
+				}
+			}
+		}
+	}
+	return bucketsVisited
+}
+
+// All calls f for every stored entry.
+func (g *Grid) All(f func(Entry) bool) {
+	seen := make(map[*bucket]bool)
+	for _, col := range g.dir {
+		for _, bk := range col {
+			if seen[bk] {
+				continue
+			}
+			seen[bk] = true
+			for _, e := range bk.entries {
+				if !f(e) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Validate checks the grid-file invariants: every entry's centerpoint lies
+// in a cell mapped to its bucket, directory dimensions match the scales,
+// scales are strictly sorted, and the entry count matches Len().
+func (g *Grid) Validate() error {
+	if len(g.dir) != len(g.xs)+1 {
+		return fmt.Errorf("gridfile: %d columns for %d x-splits", len(g.dir), len(g.xs))
+	}
+	for i := 1; i < len(g.xs); i++ {
+		if g.xs[i-1] >= g.xs[i] {
+			return fmt.Errorf("gridfile: x scale not strictly sorted")
+		}
+	}
+	for i := 1; i < len(g.ys); i++ {
+		if g.ys[i-1] >= g.ys[i] {
+			return fmt.Errorf("gridfile: y scale not strictly sorted")
+		}
+	}
+	count := 0
+	seen := make(map[*bucket]bool)
+	for i, col := range g.dir {
+		if len(col) != len(g.ys)+1 {
+			return fmt.Errorf("gridfile: column %d has %d rows for %d y-splits", i, len(col), len(g.ys))
+		}
+		for j, bk := range col {
+			if bk == nil {
+				return fmt.Errorf("gridfile: nil bucket at (%d,%d)", i, j)
+			}
+			if seen[bk] {
+				continue
+			}
+			seen[bk] = true
+			count += len(bk.entries)
+			for _, e := range bk.entries {
+				ci, cj := g.cellOf(geom.CenterOf(e.Obj))
+				if g.dir[ci][cj] != bk {
+					return fmt.Errorf("gridfile: entry %d stored in wrong bucket", e.ID)
+				}
+			}
+		}
+	}
+	if count != g.size {
+		return fmt.Errorf("gridfile: %d entries counted, Len() = %d", count, g.size)
+	}
+	return nil
+}
+
+// JoinStats reports the work of a grid join.
+type JoinStats struct {
+	// BucketPairs counts bucket-region pairs whose Θ filter was evaluated.
+	BucketPairs int64
+	// FilterPassed counts pairs that survived the region filter.
+	FilterPassed int64
+	// ExactEvals counts θ evaluations on object pairs.
+	ExactEvals int64
+}
+
+// Join computes R ⋈θ S over two grid files by pairing buckets whose
+// expanded regions pass the operator's Θ filter and evaluating θ exactly
+// within qualifying pairs — Rotem-style address-computation join. Regions
+// are expanded by each grid's maximum half-extent so protruding geometry is
+// never missed (soundness mirrors the Θ-filter property of the tree join).
+func Join(r, s *Grid, op pred.Operator) ([][2]int, JoinStats, error) {
+	if r == nil || s == nil || op == nil {
+		return nil, JoinStats{}, fmt.Errorf("gridfile: nil join argument")
+	}
+	var stats JoinStats
+	var out [][2]int
+
+	type region struct {
+		rect geom.Rect
+		bk   *bucket
+	}
+	collect := func(g *Grid) []region {
+		var regions []region
+		owner := make(map[*bucket]geom.Rect)
+		for i, col := range g.dir {
+			for j, bk := range col {
+				if len(bk.entries) == 0 {
+					continue
+				}
+				cell := g.cellRegion(i, j)
+				if prev, ok := owner[bk]; ok {
+					owner[bk] = prev.Union(cell)
+				} else {
+					owner[bk] = cell
+				}
+			}
+		}
+		for bk, rect := range owner {
+			regions = append(regions, region{
+				rect: rect.Expand(maxf(g.maxHalfW, g.maxHalfH)),
+				bk:   bk,
+			})
+		}
+		return regions
+	}
+	rRegions := collect(r)
+	sRegions := collect(s)
+	for _, ra := range rRegions {
+		for _, sb := range sRegions {
+			stats.BucketPairs++
+			if !op.Filter(ra.rect, sb.rect) {
+				continue
+			}
+			stats.FilterPassed++
+			for _, ea := range ra.bk.entries {
+				for _, eb := range sb.bk.entries {
+					stats.ExactEvals++
+					if op.Eval(ea.Obj, eb.Obj) {
+						out = append(out, [2]int{ea.ID, eb.ID})
+					}
+				}
+			}
+		}
+	}
+	return out, stats, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,296 @@
+package gridfile
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/pred"
+)
+
+var world = geom.NewRect(0, 0, 1000, 1000)
+
+func newGrid(t *testing.T, capacity int) *Grid {
+	t.Helper()
+	g, err := New(world, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.Rect{}, 4); err == nil {
+		t.Error("zero-area world must fail")
+	}
+	if _, err := New(world, 0); err == nil {
+		t.Error("capacity 0 must fail")
+	}
+}
+
+func TestInsertRejectsOutsideWorld(t *testing.T) {
+	g := newGrid(t, 4)
+	if err := g.Insert(geom.Pt(-5, 10), 1); err == nil {
+		t.Fatal("outside centerpoint must be rejected")
+	}
+	if g.Len() != 0 {
+		t.Fatal("failed insert must not change size")
+	}
+}
+
+func TestInsertSplitsAndValidates(t *testing.T) {
+	g := newGrid(t, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		x, y := rng.Float64()*990, rng.Float64()*990
+		if err := g.Insert(geom.NewRect(x, y, x+5, y+5), i); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if g.Len() != 500 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cols, rows := g.DirectorySize()
+	if cols < 4 || rows < 4 {
+		t.Fatalf("directory barely grew: %d×%d", cols, rows)
+	}
+	if g.Buckets() < 500/4 {
+		t.Fatalf("too few buckets: %d", g.Buckets())
+	}
+}
+
+func TestCoincidentCenterpointsOverflowGracefully(t *testing.T) {
+	// All objects share one centerpoint: splitting cannot help, the bucket
+	// must grow instead of looping forever.
+	g := newGrid(t, 3)
+	for i := 0; i < 50; i++ {
+		if err := g.Insert(geom.Pt(500, 500), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Len() != 50 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	found := 0
+	g.Search(geom.NewRect(499, 499, 501, 501), func(Entry) bool { found++; return true })
+	if found != 50 {
+		t.Fatalf("found %d of 50 coincident objects", found)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	g := newGrid(t, 6)
+	rng := rand.New(rand.NewSource(2))
+	rects := datagen.UniformRects(rng, 400, world, 2, 30)
+	for i, r := range rects {
+		if err := g.Insert(r, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 50; q++ {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		query := geom.NewRect(x, y, x+rng.Float64()*150, y+rng.Float64()*150)
+		var want []int
+		for i, r := range rects {
+			if r.Intersects(query) {
+				want = append(want, i)
+			}
+		}
+		var got []int
+		g.Search(query, func(e Entry) bool { got = append(got, e.ID); return true })
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d hits, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: hit mismatch", q)
+			}
+		}
+	}
+}
+
+func TestSearchPrunesBuckets(t *testing.T) {
+	g := newGrid(t, 4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 600; i++ {
+		x, y := rng.Float64()*990, rng.Float64()*990
+		g.Insert(geom.NewRect(x, y, x+3, y+3), i)
+	}
+	visited := g.Search(geom.NewRect(10, 10, 40, 40), func(Entry) bool { return true })
+	if visited >= g.Buckets() {
+		t.Fatalf("small query visited all %d buckets", visited)
+	}
+	if visited == 0 {
+		t.Fatal("query must visit at least one bucket")
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	g := newGrid(t, 4)
+	for i := 0; i < 30; i++ {
+		g.Insert(geom.Pt(float64(i)*3+1, 500), i)
+	}
+	n := 0
+	g.Search(world, func(Entry) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestAllVisitsEverythingOnce(t *testing.T) {
+	g := newGrid(t, 5)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		g.Insert(geom.Pt(rng.Float64()*999, rng.Float64()*999), i)
+	}
+	seen := map[int]int{}
+	g.All(func(e Entry) bool { seen[e.ID]++; return true })
+	if len(seen) != 200 {
+		t.Fatalf("All saw %d entries", len(seen))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("entry %d visited %d times", id, c)
+		}
+	}
+	n := 0
+	g.All(func(Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("All early stop broken")
+	}
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rs := datagen.UniformRects(rng, 150, world, 2, 40)
+	ss := datagen.UniformRects(rng, 150, world, 2, 40)
+	gr := newGrid(t, 6)
+	gs := newGrid(t, 6)
+	for i, r := range rs {
+		gr.Insert(r, i)
+	}
+	for i, s := range ss {
+		gs.Insert(s, i)
+	}
+	for _, op := range []pred.Operator{
+		pred.Overlaps{},
+		pred.WithinDistance{D: 100},
+		pred.NorthwestOf{},
+		pred.ReachableWithin{Minutes: 30, Speed: 1},
+	} {
+		got, stats, err := Join(gr, gs, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [][2]int
+		for i, r := range rs {
+			for j, s := range ss {
+				if op.Eval(r, s) {
+					want = append(want, [2]int{i, j})
+				}
+			}
+		}
+		sortPairs(got)
+		sortPairs(want)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d pairs, brute force %d", op.Name(), len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: pair mismatch at %d", op.Name(), i)
+			}
+		}
+		if stats.BucketPairs == 0 {
+			t.Fatal("stats unpopulated")
+		}
+		// The region filter must prune something on a selective operator.
+		if op.Name() == "overlaps" && stats.FilterPassed >= stats.BucketPairs {
+			t.Fatal("overlaps join pruned nothing")
+		}
+		// And save exact evaluations compared to nested loop.
+		if op.Name() == "overlaps" && stats.ExactEvals >= int64(len(rs)*len(ss)) {
+			t.Fatalf("grid join evaluated %d pairs — no better than nested loop", stats.ExactEvals)
+		}
+	}
+}
+
+func sortPairs(ps [][2]int) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+func TestJoinValidation(t *testing.T) {
+	g := newGrid(t, 4)
+	if _, _, err := Join(nil, g, pred.Overlaps{}); err == nil {
+		t.Error("nil grid must fail")
+	}
+	if _, _, err := Join(g, g, nil); err == nil {
+		t.Error("nil operator must fail")
+	}
+}
+
+func TestJoinEmptyGrids(t *testing.T) {
+	gr := newGrid(t, 4)
+	gs := newGrid(t, 4)
+	got, _, err := Join(gr, gs, pred.Overlaps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("empty join must be empty")
+	}
+}
+
+func TestJoinSkewedData(t *testing.T) {
+	// Heavy clustering stresses the unshare/split machinery; results must
+	// stay exact.
+	rng := rand.New(rand.NewSource(6))
+	rs := datagen.ClusteredRects(rng, 300, 2, world, 8, 5)
+	ss := datagen.ClusteredRects(rng, 300, 2, world, 8, 5)
+	gr := newGrid(t, 4)
+	gs := newGrid(t, 4)
+	for i, r := range rs {
+		if err := gr.Insert(r, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range ss {
+		if err := gs.Insert(s, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Join(gr, gs, pred.Overlaps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Intersects(s) {
+				want++
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("skewed join: %d pairs, want %d", len(got), want)
+	}
+}

@@ -1,0 +1,90 @@
+// Package join provides the executable spatial-join strategies, the
+// measured counterparts of the paper's cost model: blocked nested loop
+// (strategy I), generalization-tree SELECT and JOIN with page charging
+// (strategies IIa/IIb, depending on how the underlying relation was laid
+// out), and the precomputed join index (strategy III). Every strategy runs
+// against relations stored on the simulated disk of internal/storage, so
+// its page I/O and predicate evaluations can be measured and compared with
+// the analytical formulas of internal/costmodel.
+package join
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/relation"
+	"spatialjoin/internal/storage"
+)
+
+// Stats is the measured work of one strategy execution, in the units the
+// cost model weights: Θ filter evaluations and exact θ evaluations (C_Θ
+// each in the model's simplification S3), physical page reads (C_IO each),
+// and join-index page reads for strategy III.
+type Stats struct {
+	FilterEvals int64
+	ExactEvals  int64
+	PageReads   int64
+	IndexReads  int64
+}
+
+// Cost collapses the stats into the model's time units.
+func (s Stats) Cost(cTheta, cIO float64) float64 {
+	return cTheta*float64(s.FilterEvals+s.ExactEvals) +
+		cIO*float64(s.PageReads+s.IndexReads)
+}
+
+// Add returns the component-wise sum of s and o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		FilterEvals: s.FilterEvals + o.FilterEvals,
+		ExactEvals:  s.ExactEvals + o.ExactEvals,
+		PageReads:   s.PageReads + o.PageReads,
+		IndexReads:  s.IndexReads + o.IndexReads,
+	}
+}
+
+// Table couples a stored relation with its spatial join column and the
+// buffer pool that serves its pages.
+type Table struct {
+	Rel  *relation.Relation
+	Col  int
+	Pool *storage.BufferPool
+}
+
+// NewTable validates that col is a spatial column of rel.
+func NewTable(rel *relation.Relation, col int, pool *storage.BufferPool) (Table, error) {
+	sch := rel.Schema()
+	if col < 0 || col >= len(sch.Columns) {
+		return Table{}, fmt.Errorf("join: column %d out of range for %s", col, rel.Name())
+	}
+	if !sch.Columns[col].Type.Spatial() {
+		return Table{}, fmt.Errorf("join: column %q of %s is not spatial", sch.Columns[col].Name, rel.Name())
+	}
+	if pool == nil {
+		return Table{}, fmt.Errorf("join: nil buffer pool")
+	}
+	return Table{Rel: rel, Col: col, Pool: pool}, nil
+}
+
+// spatial fetches the tuple's spatial value (charging page I/O through the
+// pool on a miss).
+func (t Table) spatial(id int) (geom.Spatial, error) {
+	return t.Rel.Spatial(id, t.Col)
+}
+
+// touch fetches the page holding the tuple without decoding it.
+func (t Table) touch(id int) error {
+	rid, err := t.Rel.RID(id)
+	if err != nil {
+		return err
+	}
+	_, err = t.Pool.Fetch(rid.Page)
+	return err
+}
+
+// measure runs f and returns the physical-read delta it caused on pool.
+func measure(pool *storage.BufferPool, f func() error) (int64, error) {
+	before := pool.Stats().Misses
+	err := f()
+	return pool.Stats().Misses - before, err
+}

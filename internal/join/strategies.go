@@ -1,0 +1,302 @@
+package join
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/joinindex"
+	"spatialjoin/internal/pred"
+	"spatialjoin/internal/storage"
+)
+
+// NestedLoop computes R ⋈θ S by the paper's strategy I: blocks of R filling
+// most of main memory (M−10 pages worth of tuples), each scanned against
+// the whole of S. Both tables must share one buffer pool.
+func NestedLoop(r, s Table, op pred.Operator) ([]core.Match, Stats, error) {
+	if r.Pool != s.Pool {
+		return nil, Stats{}, fmt.Errorf("join: nested loop requires a shared buffer pool")
+	}
+	var stats Stats
+	var out []core.Match
+
+	blockPages := r.Pool.Capacity() - 10
+	if blockPages < 1 {
+		blockPages = 1
+	}
+	// Group R tuple IDs by their page so a block is a set of whole pages.
+	type pageGroup struct {
+		page int
+		ids  []int
+	}
+	byPage := map[int][]int{}
+	maxPage := 0
+	for id := 0; id < r.Rel.Len(); id++ {
+		pg, err := r.Rel.PageOf(id)
+		if err != nil {
+			return nil, stats, err
+		}
+		byPage[pg] = append(byPage[pg], id)
+		if pg > maxPage {
+			maxPage = pg
+		}
+	}
+	var groups []pageGroup
+	for pg := 0; pg <= maxPage; pg++ {
+		if ids, ok := byPage[pg]; ok {
+			groups = append(groups, pageGroup{page: pg, ids: ids})
+		}
+	}
+
+	reads, err := measure(r.Pool, func() error {
+		for start := 0; start < len(groups); start += blockPages {
+			end := start + blockPages
+			if end > len(groups) {
+				end = len(groups)
+			}
+			// Load the block and decode its geometries once.
+			type rTuple struct {
+				id  int
+				obj geom.Spatial
+			}
+			var block []rTuple
+			for _, g := range groups[start:end] {
+				for _, id := range g.ids {
+					obj, err := r.spatial(id)
+					if err != nil {
+						return err
+					}
+					block = append(block, rTuple{id: id, obj: obj})
+				}
+			}
+			// One full scan of S per block.
+			for sid := 0; sid < s.Rel.Len(); sid++ {
+				sobj, err := s.spatial(sid)
+				if err != nil {
+					return err
+				}
+				for _, rt := range block {
+					stats.ExactEvals++
+					if op.Eval(rt.obj, sobj) {
+						out = append(out, core.Match{R: rt.id, S: sid})
+					}
+				}
+			}
+		}
+		return nil
+	})
+	stats.PageReads = reads
+	return out, stats, err
+}
+
+// ExhaustiveSelect computes the spatial selection {a ∈ R | o θ a} by a full
+// scan — the degenerate strategy I of §4.3.
+func ExhaustiveSelect(r Table, o geom.Spatial, op pred.Operator) ([]int, Stats, error) {
+	var stats Stats
+	var out []int
+	reads, err := measure(r.Pool, func() error {
+		for id := 0; id < r.Rel.Len(); id++ {
+			obj, err := r.spatial(id)
+			if err != nil {
+				return err
+			}
+			stats.ExactEvals++
+			if op.Eval(o, obj) {
+				out = append(out, id)
+			}
+		}
+		return nil
+	})
+	stats.PageReads = reads
+	return out, stats, err
+}
+
+// TreeSelect computes the spatial selection with algorithm SELECT over the
+// generalization tree tr, charging one page access per tuple-bearing node
+// examined (the tree nodes "contain the complete tuples", §4.1, so touching
+// a node means reading its tuple's page). Technical index nodes are free.
+func TreeSelect(tr core.Tree, r Table, o geom.Spatial, op pred.Operator,
+	traversal core.Traversal) ([]int, Stats, error) {
+
+	var stats Stats
+	var res *core.SelectResult
+	reads, err := measure(r.Pool, func() error {
+		var err error
+		res, err = core.Select(tr, o, op, &core.SelectOptions{
+			Traversal: traversal,
+			Touch: func(n core.Node) error {
+				id, ok := n.Tuple()
+				if !ok {
+					return nil
+				}
+				return r.touch(id)
+			},
+		})
+		return err
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.FilterEvals = res.Stats.FilterEvals
+	stats.ExactEvals = res.Stats.ExactEvals
+	stats.PageReads = reads
+	return res.Tuples, stats, nil
+}
+
+// TreeJoin computes R ⋈θ S with algorithm JOIN over two generalization
+// trees, charging page accesses for tuple-bearing node examinations on
+// either side.
+func TreeJoin(trR core.Tree, r Table, trS core.Tree, s Table,
+	op pred.Operator) ([]core.Match, Stats, error) {
+
+	var stats Stats
+	var res *core.JoinResult
+	touch := func(t Table) func(core.Node) error {
+		return func(n core.Node) error {
+			id, ok := n.Tuple()
+			if !ok {
+				return nil
+			}
+			return t.touch(id)
+		}
+	}
+	// The two tables may share a pool or use separate ones; measure both
+	// without double counting.
+	pools := []*poolDelta{newPoolDelta(r.Pool)}
+	if s.Pool != r.Pool {
+		pools = append(pools, newPoolDelta(s.Pool))
+	}
+	var err error
+	res, err = core.Join(trR, trS, op, &core.JoinOptions{
+		TouchR: touch(r),
+		TouchS: touch(s),
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, pd := range pools {
+		stats.PageReads += pd.delta()
+	}
+	stats.FilterEvals = res.Stats.FilterEvals
+	stats.ExactEvals = res.Stats.ExactEvals
+	return res.Pairs, stats, nil
+}
+
+// BuildIndex precomputes the Valduriez join index for R ⋈θ S by exhaustive
+// evaluation — the expensive, update-hostile step strategy III amortizes.
+// order is the B+-tree order (the paper's z).
+func BuildIndex(r, s Table, op pred.Operator, order int) (*joinindex.Index, Stats, error) {
+	ix, err := joinindex.New(order)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var stats Stats
+	reads, err := measure(r.Pool, func() error {
+		for rid := 0; rid < r.Rel.Len(); rid++ {
+			robj, err := r.spatial(rid)
+			if err != nil {
+				return err
+			}
+			for sid := 0; sid < s.Rel.Len(); sid++ {
+				sobj, err := s.spatial(sid)
+				if err != nil {
+					return err
+				}
+				stats.ExactEvals++
+				if op.Eval(robj, sobj) {
+					if _, err := ix.Add(rid, sid); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	})
+	stats.PageReads = reads
+	return ix, stats, err
+}
+
+// IndexJoin computes the join from a precomputed index: read the pairs and
+// fetch the corresponding tuples — no predicate evaluations at all. Index
+// pages are charged per the B+-tree's fill (|J|/z), plus the tuple fetches
+// through the buffer pool.
+func IndexJoin(ix *joinindex.Index, r, s Table) ([]core.Match, Stats, error) {
+	var stats Stats
+	var out []core.Match
+	pools := []*poolDelta{newPoolDelta(r.Pool)}
+	if s.Pool != r.Pool {
+		pools = append(pools, newPoolDelta(s.Pool))
+	}
+	var ferr error
+	ix.AllPairs(func(rid, sid int) bool {
+		if err := r.touch(rid); err != nil {
+			ferr = err
+			return false
+		}
+		if err := s.touch(sid); err != nil {
+			ferr = err
+			return false
+		}
+		out = append(out, core.Match{R: rid, S: sid})
+		return true
+	})
+	if ferr != nil {
+		return nil, stats, ferr
+	}
+	for _, pd := range pools {
+		stats.PageReads += pd.delta()
+	}
+	stats.IndexReads = indexPages(ix)
+	return out, stats, nil
+}
+
+// IndexSelect answers a spatial selection for a selector that is tuple rID
+// of R, using the join index: look up its matches and fetch the S tuples.
+func IndexSelect(ix *joinindex.Index, rID int, s Table) ([]int, Stats, error) {
+	var stats Stats
+	var out []int
+	var visits int
+	reads, err := measure(s.Pool, func() error {
+		var ferr error
+		visits = ix.MatchesOfR(rID, func(sid int) bool {
+			if err := s.touch(sid); err != nil {
+				ferr = err
+				return false
+			}
+			out = append(out, sid)
+			return true
+		})
+		return ferr
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.PageReads = reads
+	stats.IndexReads = int64(visits)
+	return out, stats, nil
+}
+
+// indexPages estimates the pages a full scan of the join index touches:
+// its leaves, ⌈|J|/z⌉ with z the tree order (matching the model's paging
+// charge for strategy III).
+func indexPages(ix *joinindex.Index) int64 {
+	n := ix.Len()
+	if n == 0 {
+		return 0
+	}
+	z := ix.Order()
+	return int64((n + z - 1) / z)
+}
+
+// poolDelta tracks a buffer pool's miss counter from a start point.
+type poolDelta struct {
+	pool  *storage.BufferPool
+	start int64
+}
+
+func newPoolDelta(pool *storage.BufferPool) *poolDelta {
+	return &poolDelta{pool: pool, start: pool.Stats().Misses}
+}
+
+// delta returns the physical reads since construction.
+func (pd *poolDelta) delta() int64 { return pd.pool.Stats().Misses - pd.start }

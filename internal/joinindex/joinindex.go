@@ -1,0 +1,222 @@
+// Package joinindex implements Valduriez-style join indices (the paper's
+// strategy III): the result of a join R ⋈θ S precomputed as a binary
+// relation of matching tuple-ID pairs, stored in B+-trees (modeling
+// assumption S4).
+//
+// Two trees are kept — forward (r, s) and reverse (s, r) — so matches can be
+// enumerated from either side in logarithmic time. The paper's key
+// observations about this strategy are directly visible in the API: lookups
+// are cheap (Matches* walks a small key range), but maintenance is expensive
+// because every inserted tuple must be checked against the entire other
+// relation (MaintainInsert* take a full candidate enumeration).
+package joinindex
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/btree"
+)
+
+// Index is a precomputed join index between two relations R and S for one
+// fixed θ-operator.
+type Index struct {
+	forward *btree.Tree // keys (r, s)
+	reverse *btree.Tree // keys (s, r)
+}
+
+// New returns an empty join index whose B+-trees have the given order (the
+// paper's z, Table 3: 100).
+func New(order int) (*Index, error) {
+	fwd, err := btree.New(order)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := btree.New(order)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{forward: fwd, reverse: rev}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(order int) *Index {
+	ix, err := New(order)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Len returns the number of stored pairs (the join cardinality |J|).
+func (ix *Index) Len() int { return ix.forward.Len() }
+
+// Order returns the underlying B+-trees' order (the paper's z).
+func (ix *Index) Order() int { return ix.forward.Order() }
+
+// Height returns the forward tree's height, the paper's parameter d minus
+// one (the paper counts pages on a root-to-leaf path, with the root pinned
+// in memory).
+func (ix *Index) Height() int { return ix.forward.Height() }
+
+// Add records that tuples r ∈ R and s ∈ S match. It reports whether the
+// pair is new. Negative IDs are rejected.
+func (ix *Index) Add(r, s int) (bool, error) {
+	if r < 0 || s < 0 {
+		return false, fmt.Errorf("joinindex: negative tuple id (%d, %d)", r, s)
+	}
+	added := ix.forward.Insert(btree.Key{Hi: uint64(r), Lo: uint64(s)})
+	if added {
+		ix.reverse.Insert(btree.Key{Hi: uint64(s), Lo: uint64(r)})
+	}
+	return added, nil
+}
+
+// Remove deletes the pair, reporting whether it was present.
+func (ix *Index) Remove(r, s int) bool {
+	if r < 0 || s < 0 {
+		return false
+	}
+	removed := ix.forward.Delete(btree.Key{Hi: uint64(r), Lo: uint64(s)})
+	if removed {
+		ix.reverse.Delete(btree.Key{Hi: uint64(s), Lo: uint64(r)})
+	}
+	return removed
+}
+
+// Contains reports whether the pair is stored.
+func (ix *Index) Contains(r, s int) bool {
+	if r < 0 || s < 0 {
+		return false
+	}
+	found, _ := ix.forward.Contains(btree.Key{Hi: uint64(r), Lo: uint64(s)})
+	return found
+}
+
+// MatchesOfR calls f with every s matching r, in ascending order. It
+// returns the number of index nodes visited (the unit the cost model
+// charges for paging in the join index).
+func (ix *Index) MatchesOfR(r int, f func(s int) bool) (visits int) {
+	if r < 0 {
+		return 0
+	}
+	return ix.forward.Range(
+		btree.Key{Hi: uint64(r), Lo: 0},
+		btree.Key{Hi: uint64(r), Lo: ^uint64(0)},
+		func(k btree.Key) bool { return f(int(k.Lo)) },
+	)
+}
+
+// MatchesOfS calls f with every r matching s, in ascending order, returning
+// index-node visits.
+func (ix *Index) MatchesOfS(s int, f func(r int) bool) (visits int) {
+	if s < 0 {
+		return 0
+	}
+	return ix.reverse.Range(
+		btree.Key{Hi: uint64(s), Lo: 0},
+		btree.Key{Hi: uint64(s), Lo: ^uint64(0)},
+		func(k btree.Key) bool { return f(int(k.Lo)) },
+	)
+}
+
+// AllPairs calls f for every stored pair in (r, s) order.
+func (ix *Index) AllPairs(f func(r, s int) bool) {
+	ix.forward.All(func(k btree.Key) bool { return f(int(k.Hi), int(k.Lo)) })
+}
+
+// DeleteR removes every pair involving tuple r of R (called when r is
+// deleted from its relation). It returns the number of pairs removed.
+func (ix *Index) DeleteR(r int) int {
+	var ss []int
+	ix.MatchesOfR(r, func(s int) bool { ss = append(ss, s); return true })
+	for _, s := range ss {
+		ix.Remove(r, s)
+	}
+	return len(ss)
+}
+
+// DeleteS removes every pair involving tuple s of S.
+func (ix *Index) DeleteS(s int) int {
+	var rs []int
+	ix.MatchesOfS(s, func(r int) bool { rs = append(rs, r); return true })
+	for _, r := range rs {
+		ix.Remove(r, s)
+	}
+	return len(rs)
+}
+
+// MaintainCost describes the work a maintenance operation performed, in the
+// paper's units: θ evaluations (C_U each in §4.2's update model) and pairs
+// added.
+type MaintainCost struct {
+	Evaluations int
+	PairsAdded  int
+}
+
+// MaintainInsertR updates the index after tuple r is inserted into R: match
+// must report, for each existing tuple s of S (0..sCount-1), whether
+// r θ s. This is the paper's U_III update path — note the full scan of the
+// other relation.
+func (ix *Index) MaintainInsertR(r, sCount int, match func(s int) (bool, error)) (MaintainCost, error) {
+	var cost MaintainCost
+	for s := 0; s < sCount; s++ {
+		cost.Evaluations++
+		ok, err := match(s)
+		if err != nil {
+			return cost, err
+		}
+		if ok {
+			if _, err := ix.Add(r, s); err != nil {
+				return cost, err
+			}
+			cost.PairsAdded++
+		}
+	}
+	return cost, nil
+}
+
+// MaintainInsertS is the symmetric update path for an insert into S.
+func (ix *Index) MaintainInsertS(s, rCount int, match func(r int) (bool, error)) (MaintainCost, error) {
+	var cost MaintainCost
+	for r := 0; r < rCount; r++ {
+		cost.Evaluations++
+		ok, err := match(r)
+		if err != nil {
+			return cost, err
+		}
+		if ok {
+			if _, err := ix.Add(r, s); err != nil {
+				return cost, err
+			}
+			cost.PairsAdded++
+		}
+	}
+	return cost, nil
+}
+
+// Validate cross-checks the forward and reverse trees.
+func (ix *Index) Validate() error {
+	if err := ix.forward.Validate(); err != nil {
+		return fmt.Errorf("joinindex forward: %w", err)
+	}
+	if err := ix.reverse.Validate(); err != nil {
+		return fmt.Errorf("joinindex reverse: %w", err)
+	}
+	if ix.forward.Len() != ix.reverse.Len() {
+		return fmt.Errorf("joinindex: forward has %d pairs, reverse %d",
+			ix.forward.Len(), ix.reverse.Len())
+	}
+	ok := true
+	ix.forward.All(func(k btree.Key) bool {
+		found, _ := ix.reverse.Contains(btree.Key{Hi: k.Lo, Lo: k.Hi})
+		if !found {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("joinindex: forward pair missing from reverse tree")
+	}
+	return nil
+}

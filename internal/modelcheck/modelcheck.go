@@ -1,0 +1,310 @@
+// Package modelcheck validates the analytical cost model (§4) against the
+// executable algorithms by constructing the exact world the model assumes:
+// a balanced k-ary generalization tree (S1) whose every node is a tuple
+// (S2), and a synthetic θ-operator for which Θ ⇔ θ (S3) with pairwise match
+// probabilities drawn per the UNIFORM / NO-LOC / HI-LOC distributions.
+// Running SELECT and JOIN over this world counts actual Θ evaluations,
+// which can be compared with the model's computation-cost formulas
+// C_II^Θ(h) and D_II^Θ.
+//
+// The synthetic operator identifies nodes through their MBRs: node IDs and
+// levels are encoded in degenerate rectangles (the algorithms never inspect
+// coordinates beyond passing them to the operator, and S3 makes geometric
+// containment irrelevant — matching is probabilistic by fiat, exactly as in
+// the model).
+package modelcheck
+
+import (
+	"fmt"
+	"math"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/costmodel"
+	"spatialjoin/internal/geom"
+)
+
+// IDTree builds the model's idealized tree: balanced k-ary, height n
+// (root = level 0), node IDs assigned in BFS order, every node a tuple.
+// Node i at level l carries the identifying MBR Rect{i, l, i, l}.
+func IDTree(k, n int) (*core.BasicTree, int) {
+	if k < 2 || n < 0 {
+		panic(fmt.Sprintf("modelcheck: bad tree shape k=%d n=%d", k, n))
+	}
+	id := 0
+	mk := func(level int) *core.BasicNode {
+		node := core.NewBasicNode(idRect(id, level), id)
+		id++
+		return node
+	}
+	root := mk(0)
+	level := []*core.BasicNode{root}
+	for depth := 0; depth < n; depth++ {
+		var next []*core.BasicNode
+		for _, parent := range level {
+			for c := 0; c < k; c++ {
+				child := mk(depth + 1)
+				parent.AddChild(child)
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return core.NewBasicTree(root), id
+}
+
+// idRect encodes a node identity as a degenerate rectangle.
+func idRect(id, level int) geom.Rect {
+	return geom.Rect{
+		MinX: float64(id), MinY: float64(level),
+		MaxX: float64(id), MaxY: float64(level),
+	}
+}
+
+// decode recovers the node identity from an encoded rectangle.
+func decode(r geom.Rect) (id, level int) {
+	return int(r.MinX), int(r.MinY)
+}
+
+// Op is the synthetic θ-operator of assumption S3: Filter and Eval are the
+// same deterministic pseudo-random draw, with P(match) given by the chosen
+// distribution at the operand nodes' levels.
+//
+// Two drawing modes exist because the model implicitly assumes Θ-soundness
+// (a match with a node implies a match with every ancestor — otherwise the
+// hierarchical search could never find it):
+//
+//   - Coupled draws realize exactly that world for a fixed left operand:
+//     the right operand matches only if its parent matches, with the
+//     conditional probability ρ(node)/ρ(parent), so marginals telescope to
+//     the distribution's ρ while matches are nested along root paths. This
+//     is the mode for validating SELECT, whose formula is then exact in
+//     expectation.
+//   - Independent draws give each ordered pair its own Bernoulli draw. The
+//     JOIN formula D_II^Θ prices pair survival with the correlated
+//     single-π approximation the paper spells out, so it upper-bounds the
+//     measured work in this mode (with equality at p = 1).
+type Op struct {
+	// Model supplies the distribution, p and tree shape.
+	Model costmodel.Model
+	// Seed varies the pseudo-random draws across experiment repetitions.
+	Seed uint64
+	// SameTree treats operands as nodes of one shared tree (required for
+	// HI-LOC, where matching depends on the lowest common ancestor).
+	SameTree bool
+	// Coupled selects the nested-along-paths drawing mode.
+	Coupled bool
+}
+
+// NewOp returns a synthetic operator for the model.
+func NewOp(m costmodel.Model, seed uint64, sameTree bool) *Op {
+	if m.Dist == costmodel.HiLoc && !sameTree {
+		panic("modelcheck: HI-LOC requires sameTree (the paper restricts it to one tree)")
+	}
+	return &Op{Model: m, Seed: seed, SameTree: sameTree}
+}
+
+// NewCoupledOp returns a synthetic operator with Θ-sound nested draws.
+func NewCoupledOp(m costmodel.Model, seed uint64, sameTree bool) *Op {
+	op := NewOp(m, seed, sameTree)
+	op.Coupled = true
+	return op
+}
+
+// Name implements pred.Operator.
+func (o *Op) Name() string {
+	return fmt.Sprintf("synthetic(%v,p=%g)", o.Model.Dist, o.Model.P)
+}
+
+// Eval implements pred.Operator; by S3 it is identical to Filter.
+func (o *Op) Eval(a, b geom.Spatial) bool {
+	return o.Filter(a.Bounds(), b.Bounds())
+}
+
+// Filter implements pred.Operator: a Bernoulli draw with the distribution's
+// probability for the operand levels, deterministic in (Seed, idA, idB).
+func (o *Op) Filter(a, b geom.Rect) bool {
+	idA, lvlA := decode(a)
+	idB, lvlB := decode(b)
+	if o.Coupled {
+		return o.coupledMatch(idA, lvlA, idB, lvlB)
+	}
+	return o.draw(idA, idB) < o.rho(idA, lvlA, idB, lvlB)
+}
+
+// rho returns the per-pair match probability.
+func (o *Op) rho(idA, lvlA, idB, lvlB int) float64 {
+	if o.SameTree {
+		return o.rhoSameTree(idA, lvlA, idB, lvlB)
+	}
+	return o.Model.Pi(lvlA, lvlB)
+}
+
+// coupledMatch draws Θ-soundly: the pair (a, b) matches only if
+// (a, parent(b)) matches, with conditional probability ρ(a,b)/ρ(a,parent).
+// Marginals telescope to ρ(a,b) and matches nest along b's root path, which
+// is exactly the world a sound Θ filter produces for a fixed selector a.
+func (o *Op) coupledMatch(idA, lvlA, idB, lvlB int) bool {
+	prob := o.rho(idA, lvlA, idB, lvlB)
+	if lvlB == 0 {
+		return o.draw(idA, idB) < prob
+	}
+	pid := parentID(idB, lvlB, o.Model.Prm.K)
+	parentProb := o.rho(idA, lvlA, pid, lvlB-1)
+	if !o.coupledMatch(idA, lvlA, pid, lvlB-1) {
+		return false
+	}
+	cond := 1.0
+	if parentProb > 0 {
+		cond = prob / parentProb
+	}
+	return o.draw(idA, idB) < cond
+}
+
+// rhoSameTree evaluates ρ for two nodes of one tree: exact for HI-LOC
+// (p^min(d₁,d₂) via the true LCA of the BFS ids), the level-based π for the
+// other distributions.
+func (o *Op) rhoSameTree(idA, lvlA, idB, lvlB int) float64 {
+	if o.Model.Dist != costmodel.HiLoc {
+		return o.Model.Pi(lvlA, lvlB)
+	}
+	l := lcaLevel(idA, lvlA, idB, lvlB, o.Model.Prm.K)
+	d1 := lvlA - l
+	d2 := lvlB - l
+	if d2 < d1 {
+		d1 = d2
+	}
+	return math.Pow(o.Model.P, float64(d1))
+}
+
+// lcaLevel returns the level of the lowest common ancestor of two nodes
+// identified by BFS ids in a complete k-ary tree.
+func lcaLevel(idA, lvlA, idB, lvlB, k int) int {
+	for lvlA > lvlB {
+		idA = parentID(idA, lvlA, k)
+		lvlA--
+	}
+	for lvlB > lvlA {
+		idB = parentID(idB, lvlB, k)
+		lvlB--
+	}
+	for idA != idB {
+		idA = parentID(idA, lvlA, k)
+		idB = parentID(idB, lvlB, k)
+		lvlA--
+		lvlB--
+	}
+	return lvlA
+}
+
+// parentID maps a BFS id at the given level to its parent's BFS id.
+func parentID(id, level, k int) int {
+	if level == 0 {
+		return id
+	}
+	first := firstIDAtLevel(level, k)
+	offset := id - first
+	return firstIDAtLevel(level-1, k) + offset/k
+}
+
+// firstIDAtLevel returns the BFS id of the leftmost node at a level:
+// (k^level − 1)/(k − 1).
+func firstIDAtLevel(level, k int) int {
+	n := 0
+	p := 1
+	for i := 0; i < level; i++ {
+		n += p
+		p *= k
+	}
+	return n
+}
+
+// draw returns a deterministic uniform value in [0, 1) for the ordered
+// pair, via two rounds of the splitmix64 finalizer so repeated experiments
+// are exactly reproducible.
+func (o *Op) draw(idA, idB int) float64 {
+	x := mix64(o.Seed + 0x9E3779B97F4A7C15*uint64(idA+1))
+	x = mix64(x ^ 0xD1B54A32D192ED03*uint64(idB+1))
+	return float64(x>>11) / float64(1<<53)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Result is one model-vs-measured comparison point.
+type Result struct {
+	// Predicted is the model's Θ-evaluation count (the computation cost
+	// divided by C_Θ).
+	Predicted float64
+	// Measured is the mean Θ-evaluation count of the live algorithm over
+	// the repetitions.
+	Measured float64
+	// Repetitions is the number of independent draws averaged.
+	Repetitions int
+}
+
+// Ratio returns measured / predicted.
+func (r Result) Ratio() float64 {
+	if r.Predicted == 0 {
+		return 0
+	}
+	return r.Measured / r.Predicted
+}
+
+// MeasureSelect runs algorithm SELECT over the idealized tree with the
+// synthetic operator and compares the measured Θ evaluations against
+// C_II^Θ(h)/C_Θ. The selector is the leftmost node at level h of the same
+// tree (as the model's HI-LOC analysis requires).
+func MeasureSelect(m costmodel.Model, reps int) (Result, error) {
+	k, n, h := m.Prm.K, m.Prm.Nlevels, m.Prm.H
+	tree, _ := IDTree(k, n)
+	selector := idRect(firstIDAtLevel(h, k), h)
+
+	var total int64
+	for rep := 0; rep < reps; rep++ {
+		op := NewCoupledOp(m, uint64(rep+1), true)
+		res, err := core.Select(tree, selector, op, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		total += res.Stats.FilterEvals
+	}
+	predicted := m.SelectCosts(h).CIITheta / m.Prm.CTheta
+	return Result{
+		Predicted:   predicted,
+		Measured:    float64(total) / float64(reps),
+		Repetitions: reps,
+	}, nil
+}
+
+// MeasureJoin runs algorithm JOIN (a self-join of the idealized tree, so
+// HI-LOC is well-defined) and compares measured Θ evaluations against
+// D_II^Θ/C_Θ. The paper notes D_II^Θ deliberately overestimates (it prices
+// pair survival at π_{i,i−1} instead of a product), so measured values at
+// small p land below the prediction.
+func MeasureJoin(m costmodel.Model, reps int) (Result, error) {
+	k, n := m.Prm.K, m.Prm.Nlevels
+	tree, _ := IDTree(k, n)
+
+	var total int64
+	for rep := 0; rep < reps; rep++ {
+		op := NewOp(m, uint64(rep+1), true)
+		res, err := core.Join(tree, tree, op, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		total += res.Stats.FilterEvals
+	}
+	predicted := m.JoinCosts().DIITheta / m.Prm.CTheta
+	return Result{
+		Predicted:   predicted,
+		Measured:    float64(total) / float64(reps),
+		Repetitions: reps,
+	}, nil
+}

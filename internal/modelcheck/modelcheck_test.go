@@ -1,0 +1,195 @@
+package modelcheck
+
+import (
+	"math"
+	"testing"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/costmodel"
+)
+
+// smallParams returns a laptop-scale model configuration: k=4, n=4 (341
+// nodes), selector at leaf level.
+func smallParams() costmodel.Params {
+	prm := costmodel.PaperParams()
+	prm.K = 4
+	prm.Nlevels = 4
+	prm.H = 4
+	prm.T = 341
+	return prm
+}
+
+func TestIDTreeShape(t *testing.T) {
+	tree, n := IDTree(3, 3)
+	if n != 40 { // (3^4-1)/2
+		t.Fatalf("nodes = %d, want 40", n)
+	}
+	if tree.Height() != 3 {
+		t.Fatalf("height = %d", tree.Height())
+	}
+	// BFS ids, levels encoded consistently.
+	core.Walk(tree, func(nd core.Node, level int) bool {
+		id, ok := nd.Tuple()
+		if !ok {
+			t.Fatal("every node must carry a tuple (S2)")
+		}
+		gotID, gotLevel := decode(nd.Bounds())
+		if gotID != id || gotLevel != level {
+			t.Fatalf("encoding broken: node %d level %d decodes to %d/%d",
+				id, level, gotID, gotLevel)
+		}
+		return true
+	})
+}
+
+func TestIDTreePanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	IDTree(1, 3)
+}
+
+func TestParentIDAndLCA(t *testing.T) {
+	// k=3: level 0 = {0}, level 1 = {1,2,3}, level 2 = {4..12}.
+	if got := parentID(4, 2, 3); got != 1 {
+		t.Fatalf("parent of 4 = %d", got)
+	}
+	if got := parentID(12, 2, 3); got != 3 {
+		t.Fatalf("parent of 12 = %d", got)
+	}
+	if got := parentID(0, 0, 3); got != 0 {
+		t.Fatalf("parent of root = %d", got)
+	}
+	// LCA of two children of node 1 (ids 4 and 5) is node 1 at level 1.
+	if got := lcaLevel(4, 2, 5, 2, 3); got != 1 {
+		t.Fatalf("lca(4,5) level = %d", got)
+	}
+	// LCA of nodes under different level-1 parents is the root.
+	if got := lcaLevel(4, 2, 12, 2, 3); got != 0 {
+		t.Fatalf("lca(4,12) level = %d", got)
+	}
+	// LCA with an ancestor is the ancestor's level.
+	if got := lcaLevel(1, 1, 4, 2, 3); got != 1 {
+		t.Fatalf("lca(1, 4) level = %d", got)
+	}
+	// firstIDAtLevel sanity.
+	if firstIDAtLevel(0, 3) != 0 || firstIDAtLevel(1, 3) != 1 || firstIDAtLevel(2, 3) != 4 {
+		t.Fatal("firstIDAtLevel wrong")
+	}
+}
+
+func TestOpDeterministicAndCalibrated(t *testing.T) {
+	m := costmodel.MustModel(smallParams(), costmodel.Uniform, 0.3)
+	op1 := NewOp(m, 7, true)
+	op2 := NewOp(m, 7, true)
+	a := idRect(5, 2)
+	b := idRect(9, 2)
+	if op1.Filter(a.Bounds(), b.Bounds()) != op2.Filter(a.Bounds(), b.Bounds()) {
+		t.Fatal("same seed must give same draw")
+	}
+	if op1.Eval(a, b) != op1.Filter(a.Bounds(), b.Bounds()) {
+		t.Fatal("S3 requires Eval ⇔ Filter")
+	}
+	// The empirical match rate over many pairs approaches p.
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if op1.Filter(idRect(i, 2).Bounds(), idRect(i+100000, 3).Bounds()) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("empirical match rate %g, want ≈ 0.3", rate)
+	}
+}
+
+func TestOpHiLocRequiresSameTree(t *testing.T) {
+	m := costmodel.MustModel(smallParams(), costmodel.HiLoc, 0.3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HI-LOC with sameTree=false must panic")
+		}
+	}()
+	NewOp(m, 1, false)
+}
+
+func TestOpHiLocAncestorsAlwaysMatch(t *testing.T) {
+	m := costmodel.MustModel(smallParams(), costmodel.HiLoc, 0.05)
+	op := NewOp(m, 3, true)
+	// Root (id 0) is everyone's ancestor: ρ = p⁰ = 1, always a match.
+	// Valid BFS ids for k=4: level 2 starts at 5, level 3 at 21, level 4 at 85.
+	for _, probe := range []struct{ id, level int }{{0, 0}, {1, 1}, {5, 2}, {21, 3}, {85, 4}} {
+		if !op.Filter(idRect(probe.id, probe.level).Bounds(), idRect(0, 0).Bounds()) {
+			t.Fatalf("node %d must match the root with certainty", probe.id)
+		}
+	}
+}
+
+func TestOpName(t *testing.T) {
+	m := costmodel.MustModel(smallParams(), costmodel.NoLoc, 0.25)
+	op := NewOp(m, 1, true)
+	if op.Name() != "synthetic(NO-LOC,p=0.25)" {
+		t.Fatalf("name = %q", op.Name())
+	}
+}
+
+func TestMeasureSelectMatchesModel(t *testing.T) {
+	// The measured Θ-evaluation count of SELECT must track C_II^Θ(h)
+	// closely: the formula is exact in expectation under S1–S3.
+	for _, dist := range costmodel.Distributions() {
+		for _, p := range []float64{0.05, 0.2, 0.5, 1} {
+			m := costmodel.MustModel(smallParams(), dist, p)
+			res, err := MeasureSelect(m, 80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Draws are deterministic per seed, so these bounds are stable;
+			// small p has all-or-nothing variance under UNIFORM coupling,
+			// hence the wider band there.
+			lo, hi := 0.8, 1.25
+			if p < 0.2 {
+				lo, hi = 0.5, 1.6
+			}
+			if p == 1 {
+				lo, hi = 0.999, 1.001 // deterministic at p = 1
+			}
+			if r := res.Ratio(); r < lo || r > hi {
+				t.Fatalf("%v p=%g: measured/predicted = %.3f (measured %.1f, predicted %.1f)",
+					dist, p, r, res.Measured, res.Predicted)
+			}
+		}
+	}
+}
+
+func TestMeasureJoinBoundedByModel(t *testing.T) {
+	// D_II^Θ is an acknowledged overestimate (correlation assumption), so
+	// the measured join work must not exceed it by more than noise — and at
+	// p = 1 the two must agree exactly.
+	for _, dist := range costmodel.Distributions() {
+		for _, p := range []float64{0.1, 0.5, 1} {
+			m := costmodel.MustModel(smallParams(), dist, p)
+			res, err := MeasureJoin(m, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Measured > res.Predicted*1.1 {
+				t.Fatalf("%v p=%g: measured %.1f exceeds prediction %.1f",
+					dist, p, res.Measured, res.Predicted)
+			}
+			if p == 1 {
+				if r := res.Ratio(); math.Abs(r-1) > 0.01 {
+					t.Fatalf("%v p=1: ratio = %.4f, want exact agreement", dist, r)
+				}
+			}
+		}
+	}
+}
+
+func TestResultRatioZeroPrediction(t *testing.T) {
+	if (Result{Predicted: 0, Measured: 5}).Ratio() != 0 {
+		t.Fatal("zero prediction must give ratio 0")
+	}
+}

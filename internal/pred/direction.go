@@ -1,0 +1,104 @@
+package pred
+
+import (
+	"fmt"
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// Direction identifies a compass quadrant for the directional operators.
+// The paper defines "to the Northwest of" (Table 1, Figure 5) and notes the
+// construction generalizes; DirectionOf provides all four quadrants with
+// the analogous tangent-based Θ filters.
+type Direction uint8
+
+// Compass quadrants.
+const (
+	Northwest Direction = iota
+	Northeast
+	Southwest
+	Southeast
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Northwest:
+		return "northwest"
+	case Northeast:
+		return "northeast"
+	case Southwest:
+		return "southwest"
+	case Southeast:
+		return "southeast"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// DirectionOf is the generalized "o₁ to the <direction> of o₂" operator,
+// measured between centerpoints. DirectionOf{Northwest} is exactly the
+// paper's operator (and NorthwestOf remains as the named form).
+type DirectionOf struct {
+	Dir Direction
+}
+
+// Name implements Operator.
+func (d DirectionOf) Name() string { return d.Dir.String() + "_of" }
+
+// Eval implements Operator: strict centerpoint comparison on both axes.
+func (d DirectionOf) Eval(a, b geom.Spatial) bool {
+	ca, cb := geom.CenterOf(a), geom.CenterOf(b)
+	switch d.Dir {
+	case Northwest:
+		return ca.X < cb.X && ca.Y > cb.Y
+	case Northeast:
+		return ca.X > cb.X && ca.Y > cb.Y
+	case Southwest:
+		return ca.X < cb.X && ca.Y < cb.Y
+	case Southeast:
+		return ca.X > cb.X && ca.Y < cb.Y
+	default:
+		return false
+	}
+}
+
+// Filter implements Operator: o₁'s MBR must overlap the quadrant formed by
+// the two tangents of o₂'s MBR facing away from the direction — the
+// Figure 5 construction rotated to each quadrant.
+func (d DirectionOf) Filter(a, b geom.Rect) bool {
+	return quadrant(d.Dir, b).Intersects(a)
+}
+
+// quadrant returns the unbounded quadrant of candidate centerpoints for the
+// given direction relative to r.
+func quadrant(dir Direction, r geom.Rect) geom.Rect {
+	inf := math.Inf(1)
+	switch dir {
+	case Northwest:
+		// Left of the right tangent, above the lower tangent.
+		return geom.Rect{MinX: -inf, MinY: r.MinY, MaxX: r.MaxX, MaxY: inf}
+	case Northeast:
+		return geom.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: inf, MaxY: inf}
+	case Southwest:
+		return geom.Rect{MinX: -inf, MinY: -inf, MaxX: r.MaxX, MaxY: r.MaxY}
+	case Southeast:
+		return geom.Rect{MinX: r.MinX, MinY: -inf, MaxX: inf, MaxY: r.MaxY}
+	default:
+		return geom.Rect{MinX: -inf, MinY: -inf, MaxX: inf, MaxY: inf}
+	}
+}
+
+// Extended returns Table1 plus the operators the paper's constructions
+// generalize to: the remaining three compass directions (Figure 5 rotated)
+// and the NO-LOC motivating distance band. Soundness property tests run
+// over this full set.
+func Extended() []Operator {
+	return append(Table1(),
+		DirectionOf{Dir: Northeast},
+		DirectionOf{Dir: Southwest},
+		DirectionOf{Dir: Southeast},
+		DistanceBand{Lo: 15, Hi: 40},
+	)
+}

@@ -1,0 +1,104 @@
+package pred
+
+import (
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+func TestDirectionString(t *testing.T) {
+	names := map[Direction]string{
+		Northwest: "northwest", Northeast: "northeast",
+		Southwest: "southwest", Southeast: "southeast",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q", d, d.String())
+		}
+	}
+	if Direction(9).String() != "Direction(9)" {
+		t.Error("unknown direction string wrong")
+	}
+}
+
+func TestDirectionOfEvalAllQuadrants(t *testing.T) {
+	center := geom.NewRect(4, 4, 6, 6) // center (5,5)
+	probes := map[Direction]geom.Rect{
+		Northwest: geom.NewRect(0, 8, 2, 10), // center (1,9)
+		Northeast: geom.NewRect(8, 8, 10, 10),
+		Southwest: geom.NewRect(0, 0, 2, 2),
+		Southeast: geom.NewRect(8, 0, 10, 2),
+	}
+	for dir, probe := range probes {
+		op := DirectionOf{Dir: dir}
+		if !op.Eval(probe, center) {
+			t.Errorf("%s: probe should be %s of center", op.Name(), dir)
+		}
+		// The probe is in exactly one quadrant relative to the center.
+		for other := range probes {
+			if other == dir {
+				continue
+			}
+			if (DirectionOf{Dir: other}).Eval(probe, center) {
+				t.Errorf("probe for %s also matched %s", dir, other)
+			}
+		}
+		// Same-axis alignment must not match (strict comparisons).
+		if op.Eval(center, center) {
+			t.Errorf("%s: an object is not in any direction of itself", dir)
+		}
+	}
+}
+
+func TestDirectionOfMatchesNorthwestOf(t *testing.T) {
+	gen := DirectionOf{Dir: Northwest}
+	named := NorthwestOf{}
+	cases := [][2]geom.Rect{
+		{geom.NewRect(0, 8, 2, 10), geom.NewRect(5, 0, 7, 2)},
+		{geom.NewRect(5, 0, 7, 2), geom.NewRect(0, 8, 2, 10)},
+		{geom.NewRect(0, 0, 2, 2), geom.NewRect(0, 0, 2, 2)},
+	}
+	for i, c := range cases {
+		if gen.Eval(c[0], c[1]) != named.Eval(c[0], c[1]) {
+			t.Fatalf("case %d: Eval disagrees with NorthwestOf", i)
+		}
+		if gen.Filter(c[0], c[1]) != named.Filter(c[0], c[1]) {
+			t.Fatalf("case %d: Filter disagrees with NorthwestOf", i)
+		}
+	}
+}
+
+func TestDirectionFilterRejectsOppositeQuadrant(t *testing.T) {
+	b := geom.NewRect(40, 40, 60, 60)
+	opposites := map[Direction]geom.Rect{
+		Northwest: geom.NewRect(80, 0, 90, 10),  // strictly SE of b
+		Northeast: geom.NewRect(0, 0, 10, 10),   // strictly SW
+		Southwest: geom.NewRect(80, 80, 90, 90), // strictly NE
+		Southeast: geom.NewRect(0, 80, 10, 90),  // strictly NW
+	}
+	for dir, a := range opposites {
+		op := DirectionOf{Dir: dir}
+		if op.Filter(a, b) {
+			t.Errorf("%s: filter must reject the opposite quadrant", op.Name())
+		}
+	}
+}
+
+func TestExtendedOperatorSet(t *testing.T) {
+	ext := Extended()
+	if len(ext) != len(Table1())+4 {
+		t.Fatalf("Extended has %d operators", len(ext))
+	}
+	names := map[string]bool{}
+	for _, op := range ext {
+		if names[op.Name()] {
+			t.Fatalf("duplicate operator %s", op.Name())
+		}
+		names[op.Name()] = true
+	}
+	for _, want := range []string{"northeast_of", "southwest_of", "southeast_of", "distance_band(15,40)"} {
+		if !names[want] {
+			t.Fatalf("Extended missing %s", want)
+		}
+	}
+}

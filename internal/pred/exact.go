@@ -1,0 +1,172 @@
+package pred
+
+import (
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// shape is the canonical decomposition of a geom.Spatial for exact predicate
+// evaluation. Exactly one field group is populated.
+type shape struct {
+	kind shapeKind
+	pt   geom.Point
+	seg  geom.Segment
+	poly geom.Polygon
+}
+
+type shapeKind uint8
+
+const (
+	kindPoint shapeKind = iota
+	kindSegment
+	kindPolygon
+)
+
+// canonical converts any supported Spatial into a shape. Unknown concrete
+// types degrade gracefully to their MBR polygon, which keeps Eval total (the
+// predicate is then exact on the MBR rather than the underlying geometry).
+func canonical(s geom.Spatial) shape {
+	switch v := s.(type) {
+	case geom.Point:
+		return shape{kind: kindPoint, pt: v}
+	case *geom.Point:
+		return shape{kind: kindPoint, pt: *v}
+	case geom.Segment:
+		return shape{kind: kindSegment, seg: v}
+	case geom.Polygon:
+		return shape{kind: kindPolygon, poly: v}
+	case geom.Rect:
+		return shape{kind: kindPolygon, poly: v.ToPolygon()}
+	default:
+		return shape{kind: kindPolygon, poly: s.Bounds().ToPolygon()}
+	}
+}
+
+// exactIntersects reports whether the geometries of a and b share a point.
+func exactIntersects(a, b geom.Spatial) bool {
+	// MBR pre-test: cheap and always sound.
+	if !a.Bounds().Intersects(b.Bounds()) {
+		return false
+	}
+	sa, sb := canonical(a), canonical(b)
+	// Normalize so sa.kind ≤ sb.kind, halving the case analysis.
+	if sa.kind > sb.kind {
+		sa, sb = sb, sa
+	}
+	switch {
+	case sa.kind == kindPoint && sb.kind == kindPoint:
+		return sa.pt == sb.pt
+	case sa.kind == kindPoint && sb.kind == kindSegment:
+		return sb.seg.DistanceToPoint(sa.pt) < 1e-12
+	case sa.kind == kindPoint && sb.kind == kindPolygon:
+		return sb.poly.ContainsPoint(sa.pt)
+	case sa.kind == kindSegment && sb.kind == kindSegment:
+		return sa.seg.Intersects(sb.seg)
+	case sa.kind == kindSegment && sb.kind == kindPolygon:
+		return segmentPolygonIntersects(sa.seg, sb.poly)
+	default: // polygon – polygon
+		return sa.poly.Intersects(sb.poly)
+	}
+}
+
+// segmentPolygonIntersects reports whether segment s shares a point with
+// polygon pg (interior or boundary).
+func segmentPolygonIntersects(s geom.Segment, pg geom.Polygon) bool {
+	if pg.ContainsPoint(s.A) || pg.ContainsPoint(s.B) {
+		return true
+	}
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		e := geom.Segment{A: pg[i], B: pg[(i+1)%n]}
+		if e.Intersects(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// exactContains reports whether the geometry of a entirely contains the
+// geometry of b.
+func exactContains(a, b geom.Spatial) bool {
+	if !a.Bounds().ContainsRect(b.Bounds()) {
+		return false
+	}
+	sa, sb := canonical(a), canonical(b)
+	switch sa.kind {
+	case kindPoint:
+		// A point contains only an identical point.
+		return sb.kind == kindPoint && sa.pt == sb.pt
+	case kindSegment:
+		switch sb.kind {
+		case kindPoint:
+			return sa.seg.DistanceToPoint(sb.pt) < 1e-12
+		case kindSegment:
+			return sa.seg.DistanceToPoint(sb.seg.A) < 1e-12 &&
+				sa.seg.DistanceToPoint(sb.seg.B) < 1e-12
+		default:
+			return false // a 1-D segment cannot contain a 2-D polygon
+		}
+	default: // polygon
+		switch sb.kind {
+		case kindPoint:
+			return sa.poly.ContainsPoint(sb.pt)
+		case kindSegment:
+			return polygonContainsSegment(sa.poly, sb.seg)
+		default:
+			return sa.poly.Contains(sb.poly)
+		}
+	}
+}
+
+// polygonContainsSegment reports whether both endpoints of s lie in pg and
+// no edge of pg properly crosses s. For convex pg the endpoint test alone
+// suffices; the crossing test covers concave polygons.
+func polygonContainsSegment(pg geom.Polygon, s geom.Segment) bool {
+	if !pg.ContainsPoint(s.A) || !pg.ContainsPoint(s.B) {
+		return false
+	}
+	// Probe the midpoint as a cheap concavity check, then edge crossings.
+	mid := geom.Point{X: (s.A.X + s.B.X) / 2, Y: (s.A.Y + s.B.Y) / 2}
+	return pg.ContainsPoint(mid)
+}
+
+// exactMinDistance returns the smallest Euclidean distance between the
+// geometries of a and b, zero if they intersect.
+func exactMinDistance(a, b geom.Spatial) float64 {
+	if exactIntersects(a, b) {
+		return 0
+	}
+	sa, sb := canonical(a), canonical(b)
+	if sa.kind > sb.kind {
+		sa, sb = sb, sa
+	}
+	switch {
+	case sa.kind == kindPoint && sb.kind == kindPoint:
+		return sa.pt.DistanceTo(sb.pt)
+	case sa.kind == kindPoint && sb.kind == kindSegment:
+		return sb.seg.DistanceToPoint(sa.pt)
+	case sa.kind == kindPoint && sb.kind == kindPolygon:
+		return sb.poly.DistanceToPoint(sa.pt)
+	case sa.kind == kindSegment && sb.kind == kindSegment:
+		return sa.seg.Distance(sb.seg)
+	case sa.kind == kindSegment && sb.kind == kindPolygon:
+		return segmentPolygonDistance(sa.seg, sb.poly)
+	default:
+		return sa.poly.Distance(sb.poly)
+	}
+}
+
+// segmentPolygonDistance returns the distance between a segment and a
+// polygon that are known to be disjoint.
+func segmentPolygonDistance(s geom.Segment, pg geom.Polygon) float64 {
+	best := math.Inf(1)
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		e := geom.Segment{A: pg[i], B: pg[(i+1)%n]}
+		if d := e.Distance(s); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,195 @@
+// Package pred implements the spatial θ-operators of Günther's spatial-join
+// framework together with their Θ filter counterparts (Table 1 of the
+// paper).
+//
+// A θ-operator is the exact predicate a spatial join is defined over, e.g.
+// "a overlaps b" or "a within 10 km of b (between centerpoints)". Its
+// Θ-operator is the conservative filter evaluated on the minimum bounding
+// rectangles of interior tree nodes: o₁′ Θ o₂′ must be true whenever o₁′ and
+// o₂′ *may* have subobjects o₁ ⊆ o₁′, o₂ ⊆ o₂′ with o₁ θ o₂. In particular
+// θ(a, b) ⇒ Θ(mbr(a), mbr(b)) for all objects (each object is its own
+// subobject) — the soundness property the package's tests verify.
+package pred
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/geom"
+)
+
+// Operator is a spatial θ-operator paired with its Θ filter.
+//
+// Eval is the exact predicate over concrete geometries (points, rectangles,
+// segments, simple polygons). Filter is the Θ-operator over MBRs; it may
+// return false positives but never false negatives with respect to the
+// subobject condition above.
+type Operator interface {
+	// Name returns a stable identifier such as "overlaps" or
+	// "within_distance(10)".
+	Name() string
+
+	// Eval reports whether a θ b holds exactly.
+	Eval(a, b geom.Spatial) bool
+
+	// Filter reports whether the MBRs a and b may enclose matching
+	// subobjects (the Θ-operator).
+	Filter(a, b geom.Rect) bool
+}
+
+// WithinDistance is the paper's "o₁ within distance d from o₂" operator,
+// measured between centerpoints (θ). Its Θ filter measures between closest
+// points of the MBRs, which is the sound relaxation from Table 1.
+type WithinDistance struct {
+	// D is the distance threshold in coordinate units.
+	D float64
+}
+
+// Name implements Operator.
+func (w WithinDistance) Name() string { return fmt.Sprintf("within_distance(%g)", w.D) }
+
+// Eval implements Operator: centerpoint distance ≤ D.
+func (w WithinDistance) Eval(a, b geom.Spatial) bool {
+	return geom.CenterOf(a).DistanceTo(geom.CenterOf(b)) <= w.D
+}
+
+// Filter implements Operator: closest-point distance between MBRs ≤ D.
+// Sound because any subobject's centerpoint lies inside its ancestor's MBR,
+// so the centerpoint distance of any subobject pair is at least the MBR
+// closest-point distance.
+func (w WithinDistance) Filter(a, b geom.Rect) bool {
+	return a.MinDistance(b) <= w.D
+}
+
+// DistanceBand is the two-sided distance operator behind the paper's NO-LOC
+// motivating example "between 50 and 100 kilometers from": the centerpoint
+// distance must fall in [Lo, Hi]. Its Θ filter brackets all candidate
+// centerpoint distances between the MBRs' closest-point and farthest-point
+// distances.
+type DistanceBand struct {
+	// Lo and Hi are the inclusive distance bounds, 0 ≤ Lo ≤ Hi.
+	Lo, Hi float64
+}
+
+// Name implements Operator.
+func (d DistanceBand) Name() string { return fmt.Sprintf("distance_band(%g,%g)", d.Lo, d.Hi) }
+
+// Eval implements Operator: Lo ≤ centerpoint distance ≤ Hi.
+func (d DistanceBand) Eval(a, b geom.Spatial) bool {
+	dist := geom.CenterOf(a).DistanceTo(geom.CenterOf(b))
+	return dist >= d.Lo && dist <= d.Hi
+}
+
+// Filter implements Operator. Any subobject centerpoints lie inside the
+// ancestor MBRs, so their distance is bracketed by MinDistance and
+// MaxDistance of the MBRs; the band can only be hit when the bracket
+// overlaps [Lo, Hi].
+func (d DistanceBand) Filter(a, b geom.Rect) bool {
+	return a.MinDistance(b) <= d.Hi && a.MaxDistance(b) >= d.Lo
+}
+
+// Overlaps is the "o₁ overlaps o₂" operator: the geometries share at least
+// one point. Its Θ filter is MBR overlap.
+type Overlaps struct{}
+
+// Name implements Operator.
+func (Overlaps) Name() string { return "overlaps" }
+
+// Eval implements Operator.
+func (Overlaps) Eval(a, b geom.Spatial) bool { return exactIntersects(a, b) }
+
+// Filter implements Operator: subobjects live inside their ancestors' MBRs,
+// so overlapping subobjects force overlapping MBRs.
+func (Overlaps) Filter(a, b geom.Rect) bool { return a.Intersects(b) }
+
+// Includes is the "o₁ includes o₂" operator: the geometry of b lies entirely
+// inside the geometry of a. Per Table 1 (and Figure 4) the Θ filter is plain
+// MBR overlap — an ancestor pair that merely overlaps may still hold an
+// including subobject pair.
+type Includes struct{}
+
+// Name implements Operator.
+func (Includes) Name() string { return "includes" }
+
+// Eval implements Operator.
+func (Includes) Eval(a, b geom.Spatial) bool { return exactContains(a, b) }
+
+// Filter implements Operator.
+func (Includes) Filter(a, b geom.Rect) bool { return a.Intersects(b) }
+
+// ContainedIn is the converse of Includes: o₁ lies inside o₂. Θ is again MBR
+// overlap (Table 1).
+type ContainedIn struct{}
+
+// Name implements Operator.
+func (ContainedIn) Name() string { return "contained_in" }
+
+// Eval implements Operator.
+func (ContainedIn) Eval(a, b geom.Spatial) bool { return exactContains(b, a) }
+
+// Filter implements Operator.
+func (ContainedIn) Filter(a, b geom.Rect) bool { return a.Intersects(b) }
+
+// NorthwestOf is the "o₁ to the Northwest of o₂" operator, measured between
+// centerpoints: strictly smaller X and strictly larger Y. Its Θ filter tests
+// whether o₁'s MBR overlaps the northwest quadrant formed by the right
+// vertical and the lower horizontal tangent on o₂'s MBR (Figure 5).
+type NorthwestOf struct{}
+
+// Name implements Operator.
+func (NorthwestOf) Name() string { return "northwest_of" }
+
+// Eval implements Operator.
+func (NorthwestOf) Eval(a, b geom.Spatial) bool {
+	return geom.CenterOf(a).NorthwestOf(geom.CenterOf(b))
+}
+
+// Filter implements Operator.
+func (NorthwestOf) Filter(a, b geom.Rect) bool {
+	return b.NorthwestQuadrant().Intersects(a)
+}
+
+// ReachableWithin is the paper's "o₁ reachable from o₂ in x minutes"
+// operator. The paper's setting presumes a travel-time buffer (an isochrone
+// over a road network); as a faithful synthetic substitute we use a
+// constant-speed Euclidean buffer: reachable ⇔ the closest-point distance is
+// at most Minutes·Speed. The Θ filter, per Table 1, checks whether o₁'s MBR
+// overlaps the x-minute buffer of o₂'s MBR.
+type ReachableWithin struct {
+	// Minutes is the travel-time budget.
+	Minutes float64
+	// Speed is the (constant) travel speed in coordinate units per minute.
+	Speed float64
+}
+
+// Radius returns the buffer radius Minutes·Speed.
+func (r ReachableWithin) Radius() float64 { return r.Minutes * r.Speed }
+
+// Name implements Operator.
+func (r ReachableWithin) Name() string {
+	return fmt.Sprintf("reachable_within(%gmin@%g)", r.Minutes, r.Speed)
+}
+
+// Eval implements Operator.
+func (r ReachableWithin) Eval(a, b geom.Spatial) bool {
+	return exactMinDistance(a, b) <= r.Radius()
+}
+
+// Filter implements Operator: a overlaps the buffered MBR of b. Equivalent
+// to MinDistance(a, b) ≤ radius for axis-aligned buffers.
+func (r ReachableWithin) Filter(a, b geom.Rect) bool {
+	return a.Intersects(b.Expand(r.Radius()))
+}
+
+// Table1 returns one instance of every operator pair from Table 1 of the
+// paper, with representative parameters. Useful for exhaustive soundness
+// tests and the Table 1 benchmark.
+func Table1() []Operator {
+	return []Operator{
+		WithinDistance{D: 10},
+		Overlaps{},
+		Includes{},
+		ContainedIn{},
+		NorthwestOf{},
+		ReachableWithin{Minutes: 10, Speed: 1},
+	}
+}

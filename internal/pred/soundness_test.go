@@ -1,0 +1,127 @@
+package pred
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+// randRectIn returns a random rectangle contained in parent.
+func randRectIn(rng *rand.Rand, parent geom.Rect) geom.Rect {
+	w, h := parent.Width(), parent.Height()
+	x1 := parent.MinX + rng.Float64()*w
+	x2 := parent.MinX + rng.Float64()*w
+	y1 := parent.MinY + rng.Float64()*h
+	y2 := parent.MinY + rng.Float64()*h
+	return geom.NewRect(x1, y1, x2, y2)
+}
+
+// TestThetaFilterSoundness is the central property of Table 1: for every
+// operator, whenever subobjects a ⊆ A′ and b ⊆ B′ satisfy a θ b, the filter
+// must accept the ancestor MBRs: Θ(A′, B′). A single counterexample means
+// the hierarchical SELECT/JOIN algorithms would silently lose results.
+func TestThetaFilterSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	ops := Extended()
+	const trials = 4000
+	for _, op := range ops {
+		misses := 0
+		for i := 0; i < trials; i++ {
+			parentA := geom.NewRect(rng.Float64()*100, rng.Float64()*100,
+				rng.Float64()*100, rng.Float64()*100)
+			parentB := geom.NewRect(rng.Float64()*100, rng.Float64()*100,
+				rng.Float64()*100, rng.Float64()*100)
+			a := randRectIn(rng, parentA)
+			b := randRectIn(rng, parentB)
+			if op.Eval(a, b) {
+				if !op.Filter(parentA, parentB) {
+					t.Fatalf("%s: unsound filter: a=%v ⊆ A'=%v, b=%v ⊆ B'=%v match but filter rejects",
+						op.Name(), a, parentA, b, parentB)
+				}
+				misses++
+			}
+		}
+		if misses == 0 {
+			t.Logf("%s: no θ matches drawn in %d trials (filter vacuously sound)", op.Name(), trials)
+		}
+	}
+}
+
+// TestThetaFilterSoundnessPolygons repeats the soundness property with
+// polygon subobjects, which exercise the exact-geometry evaluation paths.
+func TestThetaFilterSoundnessPolygons(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ops := Extended()
+	const trials = 1500
+	for _, op := range ops {
+		for i := 0; i < trials; i++ {
+			parentA := geom.NewRect(rng.Float64()*60, rng.Float64()*60,
+				rng.Float64()*60, rng.Float64()*60).Expand(5)
+			parentB := geom.NewRect(rng.Float64()*60, rng.Float64()*60,
+				rng.Float64()*60, rng.Float64()*60).Expand(5)
+			a := polyIn(rng, parentA)
+			b := polyIn(rng, parentB)
+			if op.Eval(a, b) && !op.Filter(parentA, parentB) {
+				t.Fatalf("%s: unsound for polygons: A'=%v B'=%v", op.Name(), parentA, parentB)
+			}
+		}
+	}
+}
+
+// polyIn returns a small regular polygon whose MBR is inside parent.
+func polyIn(rng *rand.Rand, parent geom.Rect) geom.Polygon {
+	maxR := 0.25 * min64(parent.Width(), parent.Height())
+	if maxR <= 0 {
+		return geom.RegularPolygon(parent.Center(), 1e-9, 3)
+	}
+	r := maxR * (0.2 + 0.8*rng.Float64())
+	cx := parent.MinX + r + rng.Float64()*(parent.Width()-2*r)
+	cy := parent.MinY + r + rng.Float64()*(parent.Height()-2*r)
+	return geom.RegularPolygon(geom.Pt(cx, cy), r, 3+rng.Intn(7))
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestFilterReflexivity: since every object is its own subobject, θ(a,b)
+// directly implies Θ(mbr(a), mbr(b)) — checked over random rect pairs for
+// every operator.
+func TestFilterReflexivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, op := range Extended() {
+		for i := 0; i < 3000; i++ {
+			a := geom.NewRect(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+			b := geom.NewRect(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+			if op.Eval(a, b) && !op.Filter(a.Bounds(), b.Bounds()) {
+				t.Fatalf("%s: θ(a,b) without Θ(a,b) for a=%v b=%v", op.Name(), a, b)
+			}
+		}
+	}
+}
+
+// TestFilterMonotoneUnderGrowth: enlarging either MBR never turns an
+// accepting filter into a rejecting one. The hierarchical algorithms rely on
+// this when ancestors higher in the tree have larger MBRs.
+func TestFilterMonotoneUnderGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, op := range Extended() {
+		for i := 0; i < 2000; i++ {
+			a := geom.NewRect(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+			b := geom.NewRect(rng.Float64()*50, rng.Float64()*50, rng.Float64()*50, rng.Float64()*50)
+			if !op.Filter(a, b) {
+				continue
+			}
+			ga := a.Expand(rng.Float64() * 10)
+			gb := b.Expand(rng.Float64() * 10)
+			if !op.Filter(ga, gb) {
+				t.Fatalf("%s: filter not monotone: %v,%v pass but grown %v,%v fail",
+					op.Name(), a, b, ga, gb)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/storage"
+)
+
+// Placement controls how tuples are laid out on pages when a relation is
+// bulk-loaded. The paper's strategy IIb clusters tuples on the spatial
+// attribute in breadth-first tree order; strategy IIa assumes no clustering
+// at all (tuples randomly distributed in the file).
+type Placement uint8
+
+const (
+	// PlaceSequential stores tuples in the order supplied by the caller.
+	// Handing tuples over in BFS order of their generalization tree yields
+	// the paper's clustered layout (IIb).
+	PlaceSequential Placement = iota
+	// PlaceShuffled stores tuples in a deterministic random permutation,
+	// the paper's unclustered layout (IIa).
+	PlaceShuffled
+)
+
+// Relation is a named collection of tuples with a fixed schema, stored in a
+// heap file on the simulated disk. Tuples are addressed by a dense index
+// 0..Len()-1 assigned at insert time; the physical position of a tuple is
+// whatever the placement policy chose, so logical order and page order can
+// differ (that difference is exactly what the IIa/IIb comparison measures).
+type Relation struct {
+	name   string
+	schema Schema
+	heap   *storage.HeapFile
+	rids   []storage.RID
+}
+
+// Create makes an empty relation backed by a fresh heap file. fillFactor is
+// the average page utilization l of the cost model.
+func Create(pool *storage.BufferPool, name string, schema Schema, fillFactor float64) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: empty relation name")
+	}
+	if len(schema.Columns) == 0 {
+		return nil, fmt.Errorf("relation: schema has no columns")
+	}
+	h, err := storage.NewHeapFile(pool, fillFactor)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{name: name, schema: schema, heap: h}, nil
+}
+
+// BulkLoad creates a relation and loads tuples with the given placement.
+// With PlaceShuffled, seed makes the permutation reproducible. The returned
+// relation's tuple IDs are positions in the *input* slice regardless of
+// placement.
+func BulkLoad(pool *storage.BufferPool, name string, schema Schema,
+	tuples []Tuple, placement Placement, fillFactor float64, seed int64) (*Relation, error) {
+
+	r, err := Create(pool, name, schema, fillFactor)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(tuples))
+	for i := range order {
+		order[i] = i
+	}
+	if placement == PlaceShuffled {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	r.rids = make([]storage.RID, len(tuples))
+	for _, idx := range order {
+		rec, err := schema.Encode(tuples[idx])
+		if err != nil {
+			return nil, fmt.Errorf("relation: encoding tuple %d: %w", idx, err)
+		}
+		rid, err := r.heap.Append(rec)
+		if err != nil {
+			return nil, fmt.Errorf("relation: loading tuple %d: %w", idx, err)
+		}
+		r.rids[idx] = rid
+	}
+	return r, nil
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rids) }
+
+// NumPages returns the number of disk pages the relation occupies.
+func (r *Relation) NumPages() int { return r.heap.NumPages() }
+
+// Insert appends a tuple and returns its tuple ID.
+func (r *Relation) Insert(t Tuple) (int, error) {
+	rec, err := r.schema.Encode(t)
+	if err != nil {
+		return 0, err
+	}
+	rid, err := r.heap.Append(rec)
+	if err != nil {
+		return 0, err
+	}
+	r.rids = append(r.rids, rid)
+	return len(r.rids) - 1, nil
+}
+
+// Get fetches the tuple with the given ID, touching its page through the
+// buffer pool.
+func (r *Relation) Get(id int) (Tuple, error) {
+	if id < 0 || id >= len(r.rids) {
+		return nil, fmt.Errorf("relation %s: tuple id %d out of range [0,%d)", r.name, id, len(r.rids))
+	}
+	rec, err := r.heap.Get(r.rids[id])
+	if err != nil {
+		return nil, err
+	}
+	return r.schema.Decode(rec)
+}
+
+// RID returns the physical record id of the tuple, letting callers reason
+// about page co-location.
+func (r *Relation) RID(id int) (storage.RID, error) {
+	if id < 0 || id >= len(r.rids) {
+		return storage.RID{}, fmt.Errorf("relation %s: tuple id %d out of range", r.name, id)
+	}
+	return r.rids[id], nil
+}
+
+// PageOf returns the page number holding the tuple.
+func (r *Relation) PageOf(id int) (int, error) {
+	rid, err := r.RID(id)
+	if err != nil {
+		return 0, err
+	}
+	return int(rid.Page.Page), nil
+}
+
+// Spatial returns the spatial value of the given column of the tuple.
+func (r *Relation) Spatial(id, col int) (geom.Spatial, error) {
+	t, err := r.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.schema.SpatialValue(t, col)
+}
+
+// Scan calls f for every tuple in *physical* page order — the access
+// pattern of a relation scan. f receives the tuple ID and the decoded
+// tuple; returning false stops the scan.
+func (r *Relation) Scan(f func(id int, t Tuple) (bool, error)) error {
+	// Invert the rid table so physical order can report logical IDs.
+	byRID := make(map[storage.RID]int, len(r.rids))
+	for id, rid := range r.rids {
+		byRID[rid] = id
+	}
+	var stop bool
+	var ferr error
+	err := r.heap.Scan(func(rid storage.RID, rec []byte) bool {
+		id, ok := byRID[rid]
+		if !ok {
+			ferr = fmt.Errorf("relation %s: orphan record %v", r.name, rid)
+			return false
+		}
+		t, err := r.schema.Decode(rec)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		cont, err := f(id, t)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		stop = !cont
+		return cont
+	})
+	if err != nil {
+		return err
+	}
+	_ = stop
+	return ferr
+}

@@ -1,0 +1,73 @@
+package rtree
+
+import (
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+)
+
+// Generalization adapts the R-tree to the core.Tree interface so the
+// hierarchical SELECT and JOIN algorithms can run over it. Interior R-tree
+// nodes appear as technical nodes (no tuple); each stored item appears as a
+// leaf node carrying its tuple ID and exact geometry.
+//
+// The adapter is a live view: it reflects subsequent inserts and deletes.
+// Nodes are materialized lazily per Children() call.
+func (t *Tree) Generalization() core.Tree { return adapterTree{t: t} }
+
+type adapterTree struct{ t *Tree }
+
+// Root implements core.Tree.
+func (a adapterTree) Root() core.Node {
+	if a.t.size == 0 {
+		return nil
+	}
+	return nodeView{n: a.t.root}
+}
+
+// Height implements core.Tree: R-tree levels plus the item level.
+func (a adapterTree) Height() int {
+	if a.t.size == 0 {
+		return 0
+	}
+	return a.t.height + 1
+}
+
+// nodeView adapts an R-tree node (always a technical entity).
+type nodeView struct{ n *node }
+
+// Bounds implements core.Node.
+func (v nodeView) Bounds() geom.Rect { return v.n.mbr() }
+
+// Object implements core.Node; the node's object is its MBR.
+func (v nodeView) Object() geom.Spatial { return v.n.mbr() }
+
+// Tuple implements core.Node: R-tree nodes never carry tuples.
+func (v nodeView) Tuple() (int, bool) { return 0, false }
+
+// Children implements core.Node.
+func (v nodeView) Children() []core.Node {
+	out := make([]core.Node, len(v.n.entries))
+	for i, e := range v.n.entries {
+		if v.n.leaf {
+			out[i] = itemView{e: e}
+		} else {
+			out[i] = nodeView{n: e.child}
+		}
+	}
+	return out
+}
+
+// itemView adapts one stored item as a tuple-bearing leaf.
+type itemView struct{ e entry }
+
+// Bounds implements core.Node.
+func (v itemView) Bounds() geom.Rect { return v.e.rect }
+
+// Object implements core.Node: the exact geometry for θ evaluation.
+func (v itemView) Object() geom.Spatial { return v.e.item.Obj }
+
+// Tuple implements core.Node.
+func (v itemView) Tuple() (int, bool) { return v.e.item.ID, true }
+
+// Children implements core.Node.
+func (v itemView) Children() []core.Node { return nil }

@@ -1,0 +1,210 @@
+package rtree
+
+import (
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// splitNode divides an overfull node in place: n keeps one group and the
+// returned sibling receives the other. Child parent pointers are fixed up.
+func (t *Tree) splitNode(n *node) *node {
+	var g1, g2 []entry
+	switch t.opts.Split {
+	case LinearSplit:
+		g1, g2 = t.linearSplit(n.entries)
+	default:
+		g1, g2 = t.quadraticSplit(n.entries)
+	}
+	sibling := &node{leaf: n.leaf, entries: g2}
+	n.entries = g1
+	if !n.leaf {
+		for _, e := range n.entries {
+			e.child.parent = n
+		}
+		for _, e := range sibling.entries {
+			e.child.parent = sibling
+		}
+	}
+	return sibling
+}
+
+// quadraticSplit implements Guttman's quadratic algorithm: PickSeeds by
+// maximal dead area, then PickNext by maximal preference difference, with
+// the usual min-fill short-circuit.
+func (t *Tree) quadraticSplit(entries []entry) (g1, g2 []entry) {
+	s1, s2 := pickSeedsQuadratic(entries)
+	g1 = append(g1, entries[s1])
+	g2 = append(g2, entries[s2])
+	r1, r2 := entries[s1].rect, entries[s2].rect
+
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// QS2: if one group needs every remaining entry to reach m, give
+		// them all to it.
+		if len(g1)+len(rest) == t.opts.MinEntries {
+			g1 = append(g1, rest...)
+			return g1, g2
+		}
+		if len(g2)+len(rest) == t.opts.MinEntries {
+			g2 = append(g2, rest...)
+			return g1, g2
+		}
+		// PickNext: the entry with the greatest |d1 − d2|.
+		best, bestDiff := 0, -1.0
+		var bestD1, bestD2 float64
+		for i, e := range rest {
+			d1 := r1.Enlargement(e.rect)
+			d2 := r2.Enlargement(e.rect)
+			if diff := math.Abs(d1 - d2); diff > bestDiff {
+				best, bestDiff, bestD1, bestD2 = i, diff, d1, d2
+			}
+		}
+		e := rest[best]
+		rest = append(rest[:best], rest[best+1:]...)
+		// Resolve by smaller enlargement, then smaller area, then fewer
+		// entries (Guttman's tie-breaking chain).
+		toFirst := false
+		switch {
+		case bestD1 < bestD2:
+			toFirst = true
+		case bestD2 < bestD1:
+			toFirst = false
+		case r1.Area() != r2.Area():
+			toFirst = r1.Area() < r2.Area()
+		default:
+			toFirst = len(g1) <= len(g2)
+		}
+		if toFirst {
+			g1 = append(g1, e)
+			r1 = r1.Union(e.rect)
+		} else {
+			g2 = append(g2, e)
+			r2 = r2.Union(e.rect)
+		}
+	}
+	return g1, g2
+}
+
+// pickSeedsQuadratic returns the indices of the entry pair that would waste
+// the most area if placed together.
+func pickSeedsQuadratic(entries []entry) (int, int) {
+	s1, s2, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].rect.Union(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if d > worst {
+				s1, s2, worst = i, j, d
+			}
+		}
+	}
+	return s1, s2
+}
+
+// linearSplit implements Guttman's linear algorithm: seeds by greatest
+// normalized separation across dimensions, remaining entries assigned by
+// least enlargement with the min-fill short-circuit.
+func (t *Tree) linearSplit(entries []entry) (g1, g2 []entry) {
+	s1, s2 := pickSeedsLinear(entries)
+	g1 = append(g1, entries[s1])
+	g2 = append(g2, entries[s2])
+	r1, r2 := entries[s1].rect, entries[s2].rect
+
+	unassigned := len(entries) - 2 // entries still to place, incl. current
+	for i, e := range entries {
+		if i == s1 || i == s2 {
+			continue
+		}
+		switch {
+		// LS2 / min-fill: a group that needs every remaining entry to
+		// reach m gets them unconditionally; likewise a full group pushes
+		// entries to the other.
+		case len(g1)+unassigned == t.opts.MinEntries || len(g2) >= t.opts.MaxEntries:
+			g1 = append(g1, e)
+			r1 = r1.Union(e.rect)
+		case len(g2)+unassigned == t.opts.MinEntries || len(g1) >= t.opts.MaxEntries:
+			g2 = append(g2, e)
+			r2 = r2.Union(e.rect)
+		case r1.Enlargement(e.rect) < r2.Enlargement(e.rect):
+			g1 = append(g1, e)
+			r1 = r1.Union(e.rect)
+		case r2.Enlargement(e.rect) < r1.Enlargement(e.rect):
+			g2 = append(g2, e)
+			r2 = r2.Union(e.rect)
+		case len(g1) <= len(g2):
+			g1 = append(g1, e)
+			r1 = r1.Union(e.rect)
+		default:
+			g2 = append(g2, e)
+			r2 = r2.Union(e.rect)
+		}
+		unassigned--
+	}
+	return g1, g2
+}
+
+// pickSeedsLinear returns the pair with the greatest normalized separation
+// along either dimension (Guttman's LPS1–LPS3).
+func pickSeedsLinear(entries []entry) (int, int) {
+	type extreme struct {
+		highLow, lowHigh int // index of highest low side, lowest high side
+		min, max         float64
+	}
+	dims := [2]extreme{}
+	for d := 0; d < 2; d++ {
+		dims[d].min = math.Inf(1)
+		dims[d].max = math.Inf(-1)
+		bestLow, bestHigh := math.Inf(-1), math.Inf(1)
+		for i, e := range entries {
+			lo, hi := side(e.rect, d)
+			if lo > bestLow {
+				bestLow = lo
+				dims[d].highLow = i
+			}
+			if hi < bestHigh {
+				bestHigh = hi
+				dims[d].lowHigh = i
+			}
+			if lo < dims[d].min {
+				dims[d].min = lo
+			}
+			if hi > dims[d].max {
+				dims[d].max = hi
+			}
+		}
+	}
+	bestDim, bestSep := 0, math.Inf(-1)
+	for d := 0; d < 2; d++ {
+		width := dims[d].max - dims[d].min
+		if width <= 0 {
+			continue
+		}
+		lo1, _ := side(entries[dims[d].highLow].rect, d)
+		_, hi2 := side(entries[dims[d].lowHigh].rect, d)
+		sep := (lo1 - hi2) / width
+		if sep > bestSep {
+			bestDim, bestSep = d, sep
+		}
+	}
+	s1, s2 := dims[bestDim].highLow, dims[bestDim].lowHigh
+	if s1 == s2 {
+		// Degenerate data (all rectangles identical): fall back to the
+		// first two entries.
+		s1, s2 = 0, 1
+	}
+	return s1, s2
+}
+
+// side returns the low and high coordinates of r along dimension d.
+func side(r geom.Rect, d int) (lo, hi float64) {
+	if d == 0 {
+		return r.MinX, r.MaxX
+	}
+	return r.MinY, r.MaxY
+}

@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PoolStats counts the buffer pool's activity. LogicalReads is every page
+// request; Misses are the requests that went to disk. The paper's cost
+// figures charge C_IO per physical access, i.e. per miss.
+type PoolStats struct {
+	LogicalReads int64
+	Misses       int64
+	Evictions    int64
+}
+
+// HitRatio returns the fraction of logical reads served from memory.
+func (s PoolStats) HitRatio() float64 {
+	if s.LogicalReads == 0 {
+		return 0
+	}
+	return 1 - float64(s.Misses)/float64(s.LogicalReads)
+}
+
+// BufferPool caches up to Capacity pages in memory with LRU replacement.
+// Pages can be pinned (the paper locks index roots in main memory); pinned
+// pages are never evicted. BufferPool is safe for concurrent use.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+	stats    PoolStats
+}
+
+// frame is one cached page.
+type frame struct {
+	id    PageID
+	page  *Page
+	pins  int
+	dirty bool
+}
+
+// NewBufferPool returns a pool of capacity pages over disk. Capacity must be
+// at least 1.
+func NewBufferPool(disk *Disk, capacity int) (*BufferPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: buffer pool capacity %d < 1", capacity)
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+	}, nil
+}
+
+// Capacity returns the pool size in pages (the model's parameter M).
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Disk returns the underlying simulated disk.
+func (bp *BufferPool) Disk() *Disk { return bp.disk }
+
+// Fetch returns the page with the given id, loading it from disk on a miss.
+// The returned Page aliases the cached frame: mutations become durable only
+// after MarkDirty + eviction or Flush.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.fetchLocked(id)
+}
+
+func (bp *BufferPool) fetchLocked(id PageID) (*Page, error) {
+	bp.stats.LogicalReads++
+	if el, ok := bp.frames[id]; ok {
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame).page, nil
+	}
+	bp.stats.Misses++
+	buf, err := bp.disk.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.evictIfFullLocked(); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, page: pageFromBytes(buf)}
+	bp.frames[id] = bp.lru.PushFront(f)
+	return f.page, nil
+}
+
+// evictIfFullLocked makes room for one more frame, writing back a dirty
+// victim. It fails when every frame is pinned.
+func (bp *BufferPool) evictIfFullLocked() error {
+	if bp.lru.Len() < bp.capacity {
+		return nil
+	}
+	for el := bp.lru.Back(); el != nil; el = el.Prev() {
+		f := el.Value.(*frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := bp.disk.WritePage(f.id, f.page.Bytes()); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(el)
+		delete(bp.frames, f.id)
+		bp.stats.Evictions++
+		return nil
+	}
+	return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.capacity)
+}
+
+// Pin fetches the page and marks it non-evictable until a matching Unpin.
+func (bp *BufferPool) Pin(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	p, err := bp.fetchLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	bp.frames[id].Value.(*frame).pins++
+	return p, nil
+}
+
+// Unpin releases one pin on the page. Unpinning a page that is not resident
+// or not pinned is an error.
+func (bp *BufferPool) Unpin(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	el, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of non-resident page %v", id)
+	}
+	f := el.Value.(*frame)
+	if f.pins == 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %v", id)
+	}
+	f.pins--
+	return nil
+}
+
+// MarkDirty records that the cached copy of the page was modified, so it
+// will be written back on eviction or Flush.
+func (bp *BufferPool) MarkDirty(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	el, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: MarkDirty of non-resident page %v", id)
+	}
+	el.Value.(*frame).dirty = true
+	return nil
+}
+
+// Flush writes every dirty frame back to disk, leaving the frames resident.
+func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if !f.dirty {
+			continue
+		}
+		if err := bp.disk.WritePage(f.id, f.page.Bytes()); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// DropAll flushes and then empties the pool, so the next access to any page
+// is a guaranteed miss. Experiments use it to start measurements cold.
+// Pinned pages may not be dropped.
+func (bp *BufferPool) DropAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*frame).pins > 0 {
+			return fmt.Errorf("storage: DropAll with pinned page %v", el.Value.(*frame).id)
+		}
+	}
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.dirty {
+			if err := bp.disk.WritePage(f.id, f.page.Bytes()); err != nil {
+				return err
+			}
+		}
+	}
+	bp.frames = make(map[PageID]*list.Element, bp.capacity)
+	bp.lru.Init()
+	return nil
+}
+
+// Resident reports whether the page is currently cached.
+func (bp *BufferPool) Resident(id PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	_, ok := bp.frames[id]
+	return ok
+}
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the pool counters (resident pages stay resident).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = PoolStats{}
+}

@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FileID identifies a simulated file on the Disk.
+type FileID int32
+
+// PageID addresses one page of one file.
+type PageID struct {
+	File FileID
+	Page int32
+}
+
+// String implements fmt.Stringer.
+func (id PageID) String() string { return fmt.Sprintf("f%d:p%d", id.File, id.Page) }
+
+// DiskStats counts the physical page transfers the simulated disk performed.
+type DiskStats struct {
+	Reads  int64
+	Writes int64
+}
+
+// Disk is the simulated persistent store: a collection of files, each an
+// extendable array of fixed-size pages. All access goes through ReadPage /
+// WritePage, which count physical transfers. Disk is safe for concurrent
+// use.
+type Disk struct {
+	mu       sync.Mutex
+	pageSize int
+	files    map[FileID][][]byte
+	nextFile FileID
+	stats    DiskStats
+}
+
+// NewDisk returns an empty disk with the given page size (DefaultPageSize
+// when size ≤ 0).
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Disk{
+		pageSize: pageSize,
+		files:    make(map[FileID][][]byte),
+	}
+}
+
+// PageSize returns the disk's page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// CreateFile allocates a new empty file and returns its id.
+func (d *Disk) CreateFile() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextFile
+	d.nextFile++
+	d.files[id] = nil
+	return id
+}
+
+// AllocPage appends a fresh zeroed page to the file and returns its id.
+// Page allocation itself is not counted as I/O; the subsequent write is.
+func (d *Disk) AllocPage(f FileID) (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[f]
+	if !ok {
+		return PageID{}, fmt.Errorf("storage: unknown file %d", f)
+	}
+	d.files[f] = append(pages, make([]byte, d.pageSize))
+	return PageID{File: f, Page: int32(len(pages))}, nil
+}
+
+// NumPages returns the number of pages in file f.
+func (d *Disk) NumPages(f FileID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files[f])
+}
+
+// ReadPage copies the page's content into a fresh buffer and counts one
+// physical read.
+func (d *Disk) ReadPage(id PageID) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[id.File]
+	if !ok || int(id.Page) < 0 || int(id.Page) >= len(pages) {
+		return nil, fmt.Errorf("storage: read of invalid page %v", id)
+	}
+	d.stats.Reads++
+	buf := make([]byte, d.pageSize)
+	copy(buf, pages[id.Page])
+	return buf, nil
+}
+
+// WritePage stores buf as the page's content and counts one physical write.
+func (d *Disk) WritePage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[id.File]
+	if !ok || int(id.Page) < 0 || int(id.Page) >= len(pages) {
+		return fmt.Errorf("storage: write of invalid page %v", id)
+	}
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("storage: write of %d bytes to %d-byte page", len(buf), d.pageSize)
+	}
+	d.stats.Writes++
+	copy(pages[id.Page], buf)
+	return nil
+}
+
+// Stats returns a snapshot of the physical I/O counters.
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the physical I/O counters.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = DiskStats{}
+}

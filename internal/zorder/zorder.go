@@ -1,0 +1,180 @@
+// Package zorder implements Peano curves (z-ordering) and Orenstein's
+// sort-merge spatial join over them.
+//
+// The paper uses z-ordering twice: Figure 1 demonstrates that no spatial
+// total order preserves proximity (two adjacent cells can be arbitrarily far
+// apart in the Peano sequence), and §2.2 notes the one exception where
+// sort-merge does work for spatial data — the overlaps operator, computed by
+// decomposing each object into z-order-aligned quadrants, sorting, and
+// merging with a nesting stack [Oren86]. Both are implemented here, together
+// with the duplicate-reporting behaviour the paper calls out ("any overlap
+// is likely to be reported more than once ... once for each grid cell that
+// the objects have in common"), plus optional de-duplication.
+package zorder
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/geom"
+)
+
+// MaxLevel is the deepest supported decomposition level: a 2^30 × 2^30 grid
+// whose interleaved indices fit in 60 bits of a uint64.
+const MaxLevel = 30
+
+// Interleave bit-interleaves x and y into a z-order index (x in the even
+// bit positions, y in the odd).
+func Interleave(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// Deinterleave recovers the x and y coordinates from a z-order index.
+func Deinterleave(z uint64) (x, y uint32) {
+	return compact(z), compact(z >> 1)
+}
+
+// spread distributes the 32 bits of v into the even bit positions of a
+// uint64.
+func spread(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// compact inverts spread.
+func compact(z uint64) uint32 {
+	x := z & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return uint32(x)
+}
+
+// Grid maps a world rectangle onto a 2^level × 2^level cell grid with
+// z-order indexing.
+type Grid struct {
+	world geom.Rect
+	level uint
+	cells uint32 // per side
+}
+
+// NewGrid returns a grid over world at the given level. The world rectangle
+// must be valid with positive area; level must be in [1, MaxLevel].
+func NewGrid(world geom.Rect, level uint) (*Grid, error) {
+	if !world.Valid() || world.Area() <= 0 {
+		return nil, fmt.Errorf("zorder: invalid world rect %v", world)
+	}
+	if level < 1 || level > MaxLevel {
+		return nil, fmt.Errorf("zorder: level %d out of [1, %d]", level, MaxLevel)
+	}
+	return &Grid{world: world, level: level, cells: 1 << level}, nil
+}
+
+// Level returns the grid's decomposition level.
+func (g *Grid) Level() uint { return g.level }
+
+// World returns the grid's world rectangle.
+func (g *Grid) World() geom.Rect { return g.world }
+
+// CellsPerSide returns 2^level.
+func (g *Grid) CellsPerSide() uint32 { return g.cells }
+
+// CellIndex returns the z-order index of the cell containing p. Points on
+// the world's max edges land in the last cell; points outside the world are
+// clamped.
+func (g *Grid) CellIndex(p geom.Point) uint64 {
+	return Interleave(g.coord(p.X, g.world.MinX, g.world.Width()),
+		g.coord(p.Y, g.world.MinY, g.world.Height()))
+}
+
+// coord converts a world coordinate to a clamped cell coordinate.
+func (g *Grid) coord(v, min, extent float64) uint32 {
+	f := (v - min) / extent * float64(g.cells)
+	if f < 0 {
+		return 0
+	}
+	if f >= float64(g.cells) {
+		return g.cells - 1
+	}
+	return uint32(f)
+}
+
+// CellRect returns the world rectangle of the cell with the given z index.
+func (g *Grid) CellRect(z uint64) geom.Rect {
+	x, y := Deinterleave(z)
+	w := g.world.Width() / float64(g.cells)
+	h := g.world.Height() / float64(g.cells)
+	return geom.Rect{
+		MinX: g.world.MinX + float64(x)*w,
+		MinY: g.world.MinY + float64(y)*h,
+		MaxX: g.world.MinX + float64(x+1)*w,
+		MaxY: g.world.MinY + float64(y+1)*h,
+	}
+}
+
+// Range is an inclusive interval of z-order indices at the grid's finest
+// level. Ranges produced by Decompose are always quadrant-aligned, so two
+// ranges either nest or are disjoint — the property Orenstein's merge
+// exploits.
+type Range struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether o nests inside r.
+func (r Range) Contains(o Range) bool { return r.Lo <= o.Lo && o.Hi <= r.Hi }
+
+// Overlaps reports whether the intervals share any index.
+func (r Range) Overlaps(o Range) bool { return r.Lo <= o.Hi && o.Lo <= r.Hi }
+
+// Decompose expresses the part of the grid covered by rect as a minimal set
+// of quadrant-aligned z ranges, recursing at most to the grid's level. The
+// ranges are returned in ascending z order and are pairwise disjoint.
+func (g *Grid) Decompose(rect geom.Rect) []Range {
+	clipped, ok := rect.Intersection(g.world)
+	if !ok {
+		return nil
+	}
+	var out []Range
+	g.decompose(clipped, 0, 0, g.world, &out)
+	return out
+}
+
+// decompose recurses over the quadtree. prefix is the z index of the
+// current quadrant's first cell at the finest level; depth its level.
+func (g *Grid) decompose(rect geom.Rect, prefix uint64, depth uint, quad geom.Rect, out *[]Range) {
+	if !rect.Intersects(quad) {
+		return
+	}
+	cellsBelow := uint64(1) << (2 * (g.level - depth)) // finest cells in this quadrant
+	if depth == g.level || rect.ContainsRect(quad) {
+		r := Range{Lo: prefix, Hi: prefix + cellsBelow - 1}
+		// Coalesce with the previous range when contiguous (keeps the
+		// decomposition minimal along the curve).
+		if n := len(*out); n > 0 && (*out)[n-1].Hi+1 == r.Lo {
+			(*out)[n-1].Hi = r.Hi
+			return
+		}
+		*out = append(*out, r)
+		return
+	}
+	midX := (quad.MinX + quad.MaxX) / 2
+	midY := (quad.MinY + quad.MaxY) / 2
+	quarter := cellsBelow / 4
+	// Children in z order: (low,low), (high,low), (low,high), (high,high)
+	// — x is the even bit, so quadrant 1 is x-high.
+	kids := [4]geom.Rect{
+		{MinX: quad.MinX, MinY: quad.MinY, MaxX: midX, MaxY: midY},
+		{MinX: midX, MinY: quad.MinY, MaxX: quad.MaxX, MaxY: midY},
+		{MinX: quad.MinX, MinY: midY, MaxX: midX, MaxY: quad.MaxY},
+		{MinX: midX, MinY: midY, MaxX: quad.MaxX, MaxY: quad.MaxY},
+	}
+	for i, k := range kids {
+		g.decompose(rect, prefix+uint64(i)*quarter, depth+1, k, out)
+	}
+}

@@ -1,0 +1,319 @@
+package zorder
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spatialjoin/internal/geom"
+)
+
+func TestInterleaveKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y uint32
+		z    uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 0, 4},
+		{3, 3, 15},
+		{0xFFFFFFFF, 0, 0x5555555555555555},
+		{0, 0xFFFFFFFF, 0xAAAAAAAAAAAAAAAA},
+	}
+	for _, c := range cases {
+		if got := Interleave(c.x, c.y); got != c.z {
+			t.Errorf("Interleave(%d,%d) = %#x, want %#x", c.x, c.y, got, c.z)
+		}
+	}
+}
+
+func TestQuickInterleaveRoundTrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := Deinterleave(Interleave(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInterleaveMonotoneInQuadrant(t *testing.T) {
+	// Within one quadrant prefix, z order follows the recursive pattern:
+	// the z index of (x, y) with high bits fixed stays within the prefix
+	// range.
+	f := func(x, y uint16) bool {
+		z := Interleave(uint32(x), uint32(y))
+		return z < 1<<32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	world := geom.NewRect(0, 0, 8, 8)
+	if _, err := NewGrid(world, 0); err == nil {
+		t.Error("level 0 must fail")
+	}
+	if _, err := NewGrid(world, MaxLevel+1); err == nil {
+		t.Error("level > MaxLevel must fail")
+	}
+	if _, err := NewGrid(geom.Rect{}, 3); err == nil {
+		t.Error("zero-area world must fail")
+	}
+	g, err := NewGrid(world, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Level() != 3 || g.CellsPerSide() != 8 || g.World() != world {
+		t.Fatal("grid accessors wrong")
+	}
+}
+
+func TestCellIndexAndRect(t *testing.T) {
+	g, _ := NewGrid(geom.NewRect(0, 0, 8, 8), 3)
+	if z := g.CellIndex(geom.Pt(0.5, 0.5)); z != 0 {
+		t.Fatalf("cell of origin = %d", z)
+	}
+	if z := g.CellIndex(geom.Pt(1.5, 0.5)); z != 1 {
+		t.Fatalf("cell (1,0) = %d", z)
+	}
+	if z := g.CellIndex(geom.Pt(0.5, 1.5)); z != 2 {
+		t.Fatalf("cell (0,1) = %d", z)
+	}
+	// Max-edge and out-of-world points clamp to the grid.
+	if z := g.CellIndex(geom.Pt(8, 8)); z != Interleave(7, 7) {
+		t.Fatalf("max corner cell = %d", z)
+	}
+	if z := g.CellIndex(geom.Pt(-5, 99)); z != Interleave(0, 7) {
+		t.Fatalf("clamped cell = %d", z)
+	}
+	// CellRect inverts CellIndex for cell centers.
+	for _, z := range []uint64{0, 5, 17, 63} {
+		r := g.CellRect(z)
+		if got := g.CellIndex(r.Center()); got != z {
+			t.Fatalf("CellIndex(CellRect(%d).Center()) = %d", z, got)
+		}
+	}
+}
+
+// TestFigure1ProximityLoss reproduces the paper's Figure 1 argument: on an
+// 8×8 Peano grid there exist spatially adjacent cells that are far apart in
+// the z sequence — z-ordering does not preserve spatial proximity.
+func TestFigure1ProximityLoss(t *testing.T) {
+	g, _ := NewGrid(geom.NewRect(0, 0, 8, 8), 3)
+	// Cells (0, 3) and (0, 4): physically adjacent across the grid's
+	// horizontal midline, which is the top-level split of the curve.
+	below := g.CellIndex(geom.Pt(0.5, 3.5)) // (0, 3)
+	above := g.CellIndex(geom.Pt(0.5, 4.5)) // (0, 4)
+	gap := int64(above) - int64(below)
+	if gap < 0 {
+		gap = -gap
+	}
+	// Adjacent cells, yet more than a third of the 64-cell curve apart.
+	if gap < 22 {
+		t.Fatalf("adjacent midline cells only %d apart in z order", gap)
+	}
+	// Meanwhile z-consecutive cells are spatially adjacent within a
+	// quadrant pair but the converse fails — exactly the asymmetry the
+	// paper exploits to rule out sort-merge.
+}
+
+func TestDecomposeFullAndSingleCell(t *testing.T) {
+	g, _ := NewGrid(geom.NewRect(0, 0, 8, 8), 3)
+	full := g.Decompose(geom.NewRect(0, 0, 8, 8))
+	if len(full) != 1 || full[0] != (Range{0, 63}) {
+		t.Fatalf("full-world decomposition = %v", full)
+	}
+	cell := g.Decompose(geom.NewRect(2.1, 4.1, 2.4, 4.4))
+	if len(cell) != 1 {
+		t.Fatalf("single-cell decomposition = %v", cell)
+	}
+	want := Interleave(2, 4)
+	if cell[0].Lo > want || cell[0].Hi < want {
+		t.Fatalf("cell range %v does not cover z=%d", cell[0], want)
+	}
+}
+
+func TestDecomposeOutsideWorld(t *testing.T) {
+	g, _ := NewGrid(geom.NewRect(0, 0, 8, 8), 3)
+	if got := g.Decompose(geom.NewRect(100, 100, 101, 101)); got != nil {
+		t.Fatalf("outside rect decomposed to %v", got)
+	}
+}
+
+func TestDecomposeCoversExactCellSet(t *testing.T) {
+	// The union of decomposed ranges must equal the set of cells whose
+	// rectangles intersect the query.
+	g, _ := NewGrid(geom.NewRect(0, 0, 16, 16), 4)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		x1, y1 := rng.Float64()*16, rng.Float64()*16
+		q := geom.NewRect(x1, y1, x1+rng.Float64()*6, y1+rng.Float64()*6)
+		covered := make(map[uint64]bool)
+		for _, r := range g.Decompose(q) {
+			if r.Hi < r.Lo {
+				t.Fatalf("inverted range %v", r)
+			}
+			for z := r.Lo; z <= r.Hi; z++ {
+				if covered[z] {
+					t.Fatalf("trial %d: cell %d covered twice", trial, z)
+				}
+				covered[z] = true
+			}
+		}
+		for z := uint64(0); z < 256; z++ {
+			want := g.CellRect(z).Intersects(q)
+			if covered[z] != want {
+				t.Fatalf("trial %d: cell %d covered=%t, want %t (q=%v)", trial, z, covered[z], want, q)
+			}
+		}
+	}
+}
+
+func TestDecomposeRangesSortedDisjoint(t *testing.T) {
+	g, _ := NewGrid(geom.NewRect(0, 0, 32, 32), 5)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		x, y := rng.Float64()*32, rng.Float64()*32
+		q := geom.NewRect(x, y, x+rng.Float64()*10, y+rng.Float64()*10)
+		rs := g.Decompose(q)
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Lo <= rs[i-1].Hi {
+				t.Fatalf("ranges overlap or out of order: %v then %v", rs[i-1], rs[i])
+			}
+			if rs[i].Lo == rs[i-1].Hi+1 {
+				t.Fatalf("uncoalesced adjacent ranges: %v then %v", rs[i-1], rs[i])
+			}
+		}
+	}
+}
+
+func TestRangePredicates(t *testing.T) {
+	a := Range{0, 15}
+	b := Range{4, 7}
+	c := Range{16, 31}
+	if !a.Contains(b) || b.Contains(a) {
+		t.Fatal("Contains wrong")
+	}
+	if !a.Overlaps(b) || a.Overlaps(c) {
+		t.Fatal("Overlaps wrong")
+	}
+	if !a.Contains(a) {
+		t.Fatal("a range contains itself")
+	}
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].R != ps[j].R {
+			return ps[i].R < ps[j].R
+		}
+		return ps[i].S < ps[j].S
+	})
+}
+
+func TestOverlapJoinMatchesBruteForce(t *testing.T) {
+	g, _ := NewGrid(geom.NewRect(0, 0, 100, 100), 6)
+	rng := rand.New(rand.NewSource(3))
+	mk := func(n int) []geom.Rect {
+		out := make([]geom.Rect, n)
+		for i := range out {
+			x, y := rng.Float64()*95, rng.Float64()*95
+			out[i] = geom.NewRect(x, y, x+rng.Float64()*8, y+rng.Float64()*8)
+		}
+		return out
+	}
+	for trial := 0; trial < 10; trial++ {
+		rs, ss := mk(60), mk(60)
+		got, stats := g.OverlapJoin(rs, ss, JoinOptions{Dedup: true, Exact: true})
+		want := BruteOverlapJoin(rs, ss)
+		sortPairs(got)
+		sortPairs(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d pairs, brute force %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pair mismatch at %d", trial, i)
+			}
+		}
+		if stats.ElementsR == 0 || stats.ElementsS == 0 {
+			t.Fatal("stats unpopulated")
+		}
+	}
+}
+
+func TestOverlapJoinDuplicatesReported(t *testing.T) {
+	// Two long overlapping rectangles share many cells: without dedup the
+	// pair must be reported more than once — the behaviour the paper calls
+	// out for the z-ordering implementation.
+	g, _ := NewGrid(geom.NewRect(0, 0, 16, 16), 4)
+	rs := []geom.Rect{geom.NewRect(0.1, 0.1, 15.5, 1.5)}
+	ss := []geom.Rect{geom.NewRect(0.2, 0.4, 15.2, 1.2)}
+	raw, stats := g.OverlapJoin(rs, ss, JoinOptions{Dedup: false, Exact: true})
+	if len(raw) < 2 {
+		t.Fatalf("expected duplicate reports, got %d", len(raw))
+	}
+	if stats.Duplicates == 0 {
+		t.Fatal("duplicate counter must be positive")
+	}
+	dedup, _ := g.OverlapJoin(rs, ss, JoinOptions{Dedup: true, Exact: true})
+	if len(dedup) != 1 {
+		t.Fatalf("dedup join returned %d pairs, want 1", len(dedup))
+	}
+}
+
+func TestOverlapJoinCandidatesWithoutExact(t *testing.T) {
+	// Rects in the same cell but not intersecting: candidate without Exact,
+	// filtered with Exact.
+	g, _ := NewGrid(geom.NewRect(0, 0, 8, 8), 1) // 4 coarse cells
+	rs := []geom.Rect{geom.NewRect(0.1, 0.1, 0.4, 0.4)}
+	ss := []geom.Rect{geom.NewRect(3.1, 3.1, 3.4, 3.4)} // same quadrant, disjoint
+	cand, _ := g.OverlapJoin(rs, ss, JoinOptions{Dedup: true, Exact: false})
+	if len(cand) != 1 {
+		t.Fatalf("expected 1 cell-level candidate, got %d", len(cand))
+	}
+	exact, stats := g.OverlapJoin(rs, ss, JoinOptions{Dedup: true, Exact: true})
+	if len(exact) != 0 {
+		t.Fatalf("exact join must filter the false candidate, got %d", len(exact))
+	}
+	if stats.ExactTests == 0 {
+		t.Fatal("exact tests not counted")
+	}
+}
+
+func TestOverlapJoinEmptyInputs(t *testing.T) {
+	g, _ := NewGrid(geom.NewRect(0, 0, 8, 8), 3)
+	if got, _ := g.OverlapJoin(nil, nil, JoinOptions{}); len(got) != 0 {
+		t.Fatal("empty join must be empty")
+	}
+	rs := []geom.Rect{geom.NewRect(0, 0, 1, 1)}
+	if got, _ := g.OverlapJoin(rs, nil, JoinOptions{}); len(got) != 0 {
+		t.Fatal("half-empty join must be empty")
+	}
+}
+
+func TestOverlapJoinSelfJoinStyle(t *testing.T) {
+	// Same list on both sides: result must contain the diagonal.
+	g, _ := NewGrid(geom.NewRect(0, 0, 50, 50), 5)
+	rng := rand.New(rand.NewSource(4))
+	var rects []geom.Rect
+	for i := 0; i < 40; i++ {
+		x, y := rng.Float64()*45, rng.Float64()*45
+		rects = append(rects, geom.NewRect(x, y, x+3, y+3))
+	}
+	got, _ := g.OverlapJoin(rects, rects, JoinOptions{Dedup: true, Exact: true})
+	diag := 0
+	for _, p := range got {
+		if p.R == p.S {
+			diag++
+		}
+	}
+	if diag != len(rects) {
+		t.Fatalf("self join diagonal has %d of %d", diag, len(rects))
+	}
+}

@@ -1,0 +1,116 @@
+package spatialjoin
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestDirectionOfFacade(t *testing.T) {
+	nw := DirectionOf(DirNorthwest)
+	if nw.Name() != "northwest_of" {
+		t.Fatalf("name = %q", nw.Name())
+	}
+	a := NewRect(0, 8, 2, 10)
+	b := NewRect(5, 0, 7, 2)
+	if !nw.Eval(a, b) {
+		t.Fatal("NW eval wrong")
+	}
+	if !DirectionOf(DirSoutheast).Eval(b, a) {
+		t.Fatal("SE eval wrong")
+	}
+	if DirectionOf(DirNortheast).Eval(a, b) {
+		t.Fatal("NE should not match")
+	}
+	if DirectionOf(DirSouthwest).Eval(a, b) {
+		t.Fatal("SW should not match")
+	}
+}
+
+func TestLocalJoinIndexMatchesScanSelfJoin(t *testing.T) {
+	db := openT(t)
+	c, _ := db.CreateCollection("sites")
+	loadRandomRects(t, c, 21, 250)
+	op := Overlaps()
+	want, _, err := db.Join(c, c, op, ScanStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level := 0; level <= c.IndexHeight()+1; level++ {
+		lji, err := db.BuildLocalJoinIndex(c, op, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lji.Level() != level {
+			t.Fatalf("level = %d", lji.Level())
+		}
+		got, _, err := lji.SelfJoin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := func(ms []Match) string {
+			sort.Slice(ms, func(i, j int) bool {
+				if ms[i].R != ms[j].R {
+					return ms[i].R < ms[j].R
+				}
+				return ms[i].S < ms[j].S
+			})
+			return fmt.Sprint(ms)
+		}
+		if key(got) != key(want) {
+			t.Fatalf("λ=%d: local-index self-join disagrees with scan (%d vs %d pairs)",
+				level, len(got), len(want))
+		}
+	}
+}
+
+func TestLocalJoinIndexMixtureExtremes(t *testing.T) {
+	db := openT(t)
+	c, _ := db.CreateCollection("sites")
+	loadRandomRects(t, c, 22, 120)
+	op := Overlaps()
+
+	global, err := db.BuildLocalJoinIndex(c, op, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Anchors() != 1 {
+		t.Fatalf("λ=0 anchors = %d", global.Anchors())
+	}
+	_, gStats, err := global.SelfJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gStats.FilterEvals+gStats.ExactEvals != 0 {
+		t.Fatal("λ=0 must answer without live evaluation")
+	}
+
+	pure, err := db.BuildLocalJoinIndex(c, op, c.IndexHeight()+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.StoredPairs() != 0 {
+		t.Fatal("λ beyond leaves must store nothing")
+	}
+	_, pStats, err := pure.SelfJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pStats.IndexReads != 0 {
+		t.Fatal("pure tree join must read no index pages")
+	}
+}
+
+func TestBuildLocalJoinIndexValidation(t *testing.T) {
+	db := openT(t)
+	c, _ := db.CreateCollection("sites")
+	if _, err := db.BuildLocalJoinIndex(nil, Overlaps(), 1); err == nil {
+		t.Fatal("nil collection must fail")
+	}
+	if _, err := db.BuildLocalJoinIndex(c, nil, 1); err == nil {
+		t.Fatal("nil operator must fail")
+	}
+	if _, err := db.BuildLocalJoinIndex(c, Overlaps(), -1); err == nil {
+		t.Fatal("negative level must fail")
+	}
+}

@@ -1,0 +1,60 @@
+package spatialjoin
+
+import (
+	"spatialjoin/internal/costmodel"
+)
+
+// Analytical cost model re-exports (§4 of the paper). These let downstream
+// users evaluate the paper's formulas — and regenerate Figures 7–13 —
+// without touching internal packages.
+type (
+	// ModelParams are the cost-model parameters of Table 2.
+	ModelParams = costmodel.Params
+	// Distribution is one of the paper's match-probability distributions.
+	Distribution = costmodel.DistKind
+	// CostModel binds parameters, a distribution and a selectivity.
+	CostModel = costmodel.Model
+	// UpdateCosts / SelectCosts / JoinCosts hold the per-strategy cost
+	// formula results.
+	UpdateCosts = costmodel.UpdateCosts
+	// SelectCosts holds the §4.3 selection costs.
+	SelectCosts = costmodel.SelectCosts
+	// JoinCosts holds the §4.4 join costs.
+	JoinCosts = costmodel.JoinCosts
+	// Series is one labelled curve of a figure.
+	Series = costmodel.Series
+)
+
+// The three distributions of §4.1.
+const (
+	// DistUniform is the UNIFORM distribution: ρ = p everywhere.
+	DistUniform = costmodel.Uniform
+	// DistNoLoc is NO-LOC: larger objects match more readily, no locality.
+	DistNoLoc = costmodel.NoLoc
+	// DistHiLoc is HI-LOC: tree-proximal objects match more readily.
+	DistHiLoc = costmodel.HiLoc
+)
+
+// PaperParams returns the exact parameter values of Table 3.
+func PaperParams() ModelParams { return costmodel.PaperParams() }
+
+// NewCostModel validates and builds a cost model for selectivity p.
+func NewCostModel(prm ModelParams, dist Distribution, p float64) (CostModel, error) {
+	return costmodel.NewModel(prm, dist, p)
+}
+
+// SelectFigure regenerates the curves of Figures 8–10 for the given
+// distribution over the selectivities ps, with the selector at level h.
+func SelectFigure(prm ModelParams, dist Distribution, ps []float64, h int) ([]Series, error) {
+	return costmodel.SelectFigure(prm, dist, ps, h)
+}
+
+// JoinFigure regenerates the curves of Figures 11–13.
+func JoinFigure(prm ModelParams, dist Distribution, ps []float64) ([]Series, error) {
+	return costmodel.JoinFigure(prm, dist, ps)
+}
+
+// LogSpace returns n logarithmically spaced selectivities over [lo, hi].
+func LogSpace(lo, hi float64, n int) ([]float64, error) {
+	return costmodel.LogSpace(lo, hi, n)
+}

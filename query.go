@@ -1,0 +1,177 @@
+package spatialjoin
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/join"
+	"spatialjoin/internal/joinindex"
+)
+
+// Strategy selects how a selection or join is computed, matching the
+// paper's strategies I–III.
+type Strategy uint8
+
+const (
+	// TreeStrategy (II) uses the hierarchical SELECT/JOIN algorithms over
+	// the collections' R-tree generalization trees. The default.
+	TreeStrategy Strategy = iota
+	// ScanStrategy (I) is the nested-loop / exhaustive-scan baseline.
+	ScanStrategy
+	// IndexStrategy (III) answers from a precomputed join index; it
+	// requires a prior BuildJoinIndex for the same collections and
+	// operator.
+	IndexStrategy
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case TreeStrategy:
+		return "tree"
+	case ScanStrategy:
+		return "scan"
+	case IndexStrategy:
+		return "joinindex"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Stats is the measured work of one query, in the cost model's units.
+type Stats = join.Stats
+
+// Select returns the IDs of objects a in c with o θ a, along with the
+// measured work. IndexStrategy is not supported for ad-hoc selectors (a
+// join index relates stored tuples only — the paper's point that a generic
+// search range "is defined ad hoc by the user" and cannot be precomputed);
+// use SelectStored for a stored selector.
+func (db *Database) Select(c *Collection, o Spatial, op Operator, strategy Strategy) ([]int, Stats, error) {
+	if c == nil || o == nil || op == nil {
+		return nil, Stats{}, fmt.Errorf("spatialjoin: nil select argument")
+	}
+	switch strategy {
+	case ScanStrategy:
+		return join.ExhaustiveSelect(c.table, o, op)
+	case TreeStrategy:
+		return join.TreeSelect(c.index.Generalization(), c.table, o, op, core.BreadthFirst)
+	case IndexStrategy:
+		return nil, Stats{}, fmt.Errorf("spatialjoin: join indices cannot answer ad-hoc selections; use SelectStored")
+	default:
+		return nil, Stats{}, fmt.Errorf("spatialjoin: unknown strategy %d", strategy)
+	}
+}
+
+// SelectStored answers the selection whose selector is the stored object
+// rID of collection r, against collection s, from the precomputed join
+// index for (r, s, op).
+func (db *Database) SelectStored(r *Collection, rID int, s *Collection, op Operator) ([]int, Stats, error) {
+	ix, ok := db.joinIndexFor(r, s, op)
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("spatialjoin: no join index for %s ⋈ %s on %s",
+			r.name, s.name, op.Name())
+	}
+	return join.IndexSelect(ix.ix, rID, s.table)
+}
+
+// Join computes r ⋈θ s and returns the matching ID pairs with measured
+// work. The operator is applied with r-objects as the left operand.
+func (db *Database) Join(r, s *Collection, op Operator, strategy Strategy) ([]Match, Stats, error) {
+	if r == nil || s == nil || op == nil {
+		return nil, Stats{}, fmt.Errorf("spatialjoin: nil join argument")
+	}
+	switch strategy {
+	case ScanStrategy:
+		return join.NestedLoop(r.table, s.table, op)
+	case TreeStrategy:
+		return join.TreeJoin(r.index.Generalization(), r.table,
+			s.index.Generalization(), s.table, op)
+	case IndexStrategy:
+		ix, ok := db.joinIndexFor(r, s, op)
+		if !ok {
+			return nil, Stats{}, fmt.Errorf("spatialjoin: no join index for %s ⋈ %s on %s; call BuildJoinIndex first",
+				r.name, s.name, op.Name())
+		}
+		return join.IndexJoin(ix.ix, r.table, s.table)
+	default:
+		return nil, Stats{}, fmt.Errorf("spatialjoin: unknown strategy %d", strategy)
+	}
+}
+
+// JoinIndex is a precomputed Valduriez join index between two collections
+// for one operator. It is maintained automatically on inserts into either
+// collection — the expensive path the paper's update model prices.
+type JoinIndex struct {
+	r, s *Collection
+	op   Operator
+	ix   *joinindex.Index
+}
+
+// Pairs returns the number of precomputed matching pairs |J|.
+func (ji *JoinIndex) Pairs() int { return ji.ix.Len() }
+
+// joinIndexKey identifies an index by collections and operator.
+func joinIndexKey(r, s *Collection, op Operator) string {
+	return r.name + "\x00" + s.name + "\x00" + op.Name()
+}
+
+func (db *Database) joinIndexFor(r, s *Collection, op Operator) (*JoinIndex, bool) {
+	ji, ok := db.joinIndices[joinIndexKey(r, s, op)]
+	return ji, ok
+}
+
+// BuildJoinIndex precomputes the join index for r ⋈θ s (strategy III's
+// setup step) and registers it for IndexStrategy joins and incremental
+// maintenance. The returned stats show the exhaustive build cost.
+func (db *Database) BuildJoinIndex(r, s *Collection, op Operator) (*JoinIndex, Stats, error) {
+	if r == nil || s == nil || op == nil {
+		return nil, Stats{}, fmt.Errorf("spatialjoin: nil join-index argument")
+	}
+	key := joinIndexKey(r, s, op)
+	if _, dup := db.joinIndices[key]; dup {
+		return nil, Stats{}, fmt.Errorf("spatialjoin: join index for %s ⋈ %s on %s already exists",
+			r.name, s.name, op.Name())
+	}
+	ix, stats, err := join.BuildIndex(r.table, s.table, op, db.cfg.JoinIndexOrder)
+	if err != nil {
+		return nil, stats, err
+	}
+	ji := &JoinIndex{r: r, s: s, op: op, ix: ix}
+	db.joinIndices[key] = ji
+	return ji, stats, nil
+}
+
+// maintainJoinIndices updates every registered join index after an insert
+// into collection c: the new object is checked against the entire other
+// collection (the paper's U_III cost).
+func (db *Database) maintainJoinIndices(c *Collection, id int, shape Spatial) error {
+	for _, ji := range db.joinIndices {
+		// Both branches run for a self-join index (ji.r == ji.s == c); the
+		// index de-duplicates pairs.
+		if ji.r == c {
+			_, err := ji.ix.MaintainInsertR(id, ji.s.rel.Len(), func(sid int) (bool, error) {
+				other, _, err := ji.s.Get(sid)
+				if err != nil {
+					return false, err
+				}
+				return ji.op.Eval(shape, other), nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if ji.s == c {
+			_, err := ji.ix.MaintainInsertS(id, ji.r.rel.Len(), func(rid int) (bool, error) {
+				other, _, err := ji.r.Get(rid)
+				if err != nil {
+					return false, err
+				}
+				return ji.op.Eval(other, shape), nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
