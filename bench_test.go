@@ -78,6 +78,30 @@ func BenchmarkFig1ZOrderMergeJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkZOverlapParallelJoin measures the tile-partitioned parallel
+// z-order join. Workers = 0 resolves to GOMAXPROCS, so
+//
+//	go test -bench=ZOverlap -cpu=1,4
+//
+// compares the sequential schedule against a 4-worker run of the same
+// join; the match count is reported so the runs are checkably identical.
+func BenchmarkZOverlapParallelJoin(b *testing.B) {
+	world := geom.NewRect(0, 0, 4096, 4096)
+	rng := rand.New(rand.NewSource(17))
+	rs := datagen.UniformRects(rng, 4000, world, 2, 30)
+	ss := datagen.UniformRects(rng, 4000, world, 2, 30)
+	var matches int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := ZOverlapJoinWorkers(rs, ss, world, 9, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matches = len(ms)
+	}
+	b.ReportMetric(float64(matches), "matches")
+}
+
 // --- Figure 7: ρ profiles -------------------------------------------------
 
 func BenchmarkFig7RhoProfiles(b *testing.B) {

@@ -18,11 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"spatialjoin/internal/costmodel"
+	"spatialjoin/internal/datagen"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/modelcheck"
 	"spatialjoin/internal/zorder"
@@ -30,19 +34,21 @@ import (
 
 func main() {
 	what := flag.String("what", "all",
-		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, all")
+		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, scaling, all (scaling is measured, not analytic, and is excluded from all)")
 	points := flag.Int("points", 13, "selectivity samples per figure")
 	pmin := flag.Float64("pmin", 1e-12, "smallest selectivity for join figures")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"largest worker count in the -what scaling table")
 	flag.Parse()
 
 	prm := costmodel.PaperParams()
-	if err := run(os.Stdout, prm, *what, *points, *pmin); err != nil {
+	if err := run(os.Stdout, prm, *what, *points, *pmin, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "spatialbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, prm costmodel.Params, what string, points int, pmin float64) error {
+func run(out io.Writer, prm costmodel.Params, what string, points int, pmin float64, workers int) error {
 	figures := map[string]func() error{
 		"params":   func() error { return printParams(out, prm) },
 		"fig1":     func() error { return printFig1(out) },
@@ -55,6 +61,7 @@ func run(out io.Writer, prm costmodel.Params, what string, points int, pmin floa
 		"fig13":    func() error { return printJoinFigure(out, prm, costmodel.HiLoc, points, pmin) },
 		"updates":  func() error { return printUpdates(out, prm) },
 		"validate": func() error { return printValidate(out) },
+		"scaling":  func() error { return printScaling(out, workers) },
 	}
 	if what != "all" {
 		f, ok := figures[what]
@@ -260,4 +267,58 @@ func printFig1(out io.Writer) error {
 	fmt.Fprintln(out, "no spatial total order preserves proximity (§2.2), so sort-merge fails")
 	fmt.Fprintln(out, "for every θ except overlaps (see examples/zordermerge).")
 	return nil
+}
+
+// printScaling measures the tile-partitioned parallel z-order join on one
+// fixed workload across worker counts (powers of two up to maxWorkers) and
+// prints wall time, speedup over the sequential run, and the pair count —
+// which must be identical on every row, the engine's equivalence
+// guarantee. Unlike the figures, these numbers are measured on this
+// machine, not derived from the cost model; speedup requires the hardware
+// to actually have the cores (GOMAXPROCS caps useful workers).
+func printScaling(out io.Writer, maxWorkers int) error {
+	if maxWorkers < 1 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	world := geom.NewRect(0, 0, 4096, 4096)
+	g, err := zorder.NewGrid(world, 9)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(17))
+	rs := datagen.UniformRects(rng, 4000, world, 2, 30)
+	ss := datagen.UniformRects(rng, 4000, world, 2, 30)
+
+	var counts []int
+	for w := 1; w <= maxWorkers; w *= 2 {
+		counts = append(counts, w)
+	}
+	if last := counts[len(counts)-1]; last != maxWorkers {
+		counts = append(counts, maxWorkers)
+	}
+
+	fmt.Fprintf(out, "== Parallel z-order join scaling (2×4000 rects, level 9, GOMAXPROCS=%d) ==\n",
+		runtime.GOMAXPROCS(0))
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "workers\twall ms\tspeedup\tpairs\n")
+	var base time.Duration
+	for _, n := range counts {
+		best := time.Duration(0)
+		var pairs int
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			ps, _ := g.ParallelOverlapJoin(rs, ss, n)
+			elapsed := time.Since(start)
+			pairs = len(ps)
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		if n == 1 {
+			base = best
+		}
+		fmt.Fprintf(w, "%d\t%.2f\t%.2fx\t%d\n",
+			n, float64(best.Microseconds())/1000, float64(base)/float64(best), pairs)
+	}
+	return w.Flush()
 }

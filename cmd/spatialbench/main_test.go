@@ -10,7 +10,7 @@ import (
 func render(t *testing.T, what string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), what, 7, 1e-12); err != nil {
+	if err := run(&sb, costmodel.PaperParams(), what, 7, 1e-12, 2); err != nil {
 		t.Fatalf("run(%s): %v", what, err)
 	}
 	return sb.String()
@@ -18,8 +18,35 @@ func render(t *testing.T, what string) string {
 
 func TestRunUnknownWhat(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "fig99", 7, 1e-12); err == nil {
+	if err := run(&sb, costmodel.PaperParams(), "fig99", 7, 1e-12, 2); err == nil {
 		t.Fatal("unknown -what must fail")
+	}
+}
+
+func TestScalingOutput(t *testing.T) {
+	out := render(t, "scaling")
+	for _, want := range []string{"scaling", "workers", "speedup", "pairs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scaling output missing %q:\n%s", want, out)
+		}
+	}
+	// Rows for workers 1 and 2, each reporting the identical pair count.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("scaling table too short:\n%s", out)
+	}
+	var counts []string
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			t.Fatalf("malformed scaling row %q", line)
+		}
+		counts = append(counts, fields[3])
+	}
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("pair counts differ across worker counts: %v", counts)
+		}
 	}
 }
 
@@ -92,7 +119,7 @@ func TestJoinFigureOutputs(t *testing.T) {
 	// Figure 11's headline: the UNIFORM crossover near 1e-9, resolved on a
 	// fine grid (25 points over 12 decades → half-decade steps).
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "fig11", 25, 1e-12); err != nil {
+	if err := run(&sb, costmodel.PaperParams(), "fig11", 25, 1e-12, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

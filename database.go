@@ -2,6 +2,7 @@ package spatialjoin
 
 import (
 	"fmt"
+	"runtime"
 
 	"spatialjoin/internal/join"
 	"spatialjoin/internal/relation"
@@ -10,7 +11,7 @@ import (
 )
 
 // Config sizes the simulated storage subsystem, mirroring the cost model's
-// system parameters (Table 2).
+// system parameters (Table 2), and the parallel execution engine.
 type Config struct {
 	// PageSize is the disk page size s in bytes.
 	PageSize int
@@ -22,10 +23,16 @@ type Config struct {
 	IndexOptions rtree.Options
 	// JoinIndexOrder is the B+-tree order z for precomputed join indices.
 	JoinIndexOrder int
+	// Workers is the number of goroutines join strategies may use.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential execution.
+	// Whatever the setting, every strategy returns the identical,
+	// canonically (R, S)-sorted match set.
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale configuration with the paper's page
-// geometry (s = 2000, l = 0.75) and a 256-page buffer pool.
+// geometry (s = 2000, l = 0.75), a 256-page buffer pool, and one join
+// worker per available CPU.
 func DefaultConfig() Config {
 	return Config{
 		PageSize:       2000,
@@ -33,13 +40,18 @@ func DefaultConfig() Config {
 		FillFactor:     0.75,
 		IndexOptions:   rtree.DefaultOptions(),
 		JoinIndexOrder: 100,
+		Workers:        runtime.GOMAXPROCS(0),
 	}
 }
 
 // Database is an embedded spatial database over a simulated paged disk.
 // All collections share one buffer pool, so measured page I/O reflects real
 // cache contention between the inner and outer relations of a join.
-// Database is not safe for concurrent use.
+//
+// Read-only operations (Join, Select, SelectStored, Get, IOStats) are safe
+// to call from multiple goroutines concurrently. Mutations — Insert,
+// CreateCollection, BuildJoinIndex, DropCache, ResetIOStats — require
+// external serialization with respect to every other call.
 type Database struct {
 	cfg         Config
 	pool        *storage.BufferPool
@@ -57,6 +69,9 @@ func Open(cfg Config) (*Database, error) {
 	}
 	if cfg.JoinIndexOrder < 3 {
 		return nil, fmt.Errorf("spatialjoin: join index order %d < 3", cfg.JoinIndexOrder)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("spatialjoin: negative worker count %d", cfg.Workers)
 	}
 	pool, err := storage.NewBufferPool(storage.NewDisk(cfg.PageSize), cfg.BufferPages)
 	if err != nil {

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sort"
+
+	"spatialjoin/internal/parallel"
 	"spatialjoin/internal/pred"
 )
 
@@ -10,12 +13,33 @@ type Match struct {
 	R, S int
 }
 
+// SortMatches orders matches canonically by (R, S) ascending. Every
+// strategy sorts its result this way before returning, so the outputs of
+// different strategies — and of serial and parallel runs of the same
+// strategy — are byte-comparable.
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].R != ms[j].R {
+			return ms[i].R < ms[j].R
+		}
+		return ms[i].S < ms[j].S
+	})
+}
+
 // JoinOptions tunes algorithm JOIN.
 type JoinOptions struct {
 	// TouchR / TouchS are invoked once per examined node of the respective
 	// tree, before its filter is evaluated; executors charge page I/O here.
+	// With Workers > 1 they are called from multiple goroutines and must be
+	// safe for concurrent use.
 	TouchR func(Node) error
 	TouchS func(Node) error
+	// Workers is the number of goroutines expanding each QualPairs level
+	// concurrently; values ≤ 1 keep the paper's sequential descent. The
+	// result is identical either way: each level's pair list is split into
+	// contiguous chunks, every worker accumulates into its own JoinResult,
+	// and the partial results are merged back in chunk order.
+	Workers int
 }
 
 // JoinResult is the output of algorithm JOIN.
@@ -52,64 +76,111 @@ func Join(tr, ts Tree, op pred.Operator, opts *JoinOptions) (*JoinResult, error)
 		return res, nil
 	}
 
-	type pair struct{ a, b Node }
-	qual := []pair{{rootR, rootS}}
+	qual := []qualPair{{rootR, rootS}}
 	for len(qual) > 0 {
 		if len(qual) > res.Stats.MaxQueue {
 			res.Stats.MaxQueue = len(qual)
 		}
-		var next []pair
-		for _, p := range qual {
-			a, b := p.a, p.b
-			// JOIN2: Θ check for the pair.
-			if err := touch2(a, b, &options, res); err != nil {
-				return nil, err
-			}
-			res.Stats.FilterEvals++
-			if !op.Filter(a.Bounds(), b.Bounds()) {
-				continue
-			}
-			// JOIN3: exact match of the pair itself.
-			if ra, okA := a.Tuple(); okA {
-				if sb, okB := b.Tuple(); okB {
-					res.Stats.ExactEvals++
-					if op.Eval(a.Object(), b.Object()) {
-						res.Pairs = append(res.Pairs, Match{R: ra, S: sb})
-					}
-				}
-			}
-			// JOIN4: SELECT a against b's subtrees, and b against a's.
-			aKids, bKids := a.Children(), b.Children()
-			bQual := make([]bool, len(bKids))
-			for i, b2 := range bKids {
-				ok, err := joinSelect(a, b2, op, rightSide, &options, res)
-				if err != nil {
-					return nil, err
-				}
-				bQual[i] = ok
-			}
-			aQual := make([]bool, len(aKids))
-			for i, a2 := range aKids {
-				ok, err := joinSelect(b, a2, op, leftSide, &options, res)
-				if err != nil {
-					return nil, err
-				}
-				aQual[i] = ok
-			}
-			for i, a2 := range aKids {
-				if !aQual[i] {
-					continue
-				}
-				for j, b2 := range bKids {
-					if bQual[j] {
-						next = append(next, pair{a2, b2})
-					}
-				}
-			}
+		next, err := expandLevel(qual, op, &options, res)
+		if err != nil {
+			return nil, err
 		}
 		qual = next
 	}
 	return res, nil
+}
+
+// qualPair is one entry of a QualPairs level: a node of each tree whose
+// parents' Θ filters both passed.
+type qualPair struct{ a, b Node }
+
+// expandLevel processes one QualPairs level and returns the next. With
+// options.Workers > 1 the level is split into contiguous chunks fanned out
+// over a worker pool; per-worker results merge back in chunk order, so
+// pair discovery order and statistics match the sequential descent.
+func expandLevel(qual []qualPair, op pred.Operator, options *JoinOptions,
+	res *JoinResult) ([]qualPair, error) {
+
+	workers := options.Workers
+	if workers <= 1 || len(qual) < 2 {
+		return expandChunk(qual, op, options, res)
+	}
+	chunks := parallel.Chunks(len(qual), workers*4)
+	locals := make([]JoinResult, len(chunks))
+	nexts := make([][]qualPair, len(chunks))
+	err := parallel.Run(workers, len(chunks), func(ci int) error {
+		nx, err := expandChunk(qual[chunks[ci].Lo:chunks[ci].Hi], op, options, &locals[ci])
+		nexts[ci] = nx
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var next []qualPair
+	for ci := range chunks {
+		res.Pairs = append(res.Pairs, locals[ci].Pairs...)
+		res.Stats.add(locals[ci].Stats)
+		next = append(next, nexts[ci]...)
+	}
+	return next, nil
+}
+
+// expandChunk runs JOIN2–JOIN4 for a contiguous run of a QualPairs level,
+// accumulating matches and stats into res and returning the qualifying
+// child pairs for the next level.
+func expandChunk(qual []qualPair, op pred.Operator, options *JoinOptions,
+	res *JoinResult) ([]qualPair, error) {
+
+	var next []qualPair
+	for _, p := range qual {
+		a, b := p.a, p.b
+		// JOIN2: Θ check for the pair.
+		if err := touch2(a, b, options, res); err != nil {
+			return nil, err
+		}
+		res.Stats.FilterEvals++
+		if !op.Filter(a.Bounds(), b.Bounds()) {
+			continue
+		}
+		// JOIN3: exact match of the pair itself.
+		if ra, okA := a.Tuple(); okA {
+			if sb, okB := b.Tuple(); okB {
+				res.Stats.ExactEvals++
+				if op.Eval(a.Object(), b.Object()) {
+					res.Pairs = append(res.Pairs, Match{R: ra, S: sb})
+				}
+			}
+		}
+		// JOIN4: SELECT a against b's subtrees, and b against a's.
+		aKids, bKids := a.Children(), b.Children()
+		bQual := make([]bool, len(bKids))
+		for i, b2 := range bKids {
+			ok, err := joinSelect(a, b2, op, rightSide, options, res)
+			if err != nil {
+				return nil, err
+			}
+			bQual[i] = ok
+		}
+		aQual := make([]bool, len(aKids))
+		for i, a2 := range aKids {
+			ok, err := joinSelect(b, a2, op, leftSide, options, res)
+			if err != nil {
+				return nil, err
+			}
+			aQual[i] = ok
+		}
+		for i, a2 := range aKids {
+			if !aQual[i] {
+				continue
+			}
+			for j, b2 := range bKids {
+				if bQual[j] {
+					next = append(next, qualPair{a2, b2})
+				}
+			}
+		}
+	}
+	return next, nil
 }
 
 // side distinguishes which tree the moving node of a join-side SELECT pass

@@ -6,17 +6,33 @@ import (
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/joinindex"
+	"spatialjoin/internal/parallel"
 	"spatialjoin/internal/pred"
 	"spatialjoin/internal/storage"
 )
 
-// NestedLoop computes R ⋈θ S by the paper's strategy I: blocks of R filling
-// most of main memory (M−10 pages worth of tuples), each scanned against
-// the whole of S. Both tables must share one buffer pool.
+// NestedLoop computes R ⋈θ S by the paper's strategy I with the default
+// single worker. See NestedLoopWorkers.
 func NestedLoop(r, s Table, op pred.Operator) ([]core.Match, Stats, error) {
+	return NestedLoopWorkers(r, s, op, 1)
+}
+
+// NestedLoopWorkers computes R ⋈θ S by the paper's strategy I: blocks of R
+// filling most of main memory (M−10 pages worth of tuples), each scanned
+// against the whole of S. Both tables must share one buffer pool.
+//
+// With workers > 1 (≤ 0 meaning GOMAXPROCS) each block's scan of S is split
+// into contiguous tuple-ID chunks fanned out over a worker pool; per-worker
+// matches and predicate counts merge back in chunk order, so the result and
+// the evaluation counts are identical to the sequential run. Page reads are
+// measured across the whole join on the shared pool; with concurrent
+// workers the LRU interleaving — and therefore the exact miss count — can
+// differ from the sequential schedule.
+func NestedLoopWorkers(r, s Table, op pred.Operator, workers int) ([]core.Match, Stats, error) {
 	if r.Pool != s.Pool {
 		return nil, Stats{}, fmt.Errorf("join: nested loop requires a shared buffer pool")
 	}
+	workers = parallel.Workers(workers)
 	var stats Stats
 	var out []core.Match
 
@@ -48,6 +64,10 @@ func NestedLoop(r, s Table, op pred.Operator) ([]core.Match, Stats, error) {
 		}
 	}
 
+	type rTuple struct {
+		id  int
+		obj geom.Spatial
+	}
 	reads, err := measure(r.Pool, func() error {
 		for start := 0; start < len(groups); start += blockPages {
 			end := start + blockPages
@@ -55,10 +75,6 @@ func NestedLoop(r, s Table, op pred.Operator) ([]core.Match, Stats, error) {
 				end = len(groups)
 			}
 			// Load the block and decode its geometries once.
-			type rTuple struct {
-				id  int
-				obj geom.Spatial
-			}
 			var block []rTuple
 			for _, g := range groups[start:end] {
 				for _, id := range g.ids {
@@ -69,23 +85,53 @@ func NestedLoop(r, s Table, op pred.Operator) ([]core.Match, Stats, error) {
 					block = append(block, rTuple{id: id, obj: obj})
 				}
 			}
-			// One full scan of S per block.
-			for sid := 0; sid < s.Rel.Len(); sid++ {
-				sobj, err := s.spatial(sid)
+			// One full scan of S per block, chunked over the workers.
+			scan := func(lo, hi int) ([]core.Match, int64, error) {
+				var found []core.Match
+				var evals int64
+				for sid := lo; sid < hi; sid++ {
+					sobj, err := s.spatial(sid)
+					if err != nil {
+						return nil, evals, err
+					}
+					for _, rt := range block {
+						evals++
+						if op.Eval(rt.obj, sobj) {
+							found = append(found, core.Match{R: rt.id, S: sid})
+						}
+					}
+				}
+				return found, evals, nil
+			}
+			if workers <= 1 {
+				found, evals, err := scan(0, s.Rel.Len())
 				if err != nil {
 					return err
 				}
-				for _, rt := range block {
-					stats.ExactEvals++
-					if op.Eval(rt.obj, sobj) {
-						out = append(out, core.Match{R: rt.id, S: sid})
-					}
-				}
+				stats.ExactEvals += evals
+				out = append(out, found...)
+				continue
+			}
+			chunks := parallel.Chunks(s.Rel.Len(), workers*4)
+			founds := make([][]core.Match, len(chunks))
+			evals := make([]int64, len(chunks))
+			err := parallel.Run(workers, len(chunks), func(ci int) error {
+				f, e, err := scan(chunks[ci].Lo, chunks[ci].Hi)
+				founds[ci], evals[ci] = f, e
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			for ci := range chunks {
+				stats.ExactEvals += evals[ci]
+				out = append(out, founds[ci]...)
 			}
 		}
 		return nil
 	})
 	stats.PageReads = reads
+	core.SortMatches(out)
 	return out, stats, err
 }
 
@@ -144,10 +190,21 @@ func TreeSelect(tr core.Tree, r Table, o geom.Spatial, op pred.Operator,
 }
 
 // TreeJoin computes R ⋈θ S with algorithm JOIN over two generalization
-// trees, charging page accesses for tuple-bearing node examinations on
-// either side.
+// trees with the default single worker. See TreeJoinWorkers.
 func TreeJoin(trR core.Tree, r Table, trS core.Tree, s Table,
 	op pred.Operator) ([]core.Match, Stats, error) {
+	return TreeJoinWorkers(trR, r, trS, s, op, 1)
+}
+
+// TreeJoinWorkers computes R ⋈θ S with algorithm JOIN over two
+// generalization trees, charging page accesses for tuple-bearing node
+// examinations on either side. With workers > 1 (≤ 0 meaning GOMAXPROCS)
+// each QualPairs level of the synchronized descent is expanded by a worker
+// pool; predicate counts and the match set are identical to the sequential
+// descent, while measured page reads can differ slightly because
+// concurrent workers interleave their fetches on the shared LRU pool.
+func TreeJoinWorkers(trR core.Tree, r Table, trS core.Tree, s Table,
+	op pred.Operator, workers int) ([]core.Match, Stats, error) {
 
 	var stats Stats
 	var res *core.JoinResult
@@ -168,8 +225,9 @@ func TreeJoin(trR core.Tree, r Table, trS core.Tree, s Table,
 	}
 	var err error
 	res, err = core.Join(trR, trS, op, &core.JoinOptions{
-		TouchR: touch(r),
-		TouchS: touch(s),
+		TouchR:  touch(r),
+		TouchS:  touch(s),
+		Workers: parallel.Workers(workers),
 	})
 	if err != nil {
 		return nil, stats, err
@@ -179,6 +237,7 @@ func TreeJoin(trR core.Tree, r Table, trS core.Tree, s Table,
 	}
 	stats.FilterEvals = res.Stats.FilterEvals
 	stats.ExactEvals = res.Stats.ExactEvals
+	core.SortMatches(res.Pairs)
 	return res.Pairs, stats, nil
 }
 
@@ -216,32 +275,43 @@ func BuildIndex(r, s Table, op pred.Operator, order int) (*joinindex.Index, Stat
 	return ix, stats, err
 }
 
-// IndexJoin computes the join from a precomputed index: read the pairs and
-// fetch the corresponding tuples — no predicate evaluations at all. Index
-// pages are charged per the B+-tree's fill (|J|/z), plus the tuple fetches
-// through the buffer pool.
+// IndexJoin computes the join from a precomputed index with the default
+// single worker. See IndexJoinWorkers.
 func IndexJoin(ix *joinindex.Index, r, s Table) ([]core.Match, Stats, error) {
+	return IndexJoinWorkers(ix, r, s, 1)
+}
+
+// IndexJoinWorkers computes the join from a precomputed index: read the
+// pairs and fetch the corresponding tuples — no predicate evaluations at
+// all. Index pages are charged per the B+-tree's fill (|J|/z), plus the
+// tuple fetches through the buffer pool. With workers > 1 (≤ 0 meaning
+// GOMAXPROCS) the pair list is read sequentially from the B+-tree and the
+// tuple probes are fanned out over contiguous chunks of it; the pair list
+// itself is already in canonical (R, S) order.
+func IndexJoinWorkers(ix *joinindex.Index, r, s Table, workers int) ([]core.Match, Stats, error) {
 	var stats Stats
-	var out []core.Match
 	pools := []*poolDelta{newPoolDelta(r.Pool)}
 	if s.Pool != r.Pool {
 		pools = append(pools, newPoolDelta(s.Pool))
 	}
-	var ferr error
+	out := make([]core.Match, 0, ix.Len())
 	ix.AllPairs(func(rid, sid int) bool {
-		if err := r.touch(rid); err != nil {
-			ferr = err
-			return false
-		}
-		if err := s.touch(sid); err != nil {
-			ferr = err
-			return false
-		}
 		out = append(out, core.Match{R: rid, S: sid})
 		return true
 	})
-	if ferr != nil {
-		return nil, stats, ferr
+	_, err := parallel.RunChunks(workers, len(out), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := r.touch(out[i].R); err != nil {
+				return err
+			}
+			if err := s.touch(out[i].S); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
 	}
 	for _, pd := range pools {
 		stats.PageReads += pd.delta()

@@ -1,0 +1,131 @@
+// Package parallel is the bounded worker-pool execution layer shared by
+// every parallel join strategy. It follows the partition-based design of
+// Tsitsigkos & Mamoulis (Parallel In-Memory Evaluation of Spatial Joins):
+// the caller splits its input into independent partitions (tiles, chunks,
+// QualPairs slices) and this package schedules them over a fixed number of
+// goroutines, so the degree of parallelism is a single tunable knob
+// (Config.Workers at the database layer) rather than an emergent property
+// of the data.
+//
+// Workers accumulate into worker-local state and the caller merges the
+// partial results in partition order, which keeps result ordering and
+// per-strategy statistics deterministic for a fixed worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: n itself when positive,
+// otherwise runtime.GOMAXPROCS(0) — the default degree of parallelism.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes task(0..n-1) on at most `workers` goroutines (resolved via
+// Workers) and returns the first error any task produced. Tasks are handed
+// out through an atomic cursor, so long tasks do not stall the queue behind
+// them. With one worker (or one task) everything runs on the calling
+// goroutine, making the serial path allocation- and goroutine-free.
+//
+// After a task fails no *new* tasks are started, but tasks already running
+// are not interrupted; Run returns once all started tasks finish.
+func Run(workers, n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor  atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstE  error
+		wg      sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		for !failed.Load() {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := task(i); err != nil {
+				errOnce.Do(func() { firstE = err })
+				failed.Store(true)
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return firstE
+}
+
+// Chunk is a half-open index interval [Lo, Hi).
+type Chunk struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the chunk.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// Chunks splits [0, n) into at most `parts` contiguous near-equal chunks
+// (never empty ones). Merging per-chunk results in slice order reproduces
+// the sequential iteration order.
+func Chunks(n, parts int) []Chunk {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Chunk, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		if hi > lo {
+			out = append(out, Chunk{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// RunChunks splits [0, n) into roughly perChunkFactor×workers chunks and
+// runs body once per chunk on the pool. body receives the chunk index and
+// bounds; per-chunk outputs should be written to chunk-indexed slots and
+// merged in order by the caller. It returns the chunk list actually used.
+func RunChunks(workers, n int, body func(chunk int, lo, hi int) error) ([]Chunk, error) {
+	workers = Workers(workers)
+	// Oversplit relative to the worker count so uneven partitions (skewed
+	// tiles, ragged tree levels) still load-balance.
+	chunks := Chunks(n, workers*chunkOversplit)
+	err := Run(workers, len(chunks), func(i int) error {
+		return body(i, chunks[i].Lo, chunks[i].Hi)
+	})
+	return chunks, err
+}
+
+// chunkOversplit is the number of chunks handed to each worker on average.
+const chunkOversplit = 4

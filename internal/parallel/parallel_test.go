@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-5); got != want {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestRunCoversAllTasksOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 500
+		var hits [n]atomic.Int32
+		if err := Run(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("task ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReturnsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Run(4, 100, func(i int) error {
+		ran.Add(1)
+		if i == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Error propagation is best-effort prompt: not all 100 tasks may run,
+	// but the call must return the failure.
+	if ran.Load() == 0 {
+		t.Fatal("no task ran")
+	}
+}
+
+func TestRunSerialStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	err := Run(1, 100, func(i int) error {
+		ran++
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || ran != 6 {
+		t.Fatalf("serial run: err=%v ran=%d", err, ran)
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100, 7}, {3, 100}, {10, 1}, {10, 0},
+	} {
+		chunks := Chunks(tc.n, tc.parts)
+		next := 0
+		for _, c := range chunks {
+			if c.Lo != next || c.Hi <= c.Lo {
+				t.Fatalf("Chunks(%d,%d): bad chunk %+v (next=%d)", tc.n, tc.parts, c, next)
+			}
+			next = c.Hi
+		}
+		if next != tc.n {
+			t.Fatalf("Chunks(%d,%d) covers [0,%d)", tc.n, tc.parts, next)
+		}
+		if tc.parts >= 1 && len(chunks) > tc.parts {
+			t.Fatalf("Chunks(%d,%d) produced %d chunks", tc.n, tc.parts, len(chunks))
+		}
+	}
+}
+
+func TestRunChunksMergeOrder(t *testing.T) {
+	const n = 1000
+	chunks, err := RunChunks(8, n, func(chunk, lo, hi int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the identity permutation from chunk order.
+	var all []int
+	for _, c := range chunks {
+		for i := c.Lo; i < c.Hi; i++ {
+			all = append(all, i)
+		}
+	}
+	if len(all) != n {
+		t.Fatalf("chunks cover %d of %d", len(all), n)
+	}
+	for i, v := range all {
+		if i != v {
+			t.Fatalf("chunk-order merge breaks sequential order at %d (got %d)", i, v)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PoolStats counts the buffer pool's activity. LogicalReads is every page
@@ -25,14 +26,20 @@ func (s PoolStats) HitRatio() float64 {
 
 // BufferPool caches up to Capacity pages in memory with LRU replacement.
 // Pages can be pinned (the paper locks index roots in main memory); pinned
-// pages are never evicted. BufferPool is safe for concurrent use.
+// pages are never evicted. BufferPool is safe for concurrent use: the frame
+// table is guarded by a mutex, while the activity counters are atomics so
+// concurrent readers can snapshot statistics without serializing on the
+// frame lock.
 type BufferPool struct {
 	mu       sync.Mutex
 	disk     *Disk
 	capacity int
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recently used
-	stats    PoolStats
+
+	logicalReads atomic.Int64
+	misses       atomic.Int64
+	evictions    atomic.Int64
 }
 
 // frame is one cached page.
@@ -73,12 +80,12 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 }
 
 func (bp *BufferPool) fetchLocked(id PageID) (*Page, error) {
-	bp.stats.LogicalReads++
+	bp.logicalReads.Add(1)
 	if el, ok := bp.frames[id]; ok {
 		bp.lru.MoveToFront(el)
 		return el.Value.(*frame).page, nil
 	}
-	bp.stats.Misses++
+	bp.misses.Add(1)
 	buf, err := bp.disk.ReadPage(id)
 	if err != nil {
 		return nil, err
@@ -109,7 +116,7 @@ func (bp *BufferPool) evictIfFullLocked() error {
 		}
 		bp.lru.Remove(el)
 		delete(bp.frames, f.id)
-		bp.stats.Evictions++
+		bp.evictions.Add(1)
 		return nil
 	}
 	return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.capacity)
@@ -206,16 +213,21 @@ func (bp *BufferPool) Resident(id PageID) bool {
 	return ok
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. It does not take the
+// frame lock; under concurrent activity the three counters are each
+// monotone but the snapshot as a whole is not a single linearization
+// point.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return PoolStats{
+		LogicalReads: bp.logicalReads.Load(),
+		Misses:       bp.misses.Load(),
+		Evictions:    bp.evictions.Load(),
+	}
 }
 
 // ResetStats zeroes the pool counters (resident pages stay resident).
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = PoolStats{}
+	bp.logicalReads.Store(0)
+	bp.misses.Store(0)
+	bp.evictions.Store(0)
 }

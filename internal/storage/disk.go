@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // FileID identifies a simulated file on the Disk.
@@ -26,13 +27,16 @@ type DiskStats struct {
 // Disk is the simulated persistent store: a collection of files, each an
 // extendable array of fixed-size pages. All access goes through ReadPage /
 // WritePage, which count physical transfers. Disk is safe for concurrent
-// use.
+// use; the transfer counters are atomics so statistics snapshots do not
+// serialize against page I/O.
 type Disk struct {
 	mu       sync.Mutex
 	pageSize int
 	files    map[FileID][][]byte
 	nextFile FileID
-	stats    DiskStats
+
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // NewDisk returns an empty disk with the given page size (DefaultPageSize
@@ -89,7 +93,7 @@ func (d *Disk) ReadPage(id PageID) ([]byte, error) {
 	if !ok || int(id.Page) < 0 || int(id.Page) >= len(pages) {
 		return nil, fmt.Errorf("storage: read of invalid page %v", id)
 	}
-	d.stats.Reads++
+	d.reads.Add(1)
 	buf := make([]byte, d.pageSize)
 	copy(buf, pages[id.Page])
 	return buf, nil
@@ -106,21 +110,18 @@ func (d *Disk) WritePage(id PageID, buf []byte) error {
 	if len(buf) != d.pageSize {
 		return fmt.Errorf("storage: write of %d bytes to %d-byte page", len(buf), d.pageSize)
 	}
-	d.stats.Writes++
+	d.writes.Add(1)
 	copy(pages[id.Page], buf)
 	return nil
 }
 
 // Stats returns a snapshot of the physical I/O counters.
 func (d *Disk) Stats() DiskStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return DiskStats{Reads: d.reads.Load(), Writes: d.writes.Load()}
 }
 
 // ResetStats zeroes the physical I/O counters.
 func (d *Disk) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = DiskStats{}
+	d.reads.Store(0)
+	d.writes.Store(0)
 }

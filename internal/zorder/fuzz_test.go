@@ -1,0 +1,86 @@
+package zorder
+
+import (
+	"math"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+// FuzzZOverlapJoin fuzzes rectangle coordinates and the grid level,
+// cross-checking the z-order sort-merge join (sequential and tiled
+// parallel) against the brute-force reference and asserting that no
+// duplicate pair escapes deduplication.
+func FuzzZOverlapJoin(f *testing.F) {
+	f.Add(uint(4), 10.0, 10.0, 30.0, 30.0, 20.0, 20.0, 50.0, 50.0)
+	f.Add(uint(1), 0.0, 0.0, 100.0, 100.0, 0.0, 0.0, 100.0, 100.0)
+	f.Add(uint(12), 99.9, 0.1, 100.0, 0.2, 99.95, 0.0, 150.0, 90.0)
+	f.Add(uint(7), -20.0, -20.0, 5.0, 5.0, 0.0, 0.0, 3.0, 3.0)
+	f.Add(uint(30), 50.0, 50.0, 50.0, 50.0, 50.0, 50.0, 50.0, 50.0)
+
+	world := geom.NewRect(0, 0, 100, 100)
+	f.Fuzz(func(t *testing.T, level uint,
+		ax1, ay1, ax2, ay2, bx1, by1, bx2, by2 float64) {
+
+		if level < 1 || level > MaxLevel {
+			t.Skip()
+		}
+		// Fold deep levels into [1, 8]: decomposing hundreds of mid-size
+		// rectangles on a 2^30 grid is quadratic in boundary cells and
+		// would stall the fuzzer without testing anything new.
+		level = 1 + (level-1)%8
+		for _, v := range []float64{ax1, ay1, ax2, ay2, bx1, by1, bx2, by2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		clampIn := func(v float64) float64 {
+			// Keep the fuzzed geometry inside the world: there the z-order
+			// join is exactly equivalent to brute force. (Outside it, pairs
+			// intersecting only beyond the world edge are legitimately
+			// dropped by the grid clipping.)
+			return clampCoord(v, world.MinX, world.MaxX)
+		}
+		a := geom.NewRect(clampIn(ax1), clampIn(ay1), clampIn(ax2), clampIn(ay2))
+		b := geom.NewRect(clampIn(bx1), clampIn(by1), clampIn(bx2), clampIn(by2))
+		// Grow the two seeds into small families so the join has real
+		// merge work and duplicate candidates to suppress.
+		shift := func(r geom.Rect, dx, dy float64) geom.Rect {
+			return geom.Rect{
+				MinX: clampIn(r.MinX + dx), MinY: clampIn(r.MinY + dy),
+				MaxX: clampIn(r.MaxX + dx), MaxY: clampIn(r.MaxY + dy),
+			}
+		}
+		// 2×140 rects also pushes the parallel join past its sequential
+		// fallback threshold, so the tile partitioner really runs.
+		var rs, ss []geom.Rect
+		for i := 0; i < 140; i++ {
+			dx, dy := float64(i%17)-8, float64(i%11)-5
+			rs = append(rs, shift(a, dx, dy))
+			ss = append(ss, shift(b, dy, dx))
+		}
+
+		g, err := NewGrid(world, level)
+		if err != nil {
+			t.Fatalf("NewGrid(level=%d): %v", level, err)
+		}
+		got, stats := g.OverlapJoin(rs, ss, JoinOptions{Dedup: true, Exact: true})
+		want := BruteOverlapJoin(rs, ss)
+		if pairKey(got) != pairKey(want) {
+			t.Fatalf("level %d: z-order join %v != brute force %v", level, got, want)
+		}
+		// Dedup contract: every reported pair is unique.
+		seen := make(map[Pair]bool, len(got))
+		for _, p := range got {
+			if seen[p] {
+				t.Fatalf("duplicate pair %v escaped dedup (stats %+v)", p, stats)
+			}
+			seen[p] = true
+		}
+		// The tiled parallel join must agree pair-for-pair.
+		par, _ := g.ParallelOverlapJoin(rs, ss, 4)
+		if pairKey(par) != pairKey(want) {
+			t.Fatalf("level %d: parallel join %v != brute force %v", level, par, want)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package zorder
+
+import (
+	"sort"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/parallel"
+)
+
+// parallelMinInput is the combined input size below which tiling overhead
+// outweighs the parallel win and ParallelOverlapJoin stays sequential.
+const parallelMinInput = 256
+
+// tilesPerWorker oversplits the world so skewed data still load-balances.
+const tilesPerWorker = 4
+
+// SortPairs orders pairs canonically by (R, S) ascending.
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].R != ps[j].R {
+			return ps[i].R < ps[j].R
+		}
+		return ps[i].S < ps[j].S
+	})
+}
+
+// ParallelOverlapJoin computes the same deduplicated, exactly-verified
+// result set as OverlapJoin with {Dedup: true, Exact: true}, partitioned
+// over a worker pool: the world is cut into vertical strips, each strip
+// runs the sequential sort-merge on the rectangles that intersect it, and
+// pairs straddling a strip boundary are suppressed everywhere except in
+// the one strip owning the pair's reference point — the world-clamped
+// min corner of the two rectangles' intersection. Each result pair is
+// therefore reported by exactly one strip, with no cross-worker
+// communication.
+//
+// workers ≤ 0 means runtime.GOMAXPROCS(0); with one worker (or a small
+// input) the sequential algorithm runs directly. The returned pairs are
+// sorted by (R, S); the sequential OverlapJoin reports discovery order, so
+// callers comparing the two must sort. Decomposition and candidate counts
+// in JoinStats are summed over strips, so a rectangle intersecting k
+// strips contributes k decompositions — the duplicated boundary work the
+// partitioning actually performs.
+func (g *Grid) ParallelOverlapJoin(rs, ss []geom.Rect, workers int) ([]Pair, JoinStats) {
+	w := parallel.Workers(workers)
+	if w <= 1 || len(rs)+len(ss) < parallelMinInput {
+		pairs, stats := g.OverlapJoin(rs, ss, JoinOptions{Dedup: true, Exact: true})
+		SortPairs(pairs)
+		return pairs, stats
+	}
+
+	// Strip boundaries, shared by membership and ownership decisions so a
+	// pair's owning strip always also received both of its rectangles.
+	tiles := w * tilesPerWorker
+	bounds := make([]float64, tiles+1)
+	for i := 0; i <= tiles; i++ {
+		bounds[i] = g.world.MinX + float64(i)*g.world.Width()/float64(tiles)
+	}
+	bounds[tiles] = g.world.MaxX
+
+	stripRect := func(i int) geom.Rect {
+		return geom.Rect{MinX: bounds[i], MinY: g.world.MinY, MaxX: bounds[i+1], MaxY: g.world.MaxY}
+	}
+	// ownerOf returns the strip owning reference coordinate x: the last
+	// strip whose left boundary is ≤ x, so bounds[o] ≤ x ≤ bounds[o+1] and
+	// strip o's closed rectangle contains the reference point.
+	ownerOf := func(x float64) int {
+		o := sort.SearchFloat64s(bounds[1:tiles], x)
+		if x == bounds[o+1] && o+1 < tiles {
+			// A reference point exactly on a boundary belongs to the strip
+			// on its right, matching the half-open reading of the strips.
+			return o + 1
+		}
+		return o
+	}
+
+	type tileResult struct {
+		pairs []Pair
+		stats JoinStats
+	}
+	results := make([]tileResult, tiles)
+	err := parallel.Run(w, tiles, func(t int) error {
+		strip := stripRect(t)
+		var rsub, ssub []geom.Rect
+		var rmap, smap []int
+		for i, r := range rs {
+			if r.Intersects(strip) {
+				rsub = append(rsub, r)
+				rmap = append(rmap, i)
+			}
+		}
+		for j, s := range ss {
+			if s.Intersects(strip) {
+				ssub = append(ssub, s)
+				smap = append(smap, j)
+			}
+		}
+		if len(rsub) == 0 || len(ssub) == 0 {
+			return nil
+		}
+		sub, stats := g.OverlapJoin(rsub, ssub, JoinOptions{Dedup: true, Exact: true})
+		kept := sub[:0]
+		for _, p := range sub {
+			orig := Pair{R: rmap[p.R], S: smap[p.S]}
+			iv, ok := rs[orig.R].Intersection(ss[orig.S])
+			if !ok {
+				continue // unreachable: Exact verified the intersection
+			}
+			ref := clampCoord(iv.MinX, g.world.MinX, g.world.MaxX)
+			if ownerOf(ref) == t {
+				kept = append(kept, orig)
+			}
+		}
+		results[t] = tileResult{pairs: kept, stats: stats}
+		return nil
+	})
+	if err != nil {
+		// parallel.Run only propagates task errors and no task here fails.
+		panic("zorder: unreachable parallel error: " + err.Error())
+	}
+
+	var out []Pair
+	var stats JoinStats
+	for _, tr := range results {
+		out = append(out, tr.pairs...)
+		stats.ElementsR += tr.stats.ElementsR
+		stats.ElementsS += tr.stats.ElementsS
+		stats.Candidates += tr.stats.Candidates
+		stats.Duplicates += tr.stats.Duplicates
+		stats.ExactTests += tr.stats.ExactTests
+	}
+	SortPairs(out)
+	return out, stats
+}
+
+// clampCoord clamps v into [lo, hi].
+func clampCoord(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -76,23 +76,26 @@ func (db *Database) SelectStored(r *Collection, rID int, s *Collection, op Opera
 
 // Join computes r ⋈θ s and returns the matching ID pairs with measured
 // work. The operator is applied with r-objects as the left operand.
+// Execution uses Config.Workers goroutines; whatever the worker count or
+// strategy, the returned matches are canonically sorted by (R, S), so the
+// outputs of all strategies are byte-comparable.
 func (db *Database) Join(r, s *Collection, op Operator, strategy Strategy) ([]Match, Stats, error) {
 	if r == nil || s == nil || op == nil {
 		return nil, Stats{}, fmt.Errorf("spatialjoin: nil join argument")
 	}
 	switch strategy {
 	case ScanStrategy:
-		return join.NestedLoop(r.table, s.table, op)
+		return join.NestedLoopWorkers(r.table, s.table, op, db.cfg.Workers)
 	case TreeStrategy:
-		return join.TreeJoin(r.index.Generalization(), r.table,
-			s.index.Generalization(), s.table, op)
+		return join.TreeJoinWorkers(r.index.Generalization(), r.table,
+			s.index.Generalization(), s.table, op, db.cfg.Workers)
 	case IndexStrategy:
 		ix, ok := db.joinIndexFor(r, s, op)
 		if !ok {
 			return nil, Stats{}, fmt.Errorf("spatialjoin: no join index for %s ⋈ %s on %s; call BuildJoinIndex first",
 				r.name, s.name, op.Name())
 		}
-		return join.IndexJoin(ix.ix, r.table, s.table)
+		return join.IndexJoinWorkers(ix.ix, r.table, s.table, db.cfg.Workers)
 	default:
 		return nil, Stats{}, fmt.Errorf("spatialjoin: unknown strategy %d", strategy)
 	}

@@ -90,16 +90,34 @@ type Match = core.Match
 
 // ZOverlapJoin computes {(i, j) | rs[i] overlaps ss[j]} with Orenstein's
 // z-order sort-merge algorithm — the one spatial operator for which a
-// sort-merge strategy works (§2.2 of the paper). world must cover all
+// sort-merge strategy works (§2.2 of the paper) — on a single worker.
+// See ZOverlapJoinWorkers.
+func ZOverlapJoin(rs, ss []Rect, world Rect, level uint) ([]Match, error) {
+	return ZOverlapJoinWorkers(rs, ss, world, level, 1)
+}
+
+// ZOverlapJoinWorkers computes {(i, j) | rs[i] overlaps ss[j]} with
+// Orenstein's z-order sort-merge algorithm. world must cover all
 // rectangles; level sets the grid resolution (cells per side = 2^level).
 // Duplicate candidate reports are suppressed and candidates verified
 // exactly.
-func ZOverlapJoin(rs, ss []Rect, world Rect, level uint) ([]Match, error) {
+//
+// With workers > 1 (≤ 0 meaning GOMAXPROCS) the world is tile-partitioned
+// into vertical strips joined concurrently, with pairs straddling a strip
+// boundary reported exactly once. The match set is identical for every
+// worker count and is returned canonically sorted by (R, S).
+func ZOverlapJoinWorkers(rs, ss []Rect, world Rect, level uint, workers int) ([]Match, error) {
 	g, err := zorder.NewGrid(world, level)
 	if err != nil {
 		return nil, err
 	}
-	pairs, _ := g.OverlapJoin(rs, ss, zorder.JoinOptions{Dedup: true, Exact: true})
+	var pairs []zorder.Pair
+	if workers == 1 {
+		pairs, _ = g.OverlapJoin(rs, ss, zorder.JoinOptions{Dedup: true, Exact: true})
+		zorder.SortPairs(pairs)
+	} else {
+		pairs, _ = g.ParallelOverlapJoin(rs, ss, workers)
+	}
 	out := make([]Match, len(pairs))
 	for i, p := range pairs {
 		out[i] = Match{R: p.R, S: p.S}
