@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"spatialjoin/internal/costmodel"
+	"spatialjoin/internal/geom"
 )
 
 // Advice is the outcome of cost-based strategy selection for a join: the
@@ -83,7 +84,7 @@ func (db *Database) AdviseJoin(r, s *Collection, op Operator) (Advice, error) {
 
 	best, bestCost := TreeStrategy, math.Inf(1)
 	for strat, cost := range advice.Costs {
-		if cost < bestCost || (cost == bestCost && strat == TreeStrategy) {
+		if cost < bestCost || (geom.SameCoord(cost, bestCost) && strat == TreeStrategy) {
 			best, bestCost = strat, cost
 		}
 	}

@@ -1,0 +1,146 @@
+// Command sjlint is the repository's static-analysis driver. It loads the
+// named packages (default ./...), type-checks them with the standard
+// library's go/parser + go/types, and runs the domain-specific analyzers
+// from internal/analysis concurrently over each package:
+//
+//	rawdisk        all physical I/O must flow through storage.BufferPool
+//	atomiccounter  fields documented atomic are accessed atomically only
+//	floateq        no raw ==/!= on float geometry values
+//	errdrop        storage/pool errors must be checked
+//	ctxpool        parallel.Run/RunChunks errors must be checked
+//
+// Findings can be suppressed with a trailing or preceding line comment:
+//
+//	//sjlint:ignore analyzer[,analyzer] reason...
+//
+// Exit codes are machine-readable: 0 = clean, 1 = findings reported,
+// 2 = usage, load, or type-check failure.
+//
+// Usage:
+//
+//	go run ./cmd/sjlint [-list] [-run names] [-json] [packages...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"spatialjoin/internal/analysis"
+)
+
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("sjlint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	var (
+		list    = flags.Bool("list", false, "list available analyzers and exit")
+		runOnly = flags.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+		asJSON  = flags.Bool("json", false, "emit diagnostics as a JSON array")
+	)
+	flags.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sjlint [-list] [-run names] [-json] [packages...]")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return exitError
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return exitClean
+	}
+	if *runOnly != "" {
+		var err error
+		analyzers, err = analysis.ByName(*runOnly)
+		if err != nil {
+			fmt.Fprintf(stderr, "sjlint: %v\n", err)
+			return exitError
+		}
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "sjlint: %v\n", err)
+		return exitError
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "sjlint: %v\n", err)
+		return exitError
+	}
+
+	cwd, _ := os.Getwd()
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, analysis.Run(pkg, analyzers)...)
+	}
+
+	if *asJSON {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(all))
+		for _, d := range all {
+			out = append(out, jsonDiag{
+				File:     relPath(cwd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "sjlint: %v\n", err)
+			return exitError
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n",
+				relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+
+	if len(all) > 0 {
+		return exitFindings
+	}
+	return exitClean
+}
+
+// relPath shortens abs to a path relative to base when that is tidier.
+func relPath(base, abs string) string {
+	if base == "" {
+		return abs
+	}
+	rel, err := filepath.Rel(base, abs)
+	if err != nil || len(rel) >= len(abs) {
+		return abs
+	}
+	return rel
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestExitCodeContract verifies the machine-readable exit codes: 0 for the
+// clean production tree, 1 with diagnostics on the deliberately dirty
+// fixtures, 2 for usage errors.
+func TestExitCodeContract(t *testing.T) {
+	var out, errb bytes.Buffer
+
+	if code := run([]string{"./..."}, &out, &errb); code != exitClean {
+		t.Fatalf("sjlint ./... = exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, exitClean, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run printed diagnostics:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	fixture := "./internal/analysis/testdata/src/floateq"
+	if code := run([]string{fixture}, &out, &errb); code != exitFindings {
+		t.Fatalf("sjlint %s = exit %d, want %d\nstderr:\n%s", fixture, code, exitFindings, errb.String())
+	}
+	if !strings.Contains(out.String(), "floateq") {
+		t.Fatalf("fixture run did not report floateq findings:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-run", "nosuch"}, &out, &errb); code != exitError {
+		t.Fatalf("unknown analyzer = exit %d, want %d", code, exitError)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "./internal/analysis/testdata/src/errdrop"}, &out, &errb)
+	if code != exitFindings {
+		t.Fatalf("exit %d, want %d\nstderr:\n%s", code, exitFindings, errb.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 || diags[0].Analyzer != "errdrop" || diags[0].Line == 0 {
+		t.Fatalf("unexpected JSON diagnostics: %+v", diags)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != exitClean {
+		t.Fatalf("-list = exit %d", code)
+	}
+	for _, name := range []string{"rawdisk", "atomiccounter", "floateq", "errdrop", "ctxpool"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package analysis is sjlint's in-repo static-analysis framework: a small,
+// stdlib-only (go/parser, go/ast, go/types) analogue of
+// golang.org/x/tools/go/analysis hosting the domain-specific analyzers that
+// mechanically enforce this repository's invariants — pool-mediated disk
+// I/O, atomic-only counter access, epsilon-safe float comparison, and
+// checked errors on storage and parallel-execution operations.
+//
+// Each Analyzer inspects one type-checked package and reports diagnostics
+// at token positions. The driver (cmd/sjlint) loads packages with Loader,
+// runs every analyzer concurrently per package, filters diagnostics through
+// //sjlint:ignore suppression comments, and exits non-zero when findings
+// remain.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sjlint:ignore comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-line description shown by `sjlint -list`.
+	Doc string
+	// Run inspects the package in pass and reports findings via
+	// pass.Reportf. It must not retain pass after returning.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	mu    *sync.Mutex
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. It is safe for concurrent use by
+// the analyzers sharing one package run.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	}
+	p.mu.Lock()
+	*p.diags = append(*p.diags, d)
+	p.mu.Unlock()
+}
+
+// TypeOf returns the static type of expression e, or nil when untracked.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Diagnostic is one finding: an analyzer name, a resolved file position,
+// and a message.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		RawDisk,
+		AtomicCounter,
+		FloatEq,
+		ErrDrop,
+		CtxPool,
+	}
+}
+
+// ByName resolves a comma-separated analyzer name list against All,
+// returning an error naming any unknown entry.
+func ByName(names string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the given analyzers over one loaded package concurrently and
+// returns the surviving diagnostics sorted by position. Findings suppressed
+// by an //sjlint:ignore comment on the same or the preceding line are
+// dropped.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var (
+		mu    sync.Mutex
+		diags []Diagnostic
+		wg    sync.WaitGroup
+	)
+	for _, a := range analyzers {
+		wg.Add(1)
+		go func(a *Analyzer) {
+			defer wg.Done()
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				mu:       &mu,
+				diags:    &diags,
+			})
+		}(a)
+	}
+	wg.Wait()
+
+	ig := collectIgnores(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// ignoreKey locates one //sjlint:ignore directive.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// ignores maps directive locations to the analyzer names they suppress.
+type ignores map[ignoreKey]map[string]bool
+
+// collectIgnores scans every comment in the package for
+// //sjlint:ignore name[,name...] directives. A directive suppresses
+// matching diagnostics on its own line and on the line directly below it
+// (so it can sit at end-of-line or on its own line above the finding).
+func collectIgnores(pkg *Package) ignores {
+	const prefix = "//sjlint:ignore"
+	ig := make(ignores)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, prefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				// First field is the analyzer list; anything after it is a
+				// free-form justification.
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := ignoreKey{file: pos.Filename, line: pos.Line}
+				set := ig[key]
+				if set == nil {
+					set = make(map[string]bool)
+					ig[key] = set
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					set[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// suppresses reports whether d is covered by a directive on its line or the
+// line above.
+func (ig ignores) suppresses(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if set, ok := ig[ignoreKey{file: d.Pos.Filename, line: line}]; ok && set[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectAll applies f to every node of every file in the pass.
+func inspectAll(pass *Pass, f func(ast.Node) bool) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, f)
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicCounter enforces atomic-only access to counter fields, the
+// concurrency contract storage.BufferPool and storage.Disk document for
+// their statistics: counters are read by concurrent snapshotters without
+// taking the frame lock, so a single plain read or write anywhere is a
+// data race even if every other access is atomic.
+//
+// Two field classes are covered:
+//
+//  1. Fields typed from sync/atomic (atomic.Int64 and friends) may only be
+//     used as the receiver of a method call (Load, Store, Add, Swap, ...).
+//     Copying, assigning, or aliasing the field is flagged.
+//  2. Plain integer fields whose declaration carries an `sjlint:atomic`
+//     marker comment may only appear as &x.f arguments to sync/atomic
+//     package functions (atomic.AddInt64(&x.f, ...) etc.). Marked fields
+//     declared in other packages are unexported and out of reach, so the
+//     rule is enforced where the field is declared.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "flag plain (non-atomic) access to fields documented as atomic; mixed atomic/plain access is a data race",
+	Run:  runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) {
+	marked := markedAtomicFields(pass)
+
+	// Sanctioned selector nodes: uses of atomic-class fields that occur in
+	// an approved position. Everything else is a plain access.
+	sanctioned := make(map[ast.Node]bool)
+	inspectAll(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Receiver position of a method call on a sync/atomic type:
+		// bp.misses.Add(1) sanctions the bp.misses selector.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && isAtomicTypedField(pass, recv) {
+				sanctioned[recv] = true
+			}
+		}
+		// &x.f argument to a sync/atomic function sanctions marked plain
+		// fields: atomic.AddInt64(&d.reads, 1).
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == atomicPkgPath {
+			for _, arg := range call.Args {
+				if amp, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && amp.Op.String() == "&" {
+					if sel, ok := ast.Unparen(amp.X).(*ast.SelectorExpr); ok {
+						if obj := fieldObject(pass, sel); obj != nil && marked[obj] {
+							sanctioned[sel] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	inspectAll(pass, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		if isAtomicTypedField(pass, sel) {
+			pass.Reportf(sel.Pos(),
+				"plain use of atomic field %s: access it only through its atomic methods (Load/Store/Add/...)",
+				sel.Sel.Name)
+			return true
+		}
+		if obj := fieldObject(pass, sel); obj != nil && marked[obj] {
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s documented as atomic (sjlint:atomic): use sync/atomic functions on &%s",
+				sel.Sel.Name, sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// markedAtomicFields collects the field objects of this package whose
+// struct declaration carries an sjlint:atomic marker in the field's doc or
+// line comment.
+func markedAtomicFields(pass *Pass) map[types.Object]bool {
+	marked := make(map[types.Object]bool)
+	// Scan raw comment text: CommentGroup.Text() strips //word:-style
+	// directive comments, which is exactly the marker's shape.
+	note := func(cg *ast.CommentGroup) bool {
+		if cg == nil {
+			return false
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "sjlint:atomic") {
+				return true
+			}
+		}
+		return false
+	}
+	inspectAll(pass, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			if !note(field.Doc) && !note(field.Comment) {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					marked[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return marked
+}
+
+// fieldObject returns the struct-field object selected by sel, nil when
+// sel is not a field selection.
+func fieldObject(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj()
+}
+
+// isAtomicTypedField reports whether sel selects a struct field whose type
+// is defined in sync/atomic.
+func isAtomicTypedField(pass *Pass, sel *ast.SelectorExpr) bool {
+	obj := fieldObject(pass, sel)
+	if obj == nil {
+		return false
+	}
+	named := namedOf(obj.Type())
+	return named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == atomicPkgPath
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// approvedFloatEqHelpers are the geom functions allowed to use raw float
+// equality: they are the single audited place where comparison semantics
+// (tolerance or documented-exact) live. Everything else must call them.
+var approvedFloatEqHelpers = map[string]bool{
+	"ApproxEqual": true,
+	"ApproxZero":  true,
+	"SameCoord":   true,
+	"SamePoint":   true,
+	"SameRect":    true,
+}
+
+// FloatEq flags == and != between floating-point values (including structs
+// built from them, such as geom.Point) outside the approved epsilon
+// helpers in internal/geom. Geometry coordinates are float64; raw equality
+// on derived quantities silently depends on rounding, so every comparison
+// must go through a helper that makes the intended semantics — tolerant or
+// deliberately exact — explicit.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on float64 geometry values outside geom's approved comparison helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	// Inside geom itself, the bodies of the approved helpers may compare
+	// raw floats.
+	var exempt []ast.Node
+	if pass.Pkg.Path() == geomPkgPath {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && approvedFloatEqHelpers[fd.Name.Name] {
+					exempt = append(exempt, fd)
+				}
+			}
+		}
+	}
+	inExempt := func(pos token.Pos) bool {
+		for _, n := range exempt {
+			if n.Pos() <= pos && pos <= n.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	inspectAll(pass, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		tx, ty := pass.TypeOf(bin.X), pass.TypeOf(bin.Y)
+		if tx == nil || ty == nil || (!containsFloat(tx) && !containsFloat(ty)) {
+			return true
+		}
+		// Comparisons fully decided at compile time carry no rounding
+		// hazard.
+		if isConst(pass, bin.X) && isConst(pass, bin.Y) {
+			return true
+		}
+		if inExempt(bin.Pos()) {
+			return true
+		}
+		pass.Reportf(bin.Pos(),
+			"raw float equality (%s): use geom.ApproxEqual/ApproxZero for tolerant or geom.SameCoord/SamePoint/SameRect for deliberate exact comparison",
+			bin.Op)
+		return true
+	})
+}
+
+// isConst reports whether e has a compile-time constant value.
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// containsFloat reports whether a value of type t holds floating-point
+// state that == would compare: floats and complexes themselves, and
+// structs/arrays containing them.
+func containsFloat(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsFloat(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawDisk forbids direct physical I/O outside the storage layer. Every page
+// transfer must be mediated by storage.BufferPool so the cost model's
+// page-access counters (the paper's C_IO charge per physical access) see
+// it; a single call path that calls Disk.ReadPage or Disk.WritePage
+// directly silently corrupts every reported I/O figure.
+var RawDisk = &Analyzer{
+	Name: "rawdisk",
+	Doc:  "forbid Disk.ReadPage/WritePage calls outside internal/storage so all I/O is counted by the buffer pool",
+	Run:  runRawDisk,
+}
+
+func runRawDisk(pass *Pass) {
+	if pass.Pkg.Path() == storagePkgPath {
+		return // the storage layer itself implements the mediation
+	}
+	inspectAll(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != storagePkgPath {
+			return true
+		}
+		if fn.Name() != "ReadPage" && fn.Name() != "WritePage" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		recv := sig.Recv()
+		if recv == nil {
+			return true
+		}
+		named := namedOf(recv.Type())
+		if named == nil || named.Obj().Name() != "Disk" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"raw storage.Disk.%s bypasses BufferPool I/O accounting; fetch pages through a storage.BufferPool instead",
+			fn.Name())
+		return true
+	})
+}

@@ -1,0 +1,35 @@
+// Package atomiccounter is a golden fixture for the atomiccounter
+// analyzer: fields documented as atomic must never be read or written
+// plainly, because mixing atomic and plain access is a data race.
+package atomiccounter
+
+import "sync/atomic"
+
+type counters struct {
+	hits atomic.Int64
+	raw  int64 //sjlint:atomic updated concurrently via sync/atomic only
+}
+
+// allAtomic is the approved access pattern for both field classes.
+func allAtomic(c *counters) int64 {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.raw, 1)
+	return c.hits.Load() + atomic.LoadInt64(&c.raw)
+}
+
+func copyAtomicField(c *counters) int64 {
+	v := c.hits // want "plain use of atomic field hits"
+	return v.Load()
+}
+
+func aliasAtomicField(c *counters) *atomic.Int64 {
+	return &c.hits // want "plain use of atomic field hits"
+}
+
+func plainReadMarked(c *counters) int64 {
+	return c.raw // want "plain access to field raw documented as atomic"
+}
+
+func plainWriteMarked(c *counters) {
+	c.raw = 0 // want "plain access to field raw documented as atomic"
+}

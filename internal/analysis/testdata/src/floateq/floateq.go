@@ -1,0 +1,33 @@
+// Package floateq is a golden fixture for the floateq analyzer: raw
+// ==/!= on float values (and on structs of floats, like geom.Point) must
+// go through geom's approved comparison helpers.
+package floateq
+
+import "spatialjoin/internal/geom"
+
+func rawFloatEq(a, b float64) bool {
+	return a == b // want "raw float equality"
+}
+
+func rawPointNeq(p, q geom.Point) bool {
+	return p != q // want "raw float equality"
+}
+
+func rawRectEq(a, b geom.Rect) bool {
+	return a == b // want "raw float equality"
+}
+
+// viaHelpers is the approved pattern: semantics are named at the call site.
+func viaHelpers(a, b float64, p, q geom.Point) bool {
+	return geom.ApproxEqual(a, b) || geom.SamePoint(p, q) || geom.SameCoord(a, 0)
+}
+
+// intEq is fine: integer equality is exact.
+func intEq(a, b int) bool { return a == b }
+
+// constFold is fine: fully constant comparisons carry no rounding hazard.
+func constFold() bool { return 1.5 == 3.0/2 }
+
+func suppressed(x float64) bool {
+	return x == 0 //sjlint:ignore floateq documented sentinel check
+}

@@ -1,0 +1,30 @@
+// Package rawdisk is a golden fixture for the rawdisk analyzer: physical
+// page I/O is only legal inside internal/storage, where the BufferPool
+// counts it.
+package rawdisk
+
+import "spatialjoin/internal/storage"
+
+func readRaw(d *storage.Disk, id storage.PageID) ([]byte, error) {
+	return d.ReadPage(id) // want "raw storage.Disk.ReadPage bypasses BufferPool"
+}
+
+func writeRaw(d *storage.Disk, id storage.PageID, buf []byte) error {
+	return d.WritePage(id, buf) // want "raw storage.Disk.WritePage bypasses BufferPool"
+}
+
+// mediated is the approved path: every access goes through the pool.
+func mediated(bp *storage.BufferPool, id storage.PageID) error {
+	_, err := bp.Fetch(id)
+	return err
+}
+
+// allocOnly is fine: allocation is not a counted transfer.
+func allocOnly(d *storage.Disk, f storage.FileID) (storage.PageID, error) {
+	return d.AllocPage(f)
+}
+
+func suppressed(d *storage.Disk, id storage.PageID) ([]byte, error) {
+	//sjlint:ignore rawdisk fixture demonstrates suppression syntax
+	return d.ReadPage(id)
+}

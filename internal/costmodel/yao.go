@@ -1,6 +1,10 @@
 package costmodel
 
-import "math"
+import (
+	"math"
+
+	"spatialjoin/internal/geom"
+)
 
 // Yao returns Yao's estimate [Yao77] of the expected number of disk pages
 // touched when accessing x records chosen at random from z records stored on
@@ -16,7 +20,7 @@ func Yao(x, y, z float64) float64 {
 	if x <= 0 || y <= 0 || z <= 0 {
 		return 0
 	}
-	if y == 1 {
+	if geom.SameCoord(y, 1) {
 		return 1
 	}
 	if x >= z {

@@ -1,0 +1,44 @@
+package geom
+
+import "math"
+
+// This file is the single audited home of floating-point comparison in the
+// library. The sjlint floateq analyzer forbids raw == / != on float values
+// everywhere else, so every comparison states its semantics by choosing a
+// helper: ApproxEqual / ApproxZero when rounding error must be tolerated,
+// SameCoord / SamePoint when exact bit-level agreement is the point (grid
+// scale lookups, degenerate-geometry guards, sentinel checks).
+
+// Eps is the default comparison tolerance. Coordinates in the test
+// workloads live in [0, 1]²-scaled spaces, where 1e-9 is far below any
+// meaningful geometric distinction but far above accumulated rounding
+// from the short arithmetic chains the predicates use.
+const Eps = 1e-9
+
+// ApproxEqual reports whether a and b agree within Eps, scaled to their
+// magnitude: |a-b| ≤ Eps·max(1, |a|, |b|). It is symmetric and tolerates
+// the rounding of short arithmetic chains on coordinates.
+func ApproxEqual(a, b float64) bool {
+	if a == b {
+		return true // fast path; also handles ±Inf
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= Eps*scale
+}
+
+// ApproxZero reports whether x is within Eps of zero.
+func ApproxZero(x float64) bool { return math.Abs(x) <= Eps }
+
+// SameCoord reports whether a and b are exactly the same coordinate value.
+// It exists so that deliberate exact comparison — partitioning boundaries,
+// degenerate-geometry guards, sentinel values — reads differently from an
+// accidental raw ==, and so the floateq analyzer can tell them apart.
+func SameCoord(a, b float64) bool { return a == b }
+
+// SamePoint reports whether p and q have exactly equal coordinates.
+func SamePoint(p, q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// SameRect reports whether a and b have exactly equal bounds.
+func SameRect(a, b Rect) bool {
+	return a.MinX == b.MinX && a.MinY == b.MinY && a.MaxX == b.MaxX && a.MaxY == b.MaxY
+}

@@ -67,7 +67,7 @@ func (s Segment) Intersects(t Segment) bool {
 func (s Segment) DistanceToPoint(p Point) float64 {
 	d := s.B.Sub(s.A)
 	l2 := d.Dot(d)
-	if l2 == 0 {
+	if SameCoord(l2, 0) {
 		return p.DistanceTo(s.A)
 	}
 	t := p.Sub(s.A).Dot(d) / l2
@@ -103,7 +103,7 @@ func (pg Polygon) Validate() error {
 	}
 	n := len(pg)
 	for i := 0; i < n; i++ {
-		if pg[i] == pg[(i+1)%n] {
+		if SamePoint(pg[i], pg[(i+1)%n]) {
 			return fmt.Errorf("geom: polygon has repeated consecutive vertex at index %d", i)
 		}
 	}
@@ -164,7 +164,7 @@ func (pg Polygon) Area() float64 { return math.Abs(pg.SignedArea()) }
 // falls back to the mean of the vertices.
 func (pg Polygon) Centroid() Point {
 	a := pg.SignedArea()
-	if a == 0 {
+	if SameCoord(a, 0) {
 		var c Point
 		if len(pg) == 0 {
 			return c

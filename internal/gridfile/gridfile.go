@@ -221,7 +221,7 @@ func (g *Grid) unshare(bk *bucket) bool {
 // sharing their bucket across the new boundary, the grid file's hallmark).
 func (g *Grid) addSplitX(x float64, overflow *bucket) bool {
 	idx := upperBound(g.xs, x)
-	if idx < len(g.xs) && g.xs[idx] == x {
+	if idx < len(g.xs) && geom.SameCoord(g.xs[idx], x) {
 		return false
 	}
 	g.xs = append(g.xs, 0)
@@ -242,7 +242,7 @@ func (g *Grid) addSplitX(x float64, overflow *bucket) bool {
 // row.
 func (g *Grid) addSplitY(y float64, overflow *bucket) bool {
 	idx := upperBound(g.ys, y)
-	if idx < len(g.ys) && g.ys[idx] == y {
+	if idx < len(g.ys) && geom.SameCoord(g.ys[idx], y) {
 		return false
 	}
 	g.ys = append(g.ys, 0)

@@ -251,7 +251,7 @@ type Result struct {
 
 // Ratio returns measured / predicted.
 func (r Result) Ratio() float64 {
-	if r.Predicted == 0 {
+	if geom.SameCoord(r.Predicted, 0) {
 		return 0
 	}
 	return r.Measured / r.Predicted

@@ -56,7 +56,7 @@ func exactIntersects(a, b geom.Spatial) bool {
 	}
 	switch {
 	case sa.kind == kindPoint && sb.kind == kindPoint:
-		return sa.pt == sb.pt
+		return geom.SamePoint(sa.pt, sb.pt)
 	case sa.kind == kindPoint && sb.kind == kindSegment:
 		return sb.seg.DistanceToPoint(sa.pt) < 1e-12
 	case sa.kind == kindPoint && sb.kind == kindPolygon:
@@ -96,7 +96,7 @@ func exactContains(a, b geom.Spatial) bool {
 	switch sa.kind {
 	case kindPoint:
 		// A point contains only an identical point.
-		return sb.kind == kindPoint && sa.pt == sb.pt
+		return sb.kind == kindPoint && geom.SamePoint(sa.pt, sb.pt)
 	case kindSegment:
 		switch sb.kind {
 		case kindPoint:

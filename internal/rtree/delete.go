@@ -31,7 +31,7 @@ func (t *Tree) Delete(obj geom.Spatial, id int) bool {
 func (t *Tree) findLeaf(n *node, r geom.Rect, id int) (*node, int) {
 	if n.leaf {
 		for i, e := range n.entries {
-			if e.item.ID == id && e.rect == r {
+			if e.item.ID == id && geom.SameRect(e.rect, r) {
 				return n, i
 			}
 		}

@@ -172,7 +172,7 @@ func (t *Tree) chooseLeaf(r geom.Rect) *node {
 		for i, e := range n.entries {
 			enl := e.rect.Enlargement(r)
 			area := e.rect.Area()
-			if best < 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			if best < 0 || enl < bestEnl || (geom.SameCoord(enl, bestEnl) && area < bestArea) {
 				best, bestEnl, bestArea = i, enl, area
 			}
 		}
@@ -300,7 +300,7 @@ func (t *Tree) Validate() error {
 			if e.child.parent != n {
 				return fmt.Errorf("rtree: parent pointer broken at depth %d entry %d", depth, i)
 			}
-			if got := e.child.mbr(); got != e.rect {
+			if got := e.child.mbr(); !geom.SameRect(got, e.rect) {
 				return fmt.Errorf("rtree: stale MBR at depth %d entry %d: stored %v, actual %v",
 					depth, i, e.rect, got)
 			}

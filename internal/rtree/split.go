@@ -75,7 +75,7 @@ func (t *Tree) quadraticSplit(entries []entry) (g1, g2 []entry) {
 			toFirst = true
 		case bestD2 < bestD1:
 			toFirst = false
-		case r1.Area() != r2.Area():
+		case !geom.SameCoord(r1.Area(), r2.Area()):
 			toFirst = r1.Area() < r2.Area()
 		default:
 			toFirst = len(g1) <= len(g2)

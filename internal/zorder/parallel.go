@@ -66,7 +66,7 @@ func (g *Grid) ParallelOverlapJoin(rs, ss []geom.Rect, workers int) ([]Pair, Joi
 	// strip o's closed rectangle contains the reference point.
 	ownerOf := func(x float64) int {
 		o := sort.SearchFloat64s(bounds[1:tiles], x)
-		if x == bounds[o+1] && o+1 < tiles {
+		if geom.SameCoord(x, bounds[o+1]) && o+1 < tiles {
 			// A reference point exactly on a boundary belongs to the strip
 			// on its right, matching the half-open reading of the strips.
 			return o + 1
