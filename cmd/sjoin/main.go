@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,9 +24,11 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/fault"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/join"
 	"spatialjoin/internal/pred"
@@ -35,18 +38,22 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "join", "join or select")
-		k        = flag.Int("k", 4, "generalization tree fanout")
-		height   = flag.Int("height", 4, "generalization tree height")
-		opSpec   = flag.String("op", "overlaps", "operator: overlaps | within:D | nw | includes | containedin | reachable:MIN:SPEED")
-		strategy = flag.String("strategy", "all", "tree | scan | index | all")
-		layout   = flag.String("layout", "clustered", "clustered | shuffled")
-		buffer   = flag.Int("buffer", 64, "buffer pool pages (M)")
-		seed     = flag.Int64("seed", 1, "workload seed")
+		mode      = flag.String("mode", "join", "join or select")
+		k         = flag.Int("k", 4, "generalization tree fanout")
+		height    = flag.Int("height", 4, "generalization tree height")
+		opSpec    = flag.String("op", "overlaps", "operator: overlaps | within:D | nw | includes | containedin | reachable:MIN:SPEED")
+		strategy  = flag.String("strategy", "all", "tree | scan | index | all")
+		layout    = flag.String("layout", "clustered", "clustered | shuffled")
+		buffer    = flag.Int("buffer", 64, "buffer pool pages (M)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed of the injected fault schedule")
+		faultRate = flag.Float64("fault-rate", 0, "transient fault probability per physical page transfer (0 = healthy disk)")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *mode, *k, *height, *opSpec, *strategy, *layout, *buffer, *seed); err != nil {
+	if err := run(os.Stdout, *mode, *k, *height, *opSpec, *strategy, *layout, *buffer, *seed,
+		*timeout, *faultSeed, *faultRate); err != nil {
 		fmt.Fprintln(os.Stderr, "sjoin:", err)
 		os.Exit(1)
 	}
@@ -134,7 +141,9 @@ func buildWorkload(pool *storage.BufferPool, seed int64, k, height int,
 	return workload{table: table, tree: tree}, nil
 }
 
-func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout string, buffer int, seed int64) error {
+func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout string, buffer int, seed int64,
+	timeout time.Duration, faultSeed int64, faultRate float64) (err error) {
+
 	op, err := parseOp(opSpec)
 	if err != nil {
 		return err
@@ -147,9 +156,31 @@ func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout str
 	default:
 		return fmt.Errorf("unknown layout %q", layout)
 	}
-	pool, err := storage.NewBufferPool(storage.NewDisk(2000), buffer)
+	if faultRate < 0 || faultRate >= 1 {
+		return fmt.Errorf("fault rate %g out of [0, 1)", faultRate)
+	}
+	var device storage.Device = storage.NewDisk(2000)
+	if faultRate > 0 {
+		device = fault.Wrap(device, fault.Options{
+			Seed:               faultSeed,
+			TransientReadRate:  faultRate,
+			TransientWriteRate: faultRate / 2,
+		})
+	}
+	pool, err := storage.NewBufferPool(device, buffer)
 	if err != nil {
 		return err
+	}
+	if faultRate > 0 {
+		// A budget that outlasts the configured rate with high probability;
+		// zero base delay keeps the demo fast.
+		pool.SetRetryPolicy(storage.RetryPolicy{MaxAttempts: 10, Seed: faultSeed})
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	r, err := buildWorkload(pool, seed, k, height, placement, "R")
 	if err != nil {
@@ -163,7 +194,13 @@ func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout str
 		k, height, r.table.Rel.Len(), layout, buffer, op.Name())
 
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
-	defer w.Flush()
+	defer func() {
+		// The table is the program's output: failing to render it is fatal,
+		// not a silently dropped error.
+		if ferr := w.Flush(); err == nil {
+			err = ferr
+		}
+	}()
 	fmt.Fprintf(w, "strategy\tresults\tfilter evals\texact evals\tpage reads\tindex reads\tcost\t\n")
 
 	report := func(name string, results int, st join.Stats) {
@@ -190,7 +227,7 @@ func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout str
 			if err := cold(); err != nil {
 				return err
 			}
-			ids, st, err := join.ExhaustiveSelect(r.table, sel, op)
+			ids, st, err := join.ExhaustiveSelectCtx(ctx, r.table, sel, op)
 			if err != nil {
 				return err
 			}
@@ -200,7 +237,7 @@ func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout str
 			if err := cold(); err != nil {
 				return err
 			}
-			ids, st, err := join.TreeSelect(r.tree, r.table, sel, op, core.BreadthFirst)
+			ids, st, err := join.TreeSelectCtx(ctx, r.tree, r.table, sel, op, core.BreadthFirst)
 			if err != nil {
 				return err
 			}
@@ -209,7 +246,7 @@ func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout str
 		if want("index") {
 			fmt.Fprintln(out, "note: join indices cannot answer ad-hoc selections (skipped)")
 		}
-		return nil
+		return finish(out, w, pool)
 	}
 	if mode != "join" {
 		return fmt.Errorf("unknown mode %q", mode)
@@ -219,7 +256,7 @@ func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout str
 		if err := cold(); err != nil {
 			return err
 		}
-		pairs, st, err := join.NestedLoop(r.table, s.table, op)
+		pairs, st, err := join.NestedLoopCtx(ctx, r.table, s.table, op, 1)
 		if err != nil {
 			return err
 		}
@@ -229,7 +266,7 @@ func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout str
 		if err := cold(); err != nil {
 			return err
 		}
-		pairs, st, err := join.TreeJoin(r.tree, r.table, s.tree, s.table, op)
+		pairs, st, err := join.TreeJoinCtx(ctx, r.tree, r.table, s.tree, s.table, op, 1)
 		if err != nil {
 			return err
 		}
@@ -243,13 +280,34 @@ func run(out io.Writer, mode string, k, height int, opSpec, strategy, layout str
 		if err := cold(); err != nil {
 			return err
 		}
-		pairs, st, err := join.IndexJoin(ix, r.table, s.table)
+		pairs, st, err := join.IndexJoinCtx(ctx, ix, r.table, s.table, 1)
 		if err != nil {
 			return err
 		}
 		report("index", len(pairs), st)
 		fmt.Fprintf(out, "note: index build cost %.4g (%d evals) amortized over queries\n",
 			buildStats.Cost(1, 1000), buildStats.ExactEvals)
+	}
+	return finish(out, w, pool)
+}
+
+// finish renders the table, forces pending write-backs to disk — a failed
+// flush is a fatal, reportable loss, not a droppable error — and prints the
+// physical I/O ledger for the last (post-reset) strategy run, including the
+// retry and fault counters when a fault schedule was injected.
+func finish(out io.Writer, w *tabwriter.Writer, pool *storage.BufferPool) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := pool.Flush(); err != nil {
+		return fmt.Errorf("flushing buffer pool: %w", err)
+	}
+	ps, ds := pool.Stats(), pool.Disk().Stats()
+	fmt.Fprintf(out, "io: %d logical reads, %d misses, %d evictions; retries %d read / %d write\n",
+		ps.LogicalReads, ps.Misses, ps.Evictions, ps.ReadRetries, ps.WriteRetries)
+	if ds.ReadFaults > 0 || ds.WriteFaults > 0 {
+		fmt.Fprintf(out, "device: %d reads (+%d faulted attempts), %d writes (+%d faulted attempts)\n",
+			ds.Reads, ds.ReadFaults, ds.Writes, ds.WriteFaults)
 	}
 	return nil
 }

@@ -40,10 +40,37 @@ func TestParseOp(t *testing.T) {
 func runSjoin(t *testing.T, mode, op, strategy, layout string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, mode, 3, 2, op, strategy, layout, 32, 1); err != nil {
+	if err := run(&sb, mode, 3, 2, op, strategy, layout, 32, 1, 0, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	return sb.String()
+}
+
+func TestRunWithFaultsRecoversAndReportsRetries(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "join", 3, 2, "overlaps", "tree", "clustered", 32, 1, 0, 7, 0.2); err != nil {
+		t.Fatalf("join under transient faults must recover: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"retries", "faulted attempts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("faulted run output missing %q:\n%s", want, out)
+		}
+	}
+	// The same workload on a healthy disk returns the same result row.
+	healthy := runSjoin(t, "join", "overlaps", "tree", "clustered")
+	resultCount := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && f[0] == "tree" {
+				return f[1]
+			}
+		}
+		return ""
+	}
+	if got, want := resultCount(out), resultCount(healthy); got == "" || got != want {
+		t.Fatalf("faulted run found %s results, healthy run %s", got, want)
+	}
 }
 
 func TestRunJoinAllStrategies(t *testing.T) {
@@ -79,19 +106,22 @@ func TestRunSelectSkipsIndex(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "join", 3, 2, "bogus", "all", "clustered", 32, 1); err == nil {
+	if err := run(&sb, "join", 3, 2, "bogus", "all", "clustered", 32, 1, 0, 1, 0); err == nil {
 		t.Error("bad operator must fail")
 	}
-	if err := run(&sb, "join", 3, 2, "overlaps", "warp", "clustered", 32, 1); err == nil {
+	if err := run(&sb, "join", 3, 2, "overlaps", "warp", "clustered", 32, 1, 0, 1, 0); err == nil {
 		t.Error("bad strategy must fail")
 	}
-	if err := run(&sb, "join", 3, 2, "overlaps", "all", "diagonal", 32, 1); err == nil {
+	if err := run(&sb, "join", 3, 2, "overlaps", "all", "diagonal", 32, 1, 0, 1, 0); err == nil {
 		t.Error("bad layout must fail")
 	}
-	if err := run(&sb, "neither", 3, 2, "overlaps", "all", "clustered", 32, 1); err == nil {
+	if err := run(&sb, "neither", 3, 2, "overlaps", "all", "clustered", 32, 1, 0, 1, 0); err == nil {
 		t.Error("bad mode must fail")
 	}
-	if err := run(&sb, "join", 3, 2, "overlaps", "all", "clustered", 0, 1); err == nil {
+	if err := run(&sb, "join", 3, 2, "overlaps", "all", "clustered", 0, 1, 0, 1, 0); err == nil {
 		t.Error("zero buffer must fail")
+	}
+	if err := run(&sb, "join", 3, 2, "overlaps", "all", "clustered", 32, 1, 0, 1, 1.5); err == nil {
+		t.Error("out-of-range fault rate must fail")
 	}
 }

@@ -25,30 +25,38 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"spatialjoin"
 	"spatialjoin/internal/costmodel"
 	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/fault"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/modelcheck"
+	"spatialjoin/internal/storage"
 	"spatialjoin/internal/zorder"
 )
 
 func main() {
 	what := flag.String("what", "all",
-		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, scaling, all (scaling is measured, not analytic, and is excluded from all)")
+		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, scaling, faults, all (scaling and faults are measured, not analytic, and are excluded from all)")
 	points := flag.Int("points", 13, "selectivity samples per figure")
 	pmin := flag.Float64("pmin", 1e-12, "smallest selectivity for join figures")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"largest worker count in the -what scaling table")
+	timeout := flag.Duration("timeout", 0, "per-query deadline in the -what faults table (0 = none)")
+	faultSeed := flag.Int64("fault-seed", 11, "seed of the injected fault schedule in -what faults")
+	faultRate := flag.Float64("fault-rate", 0.2, "largest transient fault rate swept by -what faults")
 	flag.Parse()
 
 	prm := costmodel.PaperParams()
-	if err := run(os.Stdout, prm, *what, *points, *pmin, *workers); err != nil {
+	if err := run(os.Stdout, prm, *what, *points, *pmin, *workers, *timeout, *faultSeed, *faultRate); err != nil {
 		fmt.Fprintln(os.Stderr, "spatialbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, prm costmodel.Params, what string, points int, pmin float64, workers int) error {
+func run(out io.Writer, prm costmodel.Params, what string, points int, pmin float64, workers int,
+	timeout time.Duration, faultSeed int64, faultRate float64) error {
+
 	figures := map[string]func() error{
 		"params":   func() error { return printParams(out, prm) },
 		"fig1":     func() error { return printFig1(out) },
@@ -62,6 +70,7 @@ func run(out io.Writer, prm costmodel.Params, what string, points int, pmin floa
 		"updates":  func() error { return printUpdates(out, prm) },
 		"validate": func() error { return printValidate(out) },
 		"scaling":  func() error { return printScaling(out, workers) },
+		"faults":   func() error { return printFaults(out, faultSeed, faultRate, timeout) },
 	}
 	if what != "all" {
 		f, ok := figures[what]
@@ -267,6 +276,97 @@ func printFig1(out io.Writer) error {
 	fmt.Fprintln(out, "no spatial total order preserves proximity (§2.2), so sort-merge fails")
 	fmt.Fprintln(out, "for every θ except overlaps (see examples/zordermerge).")
 	return nil
+}
+
+// printFaults measures the live retry overhead of the fault-tolerant
+// storage stack: the same tree join runs cold over devices injecting
+// transient faults at rates {0, r/4, r/2, r}, and the table reports wall
+// time, the pool's retry counts, and the device's faulted attempts. The
+// match count must be identical on every row — recovery is only allowed to
+// cost time, never correctness. Measured on this machine, not derived from
+// the cost model.
+func printFaults(out io.Writer, seed int64, maxRate float64, timeout time.Duration) error {
+	if maxRate < 0 || maxRate >= 1 {
+		return fmt.Errorf("fault rate %g out of [0, 1)", maxRate)
+	}
+	world := geom.NewRect(0, 0, 1000, 1000)
+	rng := rand.New(rand.NewSource(seed))
+	rsRects := datagen.UniformRects(rng, 600, world, 2, 30)
+	ssRects := datagen.UniformRects(rng, 600, world, 2, 30)
+
+	fmt.Fprintf(out, "== Retry overhead vs transient fault rate (2×600 rects, tree join, cold cache, best of 3, seed %d) ==\n", seed)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "fault rate\twall ms\toverhead\tmatches\tmisses\tread retries\tfaulted reads\tfaulted writes\t\n")
+	var base time.Duration
+	for i, rate := range []float64{0, maxRate / 4, maxRate / 2, maxRate} {
+		cfg := spatialjoin.DefaultConfig()
+		cfg.Workers = 1
+		cfg.QueryTimeout = timeout
+		if rate > 0 {
+			cfg.Fault = &fault.Options{
+				Seed:               seed,
+				TransientReadRate:  rate,
+				TransientWriteRate: rate / 2,
+			}
+			// The default backoff delays with a budget that outlasts the
+			// swept rates, so the measured overhead includes the sleeps a
+			// production-shaped policy would pay.
+			retry := storage.DefaultRetryPolicy()
+			retry.MaxAttempts = 12
+			retry.Seed = seed
+			cfg.Retry = &retry
+		}
+		db, err := spatialjoin.Open(cfg)
+		if err != nil {
+			return err
+		}
+		load := func(name string, rects []geom.Rect) (*spatialjoin.Collection, error) {
+			c, err := db.CreateCollection(name)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rects {
+				if _, err := c.Insert(r, ""); err != nil {
+					return nil, err
+				}
+			}
+			return c, nil
+		}
+		r, err := load("r", rsRects)
+		if err != nil {
+			return err
+		}
+		s, err := load("s", ssRects)
+		if err != nil {
+			return err
+		}
+		var elapsed time.Duration
+		var matches []spatialjoin.Match
+		for rep := 0; rep < 3; rep++ {
+			if err := db.DropCache(); err != nil {
+				return err
+			}
+			db.ResetIOStats()
+			start := time.Now()
+			ms, _, err := db.Join(r, s, spatialjoin.Overlaps(), spatialjoin.TreeStrategy)
+			d := time.Since(start)
+			if err != nil {
+				return fmt.Errorf("join at fault rate %g: %w", rate, err)
+			}
+			matches = ms
+			if elapsed == 0 || d < elapsed {
+				elapsed = d
+			}
+		}
+		if i == 0 {
+			base = elapsed
+		}
+		ps, ds := db.IOStats(), db.DiskStats()
+		fmt.Fprintf(w, "%.3f\t%.2f\t%.2fx\t%d\t%d\t%d\t%d\t%d\t\n",
+			rate, float64(elapsed.Microseconds())/1000, float64(elapsed)/float64(base),
+			len(matches), ps.Misses, ps.ReadRetries, ds.ReadFaults, ds.WriteFaults)
+	}
+	return w.Flush()
 }
 
 // printScaling measures the tile-partitioned parallel z-order join on one

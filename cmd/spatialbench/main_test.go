@@ -10,7 +10,7 @@ import (
 func render(t *testing.T, what string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), what, 7, 1e-12, 2); err != nil {
+	if err := run(&sb, costmodel.PaperParams(), what, 7, 1e-12, 2, 0, 11, 0.2); err != nil {
 		t.Fatalf("run(%s): %v", what, err)
 	}
 	return sb.String()
@@ -18,7 +18,7 @@ func render(t *testing.T, what string) string {
 
 func TestRunUnknownWhat(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "fig99", 7, 1e-12, 2); err == nil {
+	if err := run(&sb, costmodel.PaperParams(), "fig99", 7, 1e-12, 2, 0, 11, 0.2); err == nil {
 		t.Fatal("unknown -what must fail")
 	}
 }
@@ -119,13 +119,39 @@ func TestJoinFigureOutputs(t *testing.T) {
 	// Figure 11's headline: the UNIFORM crossover near 1e-9, resolved on a
 	// fine grid (25 points over 12 decades → half-decade steps).
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "fig11", 25, 1e-12, 2); err != nil {
+	if err := run(&sb, costmodel.PaperParams(), "fig11", 25, 1e-12, 2, 0, 11, 0.2); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	if !strings.Contains(out, "crossover D_IIa vs D_III near p = 1e-09") &&
 		!strings.Contains(out, "crossover D_IIa vs D_III near p = 3.2e-10") {
 		t.Fatalf("fig11 crossover not at the published point:\n%s", out)
+	}
+}
+
+func TestFaultsOutput(t *testing.T) {
+	var sb strings.Builder
+	// A small swept rate keeps the backoff sleeps short in the test.
+	if err := run(&sb, costmodel.PaperParams(), "faults", 7, 1e-12, 2, 0, 11, 0.04); err != nil {
+		t.Fatalf("run(faults): %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Retry overhead", "fault rate", "overhead", "matches", "1.00x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("faults output missing %q:\n%s", want, out)
+		}
+	}
+	// Every row must report the identical match count: the correctness
+	// invariant the fault layer guarantees.
+	matches := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 8 && strings.HasSuffix(f[2], "x") {
+			matches[f[3]] = true
+		}
+	}
+	if len(matches) != 1 {
+		t.Fatalf("match counts differ across fault rates: %v\n%s", matches, out)
 	}
 }
 

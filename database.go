@@ -1,9 +1,13 @@
 package spatialjoin
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"runtime"
+	"time"
 
+	"spatialjoin/internal/fault"
 	"spatialjoin/internal/join"
 	"spatialjoin/internal/relation"
 	"spatialjoin/internal/rtree"
@@ -28,6 +32,19 @@ type Config struct {
 	// Whatever the setting, every strategy returns the identical,
 	// canonically (R, S)-sorted match set.
 	Workers int
+	// QueryTimeout, when positive, bounds every Join/Select call with a
+	// deadline; an expired deadline aborts the traversal mid-descent with
+	// context.DeadlineExceeded. Contexts passed to JoinContext /
+	// SelectContext compose with it (whichever fires first wins).
+	QueryTimeout time.Duration
+	// Fault, when non-nil, interposes a deterministic fault-injecting
+	// device (see internal/fault) between the buffer pool and the disk.
+	// Production-shaped code never sets this; chaos tests and the CLI
+	// flags do.
+	Fault *fault.Options
+	// Retry, when non-nil, overrides the buffer pool's default retry
+	// policy for physical page transfers.
+	Retry *storage.RetryPolicy
 }
 
 // DefaultConfig returns a laptop-scale configuration with the paper's page
@@ -55,6 +72,7 @@ func DefaultConfig() Config {
 type Database struct {
 	cfg         Config
 	pool        *storage.BufferPool
+	faultDisk   *fault.Disk // nil unless Config.Fault was set
 	collections map[string]*Collection
 	joinIndices map[string]*JoinIndex
 }
@@ -73,26 +91,45 @@ func Open(cfg Config) (*Database, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("spatialjoin: negative worker count %d", cfg.Workers)
 	}
-	pool, err := storage.NewBufferPool(storage.NewDisk(cfg.PageSize), cfg.BufferPages)
+	if cfg.QueryTimeout < 0 {
+		return nil, fmt.Errorf("spatialjoin: negative query timeout %v", cfg.QueryTimeout)
+	}
+	var device storage.Device = storage.NewDisk(cfg.PageSize)
+	var fd *fault.Disk
+	if cfg.Fault != nil {
+		fd = fault.Wrap(device, *cfg.Fault)
+		device = fd
+	}
+	pool, err := storage.NewBufferPool(device, cfg.BufferPages)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Retry != nil {
+		pool.SetRetryPolicy(*cfg.Retry)
 	}
 	return &Database{
 		cfg:         cfg,
 		pool:        pool,
+		faultDisk:   fd,
 		collections: make(map[string]*Collection),
 		joinIndices: make(map[string]*JoinIndex),
 	}, nil
 }
 
 // Collection is a named set of spatial objects, stored in a heap file and
-// indexed by an R-tree generalization tree.
+// indexed by an R-tree generalization tree. The R-tree itself is rebuilt
+// in memory, but every entry is also persisted to a backing index file on
+// the simulated disk: that file is what a tree-strategy query scrubs —
+// reads and checksum-verifies — before trusting the index, so a lost or
+// corrupted index page is detected (and triggers degradation to the scan
+// strategy) instead of silently shaping the result.
 type Collection struct {
-	db    *Database
-	name  string
-	rel   *relation.Relation
-	table join.Table
-	index *rtree.Tree
+	db        *Database
+	name      string
+	rel       *relation.Relation
+	table     join.Table
+	index     *rtree.Tree
+	indexFile *storage.HeapFile
 }
 
 // CreateCollection makes an empty collection. Names must be unique.
@@ -122,7 +159,11 @@ func (db *Database) CreateCollection(name string) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Collection{db: db, name: name, rel: rel, table: table, index: index}
+	indexFile, err := storage.NewHeapFile(db.pool, db.cfg.FillFactor)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{db: db, name: name, rel: rel, table: table, index: index, indexFile: indexFile}
 	db.collections[name] = c
 	return c, nil
 }
@@ -145,6 +186,15 @@ func (db *Database) DropCache() error { return db.pool.DropAll() }
 // IOStats returns the shared pool's counters since the last reset.
 func (db *Database) IOStats() storage.PoolStats { return db.pool.Stats() }
 
+// DiskStats returns the device-level transfer counters, including injected
+// fault attempts when the database runs over a fault device.
+func (db *Database) DiskStats() storage.DiskStats { return db.pool.Disk().Stats() }
+
+// FaultDisk returns the fault-injecting device the database runs over, or
+// nil when Config.Fault was not set. Chaos tests use it to mark pages lost
+// or torn mid-run.
+func (db *Database) FaultDisk() *fault.Disk { return db.faultDisk }
+
 // Name returns the collection's name.
 func (c *Collection) Name() string { return c.name }
 
@@ -156,6 +206,25 @@ func (c *Collection) Pages() int { return c.rel.NumPages() }
 
 // IndexHeight returns the height of the collection's R-tree.
 func (c *Collection) IndexHeight() int { return c.index.Height() }
+
+// IndexFileID returns the disk file backing the collection's persisted
+// index entries — the pages a tree-strategy query scrubs before trusting
+// the R-tree. Chaos tests target these pages to simulate index loss.
+func (c *Collection) IndexFileID() storage.FileID { return c.indexFile.File() }
+
+// appendIndexEntry persists one R-tree entry (tuple id + MBR) to the
+// collection's backing index file.
+func (c *Collection) appendIndexEntry(id int, shape Spatial) error {
+	b := shape.Bounds()
+	var rec [40]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(id))
+	binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(b.MinX))
+	binary.LittleEndian.PutUint64(rec[16:], math.Float64bits(b.MinY))
+	binary.LittleEndian.PutUint64(rec[24:], math.Float64bits(b.MaxX))
+	binary.LittleEndian.PutUint64(rec[32:], math.Float64bits(b.MaxY))
+	_, err := c.indexFile.Append(rec[:])
+	return err
+}
 
 // Insert stores the object with an arbitrary payload string and returns its
 // ID. Any precomputed join index involving this collection is maintained
@@ -169,6 +238,9 @@ func (c *Collection) Insert(shape Spatial, payload string) (int, error) {
 		return 0, err
 	}
 	c.index.Insert(shape, id)
+	if err := c.appendIndexEntry(id, shape); err != nil {
+		return 0, err
+	}
 	if err := c.db.maintainJoinIndices(c, id, shape); err != nil {
 		return 0, err
 	}

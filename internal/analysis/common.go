@@ -8,7 +8,9 @@ import (
 
 // Import paths of the packages whose contracts the analyzers enforce.
 const (
+	rootPkgPath     = "spatialjoin"
 	storagePkgPath  = "spatialjoin/internal/storage"
+	faultPkgPath    = "spatialjoin/internal/fault"
 	parallelPkgPath = "spatialjoin/internal/parallel"
 	geomPkgPath     = "spatialjoin/internal/geom"
 	atomicPkgPath   = "sync/atomic"

@@ -115,6 +115,7 @@ func TestAtomicCounterGolden(t *testing.T) { runGolden(t, AtomicCounter) }
 func TestFloatEqGolden(t *testing.T)       { runGolden(t, FloatEq) }
 func TestErrDropGolden(t *testing.T)       { runGolden(t, ErrDrop) }
 func TestCtxPoolGolden(t *testing.T)       { runGolden(t, CtxPool) }
+func TestStatsResetGolden(t *testing.T)    { runGolden(t, StatsReset) }
 
 // TestRepoIsClean is the self-hosting gate: the entire module must pass
 // every analyzer with zero findings, so a regression anywhere in the tree

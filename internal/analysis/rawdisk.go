@@ -8,17 +8,27 @@ import (
 // RawDisk forbids direct physical I/O outside the storage layer. Every page
 // transfer must be mediated by storage.BufferPool so the cost model's
 // page-access counters (the paper's C_IO charge per physical access) see
-// it; a single call path that calls Disk.ReadPage or Disk.WritePage
-// directly silently corrupts every reported I/O figure.
+// it; a single call path that calls ReadPage or WritePage directly —
+// whether on the concrete Disk, through the Device interface, or on the
+// fault-injecting wrapper — silently corrupts every reported I/O figure
+// and skips the pool's checksum verification and retry policy.
 var RawDisk = &Analyzer{
 	Name: "rawdisk",
-	Doc:  "forbid Disk.ReadPage/WritePage calls outside internal/storage so all I/O is counted by the buffer pool",
+	Doc:  "forbid ReadPage/WritePage calls on Disk, Device, or fault.Disk outside the storage/fault layers so all I/O is counted by the buffer pool",
 	Run:  runRawDisk,
 }
 
+// rawDiskReceivers names the types whose ReadPage/WritePage methods are the
+// raw physical surface, per defining package.
+var rawDiskReceivers = map[string]map[string]bool{
+	storagePkgPath: {"Disk": true, "Device": true},
+	faultPkgPath:   {"Disk": true},
+}
+
 func runRawDisk(pass *Pass) {
-	if pass.Pkg.Path() == storagePkgPath {
-		return // the storage layer itself implements the mediation
+	switch pass.Pkg.Path() {
+	case storagePkgPath, faultPkgPath:
+		return // the storage layer mediates; the fault layer wraps the device
 	}
 	inspectAll(pass, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -26,7 +36,11 @@ func runRawDisk(pass *Pass) {
 			return true
 		}
 		fn := calleeFunc(pass, call)
-		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != storagePkgPath {
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		receivers, ok := rawDiskReceivers[fn.Pkg().Path()]
+		if !ok {
 			return true
 		}
 		if fn.Name() != "ReadPage" && fn.Name() != "WritePage" {
@@ -41,12 +55,12 @@ func runRawDisk(pass *Pass) {
 			return true
 		}
 		named := namedOf(recv.Type())
-		if named == nil || named.Obj().Name() != "Disk" {
+		if named == nil || !receivers[named.Obj().Name()] {
 			return true
 		}
 		pass.Reportf(call.Pos(),
-			"raw storage.Disk.%s bypasses BufferPool I/O accounting; fetch pages through a storage.BufferPool instead",
-			fn.Name())
+			"raw %s.%s.%s bypasses BufferPool I/O accounting; fetch pages through a storage.BufferPool instead",
+			fn.Pkg().Name(), named.Obj().Name(), fn.Name())
 		return true
 	})
 }

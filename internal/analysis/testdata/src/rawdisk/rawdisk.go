@@ -3,7 +3,10 @@
 // counts it.
 package rawdisk
 
-import "spatialjoin/internal/storage"
+import (
+	"spatialjoin/internal/fault"
+	"spatialjoin/internal/storage"
+)
 
 func readRaw(d *storage.Disk, id storage.PageID) ([]byte, error) {
 	return d.ReadPage(id) // want "raw storage.Disk.ReadPage bypasses BufferPool"
@@ -27,4 +30,21 @@ func allocOnly(d *storage.Disk, f storage.FileID) (storage.PageID, error) {
 func suppressed(d *storage.Disk, id storage.PageID) ([]byte, error) {
 	//sjlint:ignore rawdisk fixture demonstrates suppression syntax
 	return d.ReadPage(id)
+}
+
+// readThroughInterface is just as raw: hiding the device behind the Device
+// interface must not defeat the accounting invariant.
+func readThroughInterface(dev storage.Device, id storage.PageID) ([]byte, error) {
+	return dev.ReadPage(id) // want "raw storage.Device.ReadPage bypasses BufferPool"
+}
+
+// writeFaultDisk hits the fault-injecting wrapper directly, skipping the
+// pool's retry policy and checksum verification along with the counters.
+func writeFaultDisk(d *fault.Disk, id storage.PageID, buf []byte) error {
+	return d.WritePage(id, buf) // want "raw fault.Disk.WritePage bypasses BufferPool"
+}
+
+// interfaceAccounting is fine: Stats and NumPages transfer no pages.
+func interfaceAccounting(dev storage.Device, f storage.FileID) (int, storage.DiskStats) {
+	return dev.NumPages(f), dev.Stats()
 }

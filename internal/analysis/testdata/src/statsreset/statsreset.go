@@ -1,0 +1,61 @@
+// Command statsreset is a golden fixture for the statsreset analyzer:
+// experiment code (package main) must open a measurement window — flush
+// pending write-backs and/or zero the counters — before snapshotting I/O
+// statistics, or the figures include work from before the measurement.
+package main
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/storage"
+)
+
+func main() {}
+
+// badWarmCounters snapshots whatever accumulated since startup: index
+// builds, warm-up scans, everything.
+func badWarmCounters(bp *storage.BufferPool) {
+	fmt.Println(bp.Stats()) // want "Stats() snapshot without a preceding"
+}
+
+// badOrder resets only after reading — the snapshot still covers the
+// unmeasured past.
+func badOrder(bp *storage.BufferPool) storage.PoolStats {
+	s := bp.Stats() // want "Stats() snapshot without a preceding"
+	bp.ResetStats()
+	return s
+}
+
+// badDeviceCounters has the same bug one layer down.
+func badDeviceCounters(d *storage.Disk) storage.DiskStats {
+	return d.Stats() // want "Stats() snapshot without a preceding"
+}
+
+// goodColdMeasurement is the approved shape: drop the cache (which flushes),
+// zero the counters, run the measured work, then snapshot.
+func goodColdMeasurement(bp *storage.BufferPool, id storage.PageID) (storage.PoolStats, error) {
+	if err := bp.DropAll(); err != nil {
+		return storage.PoolStats{}, err
+	}
+	bp.ResetStats()
+	if _, err := bp.Fetch(id); err != nil {
+		return storage.PoolStats{}, err
+	}
+	return bp.Stats(), nil
+}
+
+// goodFlushFirst covers the write-back variant: a Flush before the snapshot
+// is enough to open the window.
+func goodFlushFirst(bp *storage.BufferPool, d *storage.Disk) (storage.PoolStats, storage.DiskStats, error) {
+	if err := bp.Flush(); err != nil {
+		return storage.PoolStats{}, storage.DiskStats{}, err
+	}
+	return bp.Stats(), d.Stats(), nil
+}
+
+// suppressedWarmSnapshot shows the escape hatch for intentional warm-cache
+// measurements.
+func suppressedWarmSnapshot(bp *storage.BufferPool) storage.PoolStats {
+	//sjlint:ignore statsreset warm-cache hit ratio is the measurement here
+	return bp.Stats()
+}

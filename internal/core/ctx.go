@@ -1,0 +1,29 @@
+package core
+
+import "context"
+
+// ctxStride is how many node examinations pass between context checks
+// during a descent. Checking every node would put a synchronized load on
+// the hottest loop of every strategy; every ctxStride nodes bounds the
+// cancellation latency to a few dozen filter evaluations while keeping the
+// common case free.
+const ctxStride = 64
+
+// ctxStep returns the context's error on every ctxStride-th node
+// examination. nodes is the caller's running examination count; ctx may be
+// nil (never cancelled).
+func ctxStep(ctx context.Context, nodes int64) error {
+	if ctx == nil || nodes%ctxStride != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ctxOr returns ctx, or context.Background() when ctx is nil, for APIs
+// that require a non-nil context.
+func ctxOr(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}

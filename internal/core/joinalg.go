@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"spatialjoin/internal/parallel"
@@ -40,6 +41,10 @@ type JoinOptions struct {
 	// contiguous chunks, every worker accumulates into its own JoinResult,
 	// and the partial results are merged back in chunk order.
 	Workers int
+	// Ctx, when non-nil, bounds the descent: it is checked between levels,
+	// between worker chunks, and every ctxStride node examinations inside a
+	// chunk, and its error aborts the join mid-descent.
+	Ctx context.Context
 }
 
 // JoinResult is the output of algorithm JOIN.
@@ -78,6 +83,11 @@ func Join(tr, ts Tree, op pred.Operator, opts *JoinOptions) (*JoinResult, error)
 
 	qual := []qualPair{{rootR, rootS}}
 	for len(qual) > 0 {
+		if options.Ctx != nil {
+			if err := options.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if len(qual) > res.Stats.MaxQueue {
 			res.Stats.MaxQueue = len(qual)
 		}
@@ -108,7 +118,7 @@ func expandLevel(qual []qualPair, op pred.Operator, options *JoinOptions,
 	chunks := parallel.Chunks(len(qual), workers*4)
 	locals := make([]JoinResult, len(chunks))
 	nexts := make([][]qualPair, len(chunks))
-	err := parallel.Run(workers, len(chunks), func(ci int) error {
+	err := parallel.RunCtx(ctxOr(options.Ctx), workers, len(chunks), func(ci int) error {
 		nx, err := expandChunk(qual[chunks[ci].Lo:chunks[ci].Hi], op, options, &locals[ci])
 		nexts[ci] = nx
 		return err
@@ -236,6 +246,9 @@ func joinSelect(fixed, n Node, op pred.Operator, s side,
 // touch2 charges node examinations for both members of a QualPairs pair.
 func touch2(a, b Node, opts *JoinOptions, res *JoinResult) error {
 	res.Stats.NodesExamined += 2
+	if err := ctxStep(opts.Ctx, res.Stats.NodesExamined); err != nil {
+		return err
+	}
 	if opts.TouchR != nil {
 		if err := opts.TouchR(a); err != nil {
 			return err
@@ -252,6 +265,9 @@ func touch2(a, b Node, opts *JoinOptions, res *JoinResult) error {
 // touch1 charges a node examination on the moving side of a SELECT pass.
 func touch1(n Node, s side, opts *JoinOptions, res *JoinResult) error {
 	res.Stats.NodesExamined++
+	if err := ctxStep(opts.Ctx, res.Stats.NodesExamined); err != nil {
+		return err
+	}
 	if s == rightSide {
 		if opts.TouchS != nil {
 			return opts.TouchS(n)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/pred"
 )
@@ -51,6 +53,10 @@ type SelectOptions struct {
 	// filter is evaluated. Executors use it to charge page I/O for reading
 	// the node's tuple.
 	Touch func(Node) error
+	// Ctx, when non-nil, bounds the traversal: it is checked between
+	// breadth-first levels and every ctxStride node examinations, and its
+	// error aborts the selection.
+	Ctx context.Context
 }
 
 // SelectResult is the output of algorithm SELECT.
@@ -88,6 +94,11 @@ func Select(tree Tree, o geom.Spatial, op pred.Operator, opts *SelectOptions) (*
 	// Breadth-first: QualNodes[j] is the worklist for the current level.
 	qual := []Node{root}
 	for len(qual) > 0 {
+		if options.Ctx != nil {
+			if err := options.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if len(qual) > res.Stats.MaxQueue {
 			res.Stats.MaxQueue = len(qual)
 		}
@@ -130,6 +141,9 @@ func examine(a Node, o geom.Spatial, ob geom.Rect, op pred.Operator,
 	opts *SelectOptions, res *SelectResult) (descend bool, err error) {
 
 	res.Stats.NodesExamined++
+	if err := ctxStep(opts.Ctx, res.Stats.NodesExamined); err != nil {
+		return false, err
+	}
 	if opts.Touch != nil {
 		if err := opts.Touch(a); err != nil {
 			return false, err

@@ -1,0 +1,122 @@
+// Package fault provides a deterministic fault-injecting wrapper around the
+// storage layer's simulated disk, plus the typed errors it raises.
+//
+// The wrapper (Disk, built with Wrap) implements storage.Device and sits
+// between the healthy storage.Disk and the BufferPool. A seed-driven
+// schedule decides, per physical attempt, whether an operation fails
+// transiently, returns corrupted bytes, or — for pages explicitly marked
+// lost — fails permanently. The schedule is a pure function of
+// (seed, page, attempt number), so any run replays exactly: the chaos
+// harness relies on this to assert that every strategy returns either the
+// byte-identical match set or a typed error under a fixed schedule.
+//
+// Errors carry their classification structurally: *Error implements
+// Transient() / Permanent() methods, which storage.IsTransient (and this
+// package's IsTransient / IsPermanent) discover through errors.As. That
+// keeps the dependency one-way — fault imports storage, never the reverse.
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"spatialjoin/internal/storage"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// Transient marks a fault that a retry may clear (a timeout, a bus
+	// glitch). The buffer pool retries these under its RetryPolicy.
+	Transient Kind = iota + 1
+	// Permanent marks a fault that no retry clears (a lost page). The
+	// buffer pool gives up immediately and the executor may degrade.
+	Permanent
+	// Corruption marks an attempt whose data transferred but was damaged
+	// in flight. The operation itself reports success; the damage is
+	// detected by the buffer pool's end-to-end checksum verification, so
+	// Corruption appears as an Error only in fault-layer accounting.
+	Corruption
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Corruption:
+		return "corruption"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Sentinel targets for errors.Is: classify an error chain without reaching
+// for the concrete *Error.
+var (
+	// ErrTransient matches any *Error of Kind Transient.
+	ErrTransient = errors.New("fault: transient storage fault")
+	// ErrPermanent matches any *Error of Kind Permanent.
+	ErrPermanent = errors.New("fault: permanent storage fault")
+	// ErrCorruption matches any *Error of Kind Corruption.
+	ErrCorruption = errors.New("fault: corrupted page transfer")
+)
+
+// Error is an injected storage fault. It records which operation on which
+// page failed, on which physical attempt of the schedule, so test failures
+// name the exact schedule point.
+type Error struct {
+	Op      string         // "read" or "write"
+	Page    storage.PageID // the page the operation addressed
+	Kind    Kind           // classification
+	Attempt int64          // 1-based physical attempt number for this page+op
+	Err     error          // optional underlying cause
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("fault: %s %s fault on page %v (attempt %d)", e.Kind, e.Op, e.Page, e.Attempt)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause, if any, to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches the classification sentinels, so
+// errors.Is(err, fault.ErrPermanent) works across wrapping.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrTransient:
+		return e.Kind == Transient
+	case ErrPermanent:
+		return e.Kind == Permanent
+	case ErrCorruption:
+		return e.Kind == Corruption
+	}
+	return false
+}
+
+// Transient reports whether a retry may clear the fault. This is the
+// structural contract storage.IsTransient checks via errors.As.
+func (e *Error) Transient() bool { return e.Kind == Transient }
+
+// Permanent reports whether no retry can clear the fault.
+func (e *Error) Permanent() bool { return e.Kind == Permanent || e.Kind == Corruption }
+
+// IsTransient reports whether err (or anything it wraps) is a transient
+// fault worth retrying.
+func IsTransient(err error) bool { return storage.IsTransient(err) }
+
+// IsPermanent reports whether err (or anything it wraps) classifies itself
+// as permanent — an injected permanent fault or a checksum mismatch. The
+// executor's degradation path triggers on this.
+func IsPermanent(err error) bool {
+	var p interface{ Permanent() bool }
+	return errors.As(err, &p) && p.Permanent()
+}

@@ -19,12 +19,15 @@ import (
 // Stats is the measured work of one strategy execution, in the units the
 // cost model weights: Θ filter evaluations and exact θ evaluations (C_Θ
 // each in the model's simplification S3), physical page reads (C_IO each),
-// and join-index page reads for strategy III.
+// and join-index page reads for strategy III. Downgrades counts strategy
+// fallbacks the executor performed after a permanent storage fault — zero
+// on a healthy device.
 type Stats struct {
 	FilterEvals int64
 	ExactEvals  int64
 	PageReads   int64
 	IndexReads  int64
+	Downgrades  int64
 }
 
 // Cost collapses the stats into the model's time units.
@@ -40,6 +43,7 @@ func (s Stats) Add(o Stats) Stats {
 		ExactEvals:  s.ExactEvals + o.ExactEvals,
 		PageReads:   s.PageReads + o.PageReads,
 		IndexReads:  s.IndexReads + o.IndexReads,
+		Downgrades:  s.Downgrades + o.Downgrades,
 	}
 }
 

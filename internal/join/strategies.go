@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 
 	"spatialjoin/internal/core"
@@ -10,6 +11,19 @@ import (
 	"spatialjoin/internal/pred"
 	"spatialjoin/internal/storage"
 )
+
+// ctxStride is how many inner-loop iterations (tuple scans, index-pair
+// probes) pass between context checks; it bounds cancellation latency
+// without a per-iteration synchronized load.
+const ctxStride = 256
+
+// ctxStep returns the context's error on every ctxStride-th iteration.
+func ctxStep(ctx context.Context, i int) error {
+	if ctx == nil || i%ctxStride != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // NestedLoop computes R ⋈θ S by the paper's strategy I with the default
 // single worker. See NestedLoopWorkers.
@@ -29,6 +43,12 @@ func NestedLoop(r, s Table, op pred.Operator) ([]core.Match, Stats, error) {
 // workers the LRU interleaving — and therefore the exact miss count — can
 // differ from the sequential schedule.
 func NestedLoopWorkers(r, s Table, op pred.Operator, workers int) ([]core.Match, Stats, error) {
+	return NestedLoopCtx(context.Background(), r, s, op, workers)
+}
+
+// NestedLoopCtx is NestedLoopWorkers bounded by a context, checked between
+// blocks and every ctxStride S-tuples inside a scan.
+func NestedLoopCtx(ctx context.Context, r, s Table, op pred.Operator, workers int) ([]core.Match, Stats, error) {
 	if r.Pool != s.Pool {
 		return nil, Stats{}, fmt.Errorf("join: nested loop requires a shared buffer pool")
 	}
@@ -70,6 +90,9 @@ func NestedLoopWorkers(r, s Table, op pred.Operator, workers int) ([]core.Match,
 	}
 	reads, err := measure(r.Pool, func() error {
 		for start := 0; start < len(groups); start += blockPages {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			end := start + blockPages
 			if end > len(groups) {
 				end = len(groups)
@@ -90,6 +113,9 @@ func NestedLoopWorkers(r, s Table, op pred.Operator, workers int) ([]core.Match,
 				var found []core.Match
 				var evals int64
 				for sid := lo; sid < hi; sid++ {
+					if err := ctxStep(ctx, sid); err != nil {
+						return nil, evals, err
+					}
 					sobj, err := s.spatial(sid)
 					if err != nil {
 						return nil, evals, err
@@ -115,7 +141,7 @@ func NestedLoopWorkers(r, s Table, op pred.Operator, workers int) ([]core.Match,
 			chunks := parallel.Chunks(s.Rel.Len(), workers*4)
 			founds := make([][]core.Match, len(chunks))
 			evals := make([]int64, len(chunks))
-			err := parallel.Run(workers, len(chunks), func(ci int) error {
+			err := parallel.RunCtx(ctx, workers, len(chunks), func(ci int) error {
 				f, e, err := scan(chunks[ci].Lo, chunks[ci].Hi)
 				founds[ci], evals[ci] = f, e
 				return err
@@ -138,10 +164,19 @@ func NestedLoopWorkers(r, s Table, op pred.Operator, workers int) ([]core.Match,
 // ExhaustiveSelect computes the spatial selection {a ∈ R | o θ a} by a full
 // scan — the degenerate strategy I of §4.3.
 func ExhaustiveSelect(r Table, o geom.Spatial, op pred.Operator) ([]int, Stats, error) {
+	return ExhaustiveSelectCtx(context.Background(), r, o, op)
+}
+
+// ExhaustiveSelectCtx is ExhaustiveSelect bounded by a context, checked
+// every ctxStride tuples.
+func ExhaustiveSelectCtx(ctx context.Context, r Table, o geom.Spatial, op pred.Operator) ([]int, Stats, error) {
 	var stats Stats
 	var out []int
 	reads, err := measure(r.Pool, func() error {
 		for id := 0; id < r.Rel.Len(); id++ {
+			if err := ctxStep(ctx, id); err != nil {
+				return err
+			}
 			obj, err := r.spatial(id)
 			if err != nil {
 				return err
@@ -163,6 +198,13 @@ func ExhaustiveSelect(r Table, o geom.Spatial, op pred.Operator) ([]int, Stats, 
 // a node means reading its tuple's page). Technical index nodes are free.
 func TreeSelect(tr core.Tree, r Table, o geom.Spatial, op pred.Operator,
 	traversal core.Traversal) ([]int, Stats, error) {
+	return TreeSelectCtx(context.Background(), tr, r, o, op, traversal)
+}
+
+// TreeSelectCtx is TreeSelect bounded by a context, checked during the
+// descent per core.SelectOptions.Ctx.
+func TreeSelectCtx(ctx context.Context, tr core.Tree, r Table, o geom.Spatial, op pred.Operator,
+	traversal core.Traversal) ([]int, Stats, error) {
 
 	var stats Stats
 	var res *core.SelectResult
@@ -170,6 +212,7 @@ func TreeSelect(tr core.Tree, r Table, o geom.Spatial, op pred.Operator,
 		var err error
 		res, err = core.Select(tr, o, op, &core.SelectOptions{
 			Traversal: traversal,
+			Ctx:       ctx,
 			Touch: func(n core.Node) error {
 				id, ok := n.Tuple()
 				if !ok {
@@ -205,6 +248,13 @@ func TreeJoin(trR core.Tree, r Table, trS core.Tree, s Table,
 // concurrent workers interleave their fetches on the shared LRU pool.
 func TreeJoinWorkers(trR core.Tree, r Table, trS core.Tree, s Table,
 	op pred.Operator, workers int) ([]core.Match, Stats, error) {
+	return TreeJoinCtx(context.Background(), trR, r, trS, s, op, workers)
+}
+
+// TreeJoinCtx is TreeJoinWorkers bounded by a context, checked during the
+// synchronized descent per core.JoinOptions.Ctx.
+func TreeJoinCtx(ctx context.Context, trR core.Tree, r Table, trS core.Tree, s Table,
+	op pred.Operator, workers int) ([]core.Match, Stats, error) {
 
 	var stats Stats
 	var res *core.JoinResult
@@ -228,6 +278,7 @@ func TreeJoinWorkers(trR core.Tree, r Table, trS core.Tree, s Table,
 		TouchR:  touch(r),
 		TouchS:  touch(s),
 		Workers: parallel.Workers(workers),
+		Ctx:     ctx,
 	})
 	if err != nil {
 		return nil, stats, err
@@ -289,6 +340,12 @@ func IndexJoin(ix *joinindex.Index, r, s Table) ([]core.Match, Stats, error) {
 // tuple probes are fanned out over contiguous chunks of it; the pair list
 // itself is already in canonical (R, S) order.
 func IndexJoinWorkers(ix *joinindex.Index, r, s Table, workers int) ([]core.Match, Stats, error) {
+	return IndexJoinCtx(context.Background(), ix, r, s, workers)
+}
+
+// IndexJoinCtx is IndexJoinWorkers bounded by a context, checked between
+// probe chunks and every ctxStride pairs inside a chunk.
+func IndexJoinCtx(ctx context.Context, ix *joinindex.Index, r, s Table, workers int) ([]core.Match, Stats, error) {
 	var stats Stats
 	pools := []*poolDelta{newPoolDelta(r.Pool)}
 	if s.Pool != r.Pool {
@@ -299,8 +356,11 @@ func IndexJoinWorkers(ix *joinindex.Index, r, s Table, workers int) ([]core.Matc
 		out = append(out, core.Match{R: rid, S: sid})
 		return true
 	})
-	_, err := parallel.RunChunks(workers, len(out), func(_, lo, hi int) error {
+	_, err := parallel.RunChunksCtx(ctx, workers, len(out), func(_, lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if err := ctxStep(ctx, i); err != nil {
+				return err
+			}
 			if err := r.touch(out[i].R); err != nil {
 				return err
 			}

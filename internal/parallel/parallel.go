@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,15 +37,36 @@ func Workers(n int) int {
 // After a task fails no *new* tasks are started, but tasks already running
 // are not interrupted; Run returns once all started tasks finish.
 func Run(workers, n int, task func(i int) error) error {
+	return RunCtx(context.Background(), workers, n, task)
+}
+
+// RunCtx is Run with cancellation: the context is checked before each task
+// is handed out, so a cancelled or expired context stops the pool between
+// tasks and RunCtx returns ctx.Err(). An already-cancelled context returns
+// promptly, starting no tasks and leaving no goroutines behind. Tasks
+// already running when the context fires are not interrupted — long tasks
+// that want finer-grained cancellation must check the context themselves.
+func RunCtx(ctx context.Context, workers, n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			if err := task(i); err != nil {
 				return err
 			}
@@ -61,6 +83,15 @@ func Run(workers, n int, task func(i int) error) error {
 	worker := func() {
 		defer wg.Done()
 		for !failed.Load() {
+			if done != nil {
+				select {
+				case <-done:
+					errOnce.Do(func() { firstE = ctx.Err() })
+					failed.Store(true)
+					return
+				default:
+				}
+			}
 			i := int(cursor.Add(1)) - 1
 			if i >= n {
 				return
@@ -117,11 +148,18 @@ func Chunks(n, parts int) []Chunk {
 // bounds; per-chunk outputs should be written to chunk-indexed slots and
 // merged in order by the caller. It returns the chunk list actually used.
 func RunChunks(workers, n int, body func(chunk int, lo, hi int) error) ([]Chunk, error) {
+	return RunChunksCtx(context.Background(), workers, n, body)
+}
+
+// RunChunksCtx is RunChunks with cancellation, with RunCtx's semantics: the
+// context is checked between chunks, and a cancelled context returns
+// ctx.Err() alongside the chunk list.
+func RunChunksCtx(ctx context.Context, workers, n int, body func(chunk int, lo, hi int) error) ([]Chunk, error) {
 	workers = Workers(workers)
 	// Oversplit relative to the worker count so uneven partitions (skewed
 	// tiles, ragged tree levels) still load-balance.
 	chunks := Chunks(n, workers*chunkOversplit)
-	err := Run(workers, len(chunks), func(i int) error {
+	err := RunCtx(ctx, workers, len(chunks), func(i int) error {
 		return body(i, chunks[i].Lo, chunks[i].Hi)
 	})
 	return chunks, err

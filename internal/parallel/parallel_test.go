@@ -1,10 +1,12 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -120,5 +122,90 @@ func TestRunChunksMergeOrder(t *testing.T) {
 		if i != v {
 			t.Fatalf("chunk-order merge breaks sequential order at %d (got %d)", i, v)
 		}
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int32
+		err := RunCtx(ctx, workers, 1000, func(int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d tasks ran on a pre-cancelled context", workers, ran.Load())
+		}
+	}
+	if _, err := RunChunksCtx(ctx, 8, 1000, func(int, int, int) error {
+		t.Error("chunk body ran on a pre-cancelled context")
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunChunksCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := RunCtx(ctx, workers, 10_000, func(int) error {
+			if ran.Add(1) == 50 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The pool stops handing out tasks promptly: already-started tasks
+		// finish, so at most one extra task per worker may slip through.
+		if n := ran.Load(); n >= 10_000 {
+			t.Fatalf("workers=%d: cancellation did not stop the pool (%d tasks ran)", workers, n)
+		}
+	}
+}
+
+func TestRunCtxLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for iter := 0; iter < 20; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		_ = RunCtx(ctx, 8, 1000, func(int) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+	// RunCtx waits for its workers before returning, so the goroutine count
+	// must settle back; allow the runtime a few scheduling rounds.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestRunCtxErrorBeatsLateCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx := context.Background()
+	err := RunCtx(ctx, 4, 100, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want task error %v", err, boom)
 	}
 }

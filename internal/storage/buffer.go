@@ -9,11 +9,17 @@ import (
 
 // PoolStats counts the buffer pool's activity. LogicalReads is every page
 // request; Misses are the requests that went to disk. The paper's cost
-// figures charge C_IO per physical access, i.e. per miss.
+// figures charge C_IO per physical access, i.e. per miss. ReadRetries and
+// WriteRetries are the physical attempts beyond the first that the pool's
+// retry policy issued — they keep the accounting honest when the device
+// underneath injects faults: physical attempts = Misses + ReadRetries on
+// the read side, and analogously for write-backs.
 type PoolStats struct {
 	LogicalReads int64
 	Misses       int64
 	Evictions    int64
+	ReadRetries  int64
+	WriteRetries int64
 }
 
 // HitRatio returns the fraction of logical reads served from memory.
@@ -30,16 +36,25 @@ func (s PoolStats) HitRatio() float64 {
 // table is guarded by a mutex, while the activity counters are atomics so
 // concurrent readers can snapshot statistics without serializing on the
 // frame lock.
+//
+// Every physical transfer is verified end-to-end: pages read from the
+// device are checked against the device's recorded checksum, so a page
+// corrupted on media or in flight is detected here — before any executor
+// can join over garbage — and surfaces as a *ChecksumError after the retry
+// budget is exhausted.
 type BufferPool struct {
 	mu       sync.Mutex
-	disk     *Disk
+	disk     Device
 	capacity int
+	retry    RetryPolicy
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recently used
 
 	logicalReads atomic.Int64
 	misses       atomic.Int64
 	evictions    atomic.Int64
+	readRetries  atomic.Int64
+	writeRetries atomic.Int64
 }
 
 // frame is one cached page.
@@ -50,15 +65,16 @@ type frame struct {
 	dirty bool
 }
 
-// NewBufferPool returns a pool of capacity pages over disk. Capacity must be
-// at least 1.
-func NewBufferPool(disk *Disk, capacity int) (*BufferPool, error) {
+// NewBufferPool returns a pool of capacity pages over disk, with the
+// default retry policy. Capacity must be at least 1.
+func NewBufferPool(disk Device, capacity int) (*BufferPool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("storage: buffer pool capacity %d < 1", capacity)
 	}
 	return &BufferPool{
 		disk:     disk,
 		capacity: capacity,
+		retry:    DefaultRetryPolicy(),
 		frames:   make(map[PageID]*list.Element, capacity),
 		lru:      list.New(),
 	}, nil
@@ -67,8 +83,64 @@ func NewBufferPool(disk *Disk, capacity int) (*BufferPool, error) {
 // Capacity returns the pool size in pages (the model's parameter M).
 func (bp *BufferPool) Capacity() int { return bp.capacity }
 
-// Disk returns the underlying simulated disk.
-func (bp *BufferPool) Disk() *Disk { return bp.disk }
+// Disk returns the underlying device.
+func (bp *BufferPool) Disk() Device { return bp.disk }
+
+// SetRetryPolicy replaces the pool's retry policy. Not safe to call
+// concurrently with pool operations.
+func (bp *BufferPool) SetRetryPolicy(p RetryPolicy) { bp.retry = p }
+
+// readPage drives one logical read against the device, retrying transient
+// faults and checksum mismatches (in-flight corruption a re-read can fix)
+// under the pool's retry policy. The returned error wraps the last attempt's
+// failure, so errors.Is/As classification survives.
+func (bp *BufferPool) readPage(id PageID) ([]byte, error) {
+	var last error
+	budget := bp.retry.attempts()
+	for attempt := 1; attempt <= budget; attempt++ {
+		if attempt > 1 {
+			bp.readRetries.Add(1)
+			bp.retry.pause(attempt-1, id)
+		}
+		buf, err := bp.disk.ReadPage(id)
+		if err == nil {
+			if want, ok := bp.disk.Checksum(id); ok {
+				if got := PageChecksum(buf); got != want {
+					last = &ChecksumError{Page: id, Want: want, Got: got}
+					continue
+				}
+			}
+			return buf, nil
+		}
+		last = err
+		if !IsTransient(err) && !IsChecksum(err) {
+			break
+		}
+	}
+	return nil, fmt.Errorf("storage: read of page %v gave up after retries: %w", id, last)
+}
+
+// writePage drives one write-back against the device under the retry
+// policy, retrying transient faults only.
+func (bp *BufferPool) writePage(id PageID, buf []byte) error {
+	var last error
+	budget := bp.retry.attempts()
+	for attempt := 1; attempt <= budget; attempt++ {
+		if attempt > 1 {
+			bp.writeRetries.Add(1)
+			bp.retry.pause(attempt-1, id)
+		}
+		err := bp.disk.WritePage(id, buf)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !IsTransient(err) {
+			break
+		}
+	}
+	return fmt.Errorf("storage: write of page %v gave up after retries: %w", id, last)
+}
 
 // Fetch returns the page with the given id, loading it from disk on a miss.
 // The returned Page aliases the cached frame: mutations become durable only
@@ -86,7 +158,7 @@ func (bp *BufferPool) fetchLocked(id PageID) (*Page, error) {
 		return el.Value.(*frame).page, nil
 	}
 	bp.misses.Add(1)
-	buf, err := bp.disk.ReadPage(id)
+	buf, err := bp.readPage(id)
 	if err != nil {
 		return nil, err
 	}
@@ -99,25 +171,34 @@ func (bp *BufferPool) fetchLocked(id PageID) (*Page, error) {
 }
 
 // evictIfFullLocked makes room for one more frame, writing back a dirty
-// victim. It fails when every frame is pinned.
+// victim. A victim whose write-back fails permanently is skipped — it stays
+// resident and dirty so the data is not lost — and the next least-recently
+// used unpinned frame is tried instead. It fails when every frame is pinned
+// or unwritable.
 func (bp *BufferPool) evictIfFullLocked() error {
 	if bp.lru.Len() < bp.capacity {
 		return nil
 	}
+	var lastErr error
 	for el := bp.lru.Back(); el != nil; el = el.Prev() {
 		f := el.Value.(*frame)
 		if f.pins > 0 {
 			continue
 		}
 		if f.dirty {
-			if err := bp.disk.WritePage(f.id, f.page.Bytes()); err != nil {
-				return err
+			if err := bp.writePage(f.id, f.page.Bytes()); err != nil {
+				lastErr = err
+				continue
 			}
+			f.dirty = false
 		}
 		bp.lru.Remove(el)
 		delete(bp.frames, f.id)
 		bp.evictions.Add(1)
 		return nil
+	}
+	if lastErr != nil {
+		return fmt.Errorf("storage: buffer pool full and no victim writable: %w", lastErr)
 	}
 	return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.capacity)
 }
@@ -135,7 +216,8 @@ func (bp *BufferPool) Pin(id PageID) (*Page, error) {
 }
 
 // Unpin releases one pin on the page. Unpinning a page that is not resident
-// or not pinned is an error.
+// or not pinned is an error, and never drives the pin count negative — a
+// double Unpin cannot make a still-pinned page evictable.
 func (bp *BufferPool) Unpin(id PageID) error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -165,25 +247,39 @@ func (bp *BufferPool) MarkDirty(id PageID) error {
 }
 
 // Flush writes every dirty frame back to disk, leaving the frames resident.
+// On failure it still attempts the remaining dirty frames and returns the
+// first error; a frame whose write-back failed stays dirty, so a later
+// Flush retries it rather than silently dropping the modification.
 func (bp *BufferPool) Flush() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	return bp.flushLocked()
+}
+
+func (bp *BufferPool) flushLocked() error {
+	var firstErr error
 	for el := bp.lru.Front(); el != nil; el = el.Next() {
 		f := el.Value.(*frame)
 		if !f.dirty {
 			continue
 		}
-		if err := bp.disk.WritePage(f.id, f.page.Bytes()); err != nil {
-			return err
+		if err := bp.writePage(f.id, f.page.Bytes()); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
 		f.dirty = false
 	}
-	return nil
+	return firstErr
 }
 
 // DropAll flushes and then empties the pool, so the next access to any page
 // is a guaranteed miss. Experiments use it to start measurements cold.
-// Pinned pages may not be dropped.
+// Pinned pages may not be dropped. When a write-back fails, frames whose
+// pages were flushed are marked clean (they will not be double-written
+// later), nothing is dropped, and the error is returned — DropAll after a
+// partial failure is safe to retry.
 func (bp *BufferPool) DropAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -192,13 +288,8 @@ func (bp *BufferPool) DropAll() error {
 			return fmt.Errorf("storage: DropAll with pinned page %v", el.Value.(*frame).id)
 		}
 	}
-	for el := bp.lru.Front(); el != nil; el = el.Next() {
-		f := el.Value.(*frame)
-		if f.dirty {
-			if err := bp.disk.WritePage(f.id, f.page.Bytes()); err != nil {
-				return err
-			}
-		}
+	if err := bp.flushLocked(); err != nil {
+		return err
 	}
 	bp.frames = make(map[PageID]*list.Element, bp.capacity)
 	bp.lru.Init()
@@ -213,15 +304,24 @@ func (bp *BufferPool) Resident(id PageID) bool {
 	return ok
 }
 
+// Dirty reports whether the page is resident with unflushed modifications.
+func (bp *BufferPool) Dirty(id PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	el, ok := bp.frames[id]
+	return ok && el.Value.(*frame).dirty
+}
+
 // Stats returns a snapshot of the pool counters. It does not take the
-// frame lock; under concurrent activity the three counters are each
-// monotone but the snapshot as a whole is not a single linearization
-// point.
+// frame lock; under concurrent activity the counters are each monotone but
+// the snapshot as a whole is not a single linearization point.
 func (bp *BufferPool) Stats() PoolStats {
 	return PoolStats{
 		LogicalReads: bp.logicalReads.Load(),
 		Misses:       bp.misses.Load(),
 		Evictions:    bp.evictions.Load(),
+		ReadRetries:  bp.readRetries.Load(),
+		WriteRetries: bp.writeRetries.Load(),
 	}
 }
 
@@ -230,4 +330,6 @@ func (bp *BufferPool) ResetStats() {
 	bp.logicalReads.Store(0)
 	bp.misses.Store(0)
 	bp.evictions.Store(0)
+	bp.readRetries.Store(0)
+	bp.writeRetries.Store(0)
 }

@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 )
@@ -19,21 +21,103 @@ type PageID struct {
 func (id PageID) String() string { return fmt.Sprintf("f%d:p%d", id.File, id.Page) }
 
 // DiskStats counts the physical page transfers the simulated disk performed.
+// Reads and Writes are successful transfers; ReadFaults and WriteFaults are
+// failed or faulty physical attempts reported by a fault-injecting device
+// (always zero on a healthy Disk). The total physical attempt count of a
+// device is therefore Reads+ReadFaults and Writes+WriteFaults.
 type DiskStats struct {
-	Reads  int64
-	Writes int64
+	Reads       int64
+	Writes      int64
+	ReadFaults  int64
+	WriteFaults int64
 }
 
-// Disk is the simulated persistent store: a collection of files, each an
-// extendable array of fixed-size pages. All access goes through ReadPage /
-// WritePage, which count physical transfers. Disk is safe for concurrent
+// Device is the disk surface the buffer pool drives: a collection of files,
+// each an extendable array of fixed-size pages, with per-page checksums and
+// physical-transfer accounting. Disk is the healthy in-memory
+// implementation; internal/fault wraps any Device with an injected fault
+// schedule. All implementations must be safe for concurrent use.
+type Device interface {
+	// PageSize returns the page size in bytes.
+	PageSize() int
+	// CreateFile allocates a new empty file.
+	CreateFile() FileID
+	// AllocPage appends a fresh zeroed page to the file.
+	AllocPage(f FileID) (PageID, error)
+	// NumPages returns the number of pages in file f.
+	NumPages(f FileID) int
+	// ReadPage returns a fresh copy of the page's content.
+	ReadPage(id PageID) ([]byte, error)
+	// WritePage stores buf as the page's content.
+	WritePage(id PageID, buf []byte) error
+	// Checksum returns the expected CRC of the page's current content, as
+	// recorded at the last successful write. The bool is false when the
+	// page is unknown to the device.
+	Checksum(id PageID) (uint32, bool)
+	// Stats returns a snapshot of the physical transfer counters.
+	Stats() DiskStats
+	// ResetStats zeroes the physical transfer counters.
+	ResetStats()
+}
+
+// crcTable is the polynomial used for page checksums (Castagnoli, the
+// polynomial real storage engines use for its error-detection properties).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// PageChecksum returns the CRC-32C of a page image.
+func PageChecksum(buf []byte) uint32 { return crc32.Checksum(buf, crcTable) }
+
+// ChecksumError reports that a page's content did not match the checksum
+// recorded at its last write: the bytes were corrupted on the device or in
+// flight. It classifies as permanent — the stored data cannot be trusted —
+// though the buffer pool still retries reads once more in case the
+// corruption happened in transit.
+type ChecksumError struct {
+	Page PageID
+	Want uint32
+	Got  uint32
+}
+
+// Error implements the error interface.
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("storage: checksum mismatch on page %v: want %08x, got %08x",
+		e.Page, e.Want, e.Got)
+}
+
+// Permanent reports that a checksum failure means lost data, not a retryable
+// condition.
+func (e *ChecksumError) Permanent() bool { return true }
+
+// Transient reports false: corrupted bytes do not heal by waiting.
+func (e *ChecksumError) Transient() bool { return false }
+
+// IsTransient reports whether err (or anything it wraps) classifies itself
+// as transient via a `Transient() bool` method — the contract implemented
+// by internal/fault's injected errors. Transient failures are worth
+// retrying; everything else is not.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// IsChecksum reports whether err wraps a page checksum mismatch.
+func IsChecksum(err error) bool {
+	var c *ChecksumError
+	return errors.As(err, &c)
+}
+
+// Disk is the healthy simulated persistent store. All access goes through
+// ReadPage / WritePage, which count physical transfers and maintain a
+// CRC-32C per page, verified on every read. Disk is safe for concurrent
 // use; the transfer counters are atomics so statistics snapshots do not
 // serialize against page I/O.
 type Disk struct {
 	mu       sync.Mutex
 	pageSize int
 	files    map[FileID][][]byte
+	sums     map[PageID]uint32
 	nextFile FileID
+	zeroSum  uint32
 
 	reads  atomic.Int64
 	writes atomic.Int64
@@ -48,6 +132,8 @@ func NewDisk(pageSize int) *Disk {
 	return &Disk{
 		pageSize: pageSize,
 		files:    make(map[FileID][][]byte),
+		sums:     make(map[PageID]uint32),
+		zeroSum:  PageChecksum(make([]byte, pageSize)),
 	}
 }
 
@@ -74,7 +160,9 @@ func (d *Disk) AllocPage(f FileID) (PageID, error) {
 		return PageID{}, fmt.Errorf("storage: unknown file %d", f)
 	}
 	d.files[f] = append(pages, make([]byte, d.pageSize))
-	return PageID{File: f, Page: int32(len(pages))}, nil
+	id := PageID{File: f, Page: int32(len(pages))}
+	d.sums[id] = d.zeroSum
+	return id, nil
 }
 
 // NumPages returns the number of pages in file f.
@@ -84,8 +172,9 @@ func (d *Disk) NumPages(f FileID) int {
 	return len(d.files[f])
 }
 
-// ReadPage copies the page's content into a fresh buffer and counts one
-// physical read.
+// ReadPage copies the page's content into a fresh buffer, verifies it
+// against the checksum recorded at the last write (the media scrub), and
+// counts one physical read.
 func (d *Disk) ReadPage(id PageID) ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -96,10 +185,16 @@ func (d *Disk) ReadPage(id PageID) ([]byte, error) {
 	d.reads.Add(1)
 	buf := make([]byte, d.pageSize)
 	copy(buf, pages[id.Page])
+	if want, ok := d.sums[id]; ok {
+		if got := PageChecksum(buf); got != want {
+			return nil, &ChecksumError{Page: id, Want: want, Got: got}
+		}
+	}
 	return buf, nil
 }
 
-// WritePage stores buf as the page's content and counts one physical write.
+// WritePage stores buf as the page's content, records its checksum, and
+// counts one physical write.
 func (d *Disk) WritePage(id PageID, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -112,7 +207,16 @@ func (d *Disk) WritePage(id PageID, buf []byte) error {
 	}
 	d.writes.Add(1)
 	copy(pages[id.Page], buf)
+	d.sums[id] = PageChecksum(buf)
 	return nil
+}
+
+// Checksum returns the page's recorded CRC-32C.
+func (d *Disk) Checksum(id PageID) (uint32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sum, ok := d.sums[id]
+	return sum, ok
 }
 
 // Stats returns a snapshot of the physical I/O counters.

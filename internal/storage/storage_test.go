@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestNewPageRejectsTinySizes(t *testing.T) {
@@ -536,5 +537,374 @@ func TestPageOversizeRecordSlot(t *testing.T) {
 	}
 	if _, err := p.Insert(make([]byte, 66000)); err == nil {
 		t.Fatal("oversize record must be rejected")
+	}
+}
+
+// flakyDevice wraps a healthy Disk with scripted failures. It stands in for
+// internal/fault, which cannot be imported here without a cycle; only the
+// error classification contract (Transient/Permanent methods) is shared.
+type flakyDevice struct {
+	*Disk
+	failReads  map[PageID]int  // remaining transient read failures per page
+	failWrites map[PageID]int  // remaining transient write failures per page
+	stuckWrite map[PageID]bool // writes fail permanently
+	corrupt    map[PageID]int  // remaining reads with a flipped byte (-1: always)
+}
+
+func newFlaky(pageSize int) *flakyDevice {
+	return &flakyDevice{
+		Disk:       NewDisk(pageSize),
+		failReads:  make(map[PageID]int),
+		failWrites: make(map[PageID]int),
+		stuckWrite: make(map[PageID]bool),
+		corrupt:    make(map[PageID]int),
+	}
+}
+
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "flaky: transient fault" }
+func (transientErr) Transient() bool { return true }
+
+type permanentErr struct{}
+
+func (permanentErr) Error() string   { return "flaky: permanent fault" }
+func (permanentErr) Transient() bool { return false }
+func (permanentErr) Permanent() bool { return true }
+
+func (d *flakyDevice) ReadPage(id PageID) ([]byte, error) {
+	if d.failReads[id] > 0 {
+		d.failReads[id]--
+		return nil, transientErr{}
+	}
+	buf, err := d.Disk.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	if n := d.corrupt[id]; n != 0 {
+		if n > 0 {
+			d.corrupt[id]--
+		}
+		buf[0] ^= 0xff
+	}
+	return buf, nil
+}
+
+func (d *flakyDevice) WritePage(id PageID, buf []byte) error {
+	if d.stuckWrite[id] {
+		return permanentErr{}
+	}
+	if d.failWrites[id] > 0 {
+		d.failWrites[id]--
+		return transientErr{}
+	}
+	return d.Disk.WritePage(id, buf)
+}
+
+// newFlakyPool builds a pool over a flaky device with zero-delay retries so
+// fault tests run at full speed.
+func newFlakyPool(t *testing.T, capacity, attempts int) (*flakyDevice, *BufferPool) {
+	t.Helper()
+	d := newFlaky(128)
+	bp, err := NewBufferPool(d, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.SetRetryPolicy(RetryPolicy{MaxAttempts: attempts})
+	return d, bp
+}
+
+func TestBufferPoolDoubleUnpinNeverGoesNegative(t *testing.T) {
+	d, bp := newPoolT(t, 128, 2)
+	f := d.CreateFile()
+	a := allocInit(t, d, f)
+	b := allocInit(t, d, f)
+	c := allocInit(t, d, f)
+
+	bp.Pin(a)
+	bp.Pin(a) // pin count 2
+	if err := bp.Unpin(a); err != nil {
+		t.Fatal(err)
+	}
+	// One pin remains: the page must still be unevictable.
+	bp.Fetch(b)
+	if _, err := bp.Fetch(c); err != nil {
+		t.Fatal(err)
+	}
+	if !bp.Resident(a) {
+		t.Fatal("page with a remaining pin was evicted after a partial unpin")
+	}
+	if err := bp.Unpin(a); err != nil {
+		t.Fatal(err)
+	}
+	// Pin count is now 0; a further Unpin must error, not drive it to -1
+	// (which would let a later Pin be cancelled by the stale unpin).
+	if err := bp.Unpin(a); err == nil {
+		t.Fatal("double unpin must fail")
+	}
+	if _, err := bp.Pin(a); err != nil {
+		t.Fatal(err)
+	}
+	bp.Fetch(b)
+	bp.Fetch(c)
+	if !bp.Resident(a) {
+		t.Fatal("double unpin corrupted the pin count: repinned page was evicted")
+	}
+}
+
+func TestPoolRetriesTransientReadsThenSucceeds(t *testing.T) {
+	d, bp := newFlakyPool(t, 4, 4)
+	f := d.CreateFile()
+	id := allocInit(t, d.Disk, f)
+	d.failReads[id] = 2
+
+	if _, err := bp.Fetch(id); err != nil {
+		t.Fatalf("fetch with 2 transient faults and budget 4: %v", err)
+	}
+	if s := bp.Stats(); s.ReadRetries != 2 {
+		t.Fatalf("ReadRetries = %d, want 2", s.ReadRetries)
+	}
+}
+
+func TestPoolReadRetryBudgetExhausted(t *testing.T) {
+	d, bp := newFlakyPool(t, 4, 3)
+	f := d.CreateFile()
+	id := allocInit(t, d.Disk, f)
+	d.failReads[id] = 100
+
+	_, err := bp.Fetch(id)
+	if err == nil {
+		t.Fatal("fetch must fail when faults outlast the budget")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("exhausted-budget error lost its classification: %v", err)
+	}
+	if s := bp.Stats(); s.ReadRetries != 2 {
+		t.Fatalf("ReadRetries = %d, want budget-1 = 2", s.ReadRetries)
+	}
+}
+
+func TestPoolChecksumMismatchRetriedThenTyped(t *testing.T) {
+	d, bp := newFlakyPool(t, 4, 3)
+	f := d.CreateFile()
+	id := allocInit(t, d.Disk, f)
+
+	// One-shot in-flight corruption: the re-read returns clean bytes.
+	d.corrupt[id] = 1
+	if _, err := bp.Fetch(id); err != nil {
+		t.Fatalf("one-shot corruption with retry budget: %v", err)
+	}
+	if s := bp.Stats(); s.ReadRetries != 1 {
+		t.Fatalf("ReadRetries = %d, want 1", s.ReadRetries)
+	}
+
+	// Persistent corruption: every retry sees garbage; the typed checksum
+	// error must surface rather than corrupt bytes.
+	bp.DropAll()
+	bp.ResetStats()
+	d.corrupt[id] = -1
+	_, err := bp.Fetch(id)
+	if err == nil {
+		t.Fatal("persistently corrupted page must not be served")
+	}
+	if !IsChecksum(err) {
+		t.Fatalf("error is not a checksum mismatch: %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatalf("checksum error misclassified as transient: %v", err)
+	}
+	if s := bp.Stats(); s.ReadRetries != 2 {
+		t.Fatalf("ReadRetries = %d, want budget-1 = 2", s.ReadRetries)
+	}
+}
+
+func TestEvictionSkipsUnwritableVictim(t *testing.T) {
+	d, bp := newFlakyPool(t, 2, 2)
+	f := d.CreateFile()
+	a := allocInit(t, d.Disk, f)
+	b := allocInit(t, d.Disk, f)
+	c := allocInit(t, d.Disk, f)
+
+	pa, _ := bp.Fetch(a)
+	pa.Insert([]byte("precious"))
+	bp.MarkDirty(a)
+	d.stuckWrite[a] = true
+	bp.Fetch(b) // a is LRU and dirty but unwritable
+	if _, err := bp.Fetch(c); err != nil {
+		t.Fatalf("eviction must skip the unwritable victim and take b: %v", err)
+	}
+	if !bp.Resident(a) || !bp.Dirty(a) {
+		t.Fatal("unwritable dirty victim must stay resident and dirty")
+	}
+	if bp.Resident(b) {
+		t.Fatal("clean frame b should have been evicted instead")
+	}
+
+	// Once the device heals, the preserved modification must still flush.
+	d.stuckWrite[a] = false
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := d.Disk.ReadPage(a)
+	if rec, _ := pageFromBytes(buf).Record(0); string(rec) != "precious" {
+		t.Fatalf("modification lost across failed eviction: %q", rec)
+	}
+}
+
+func TestEvictionFailsTypedWhenNoVictimWritable(t *testing.T) {
+	d, bp := newFlakyPool(t, 1, 2)
+	f := d.CreateFile()
+	a := allocInit(t, d.Disk, f)
+	b := allocInit(t, d.Disk, f)
+
+	pa, _ := bp.Fetch(a)
+	pa.Insert([]byte("keep"))
+	bp.MarkDirty(a)
+	d.stuckWrite[a] = true
+	_, err := bp.Fetch(b)
+	if err == nil {
+		t.Fatal("fetch must fail when the only victim is unwritable")
+	}
+	if IsTransient(err) {
+		t.Fatalf("permanent write-back failure misclassified: %v", err)
+	}
+	if !bp.Resident(a) || !bp.Dirty(a) {
+		t.Fatal("failed eviction must not lose the dirty frame")
+	}
+}
+
+func TestFlushKeepsFailedFrameDirtyFlushesRest(t *testing.T) {
+	d, bp := newFlakyPool(t, 4, 2)
+	f := d.CreateFile()
+	a := allocInit(t, d.Disk, f)
+	b := allocInit(t, d.Disk, f)
+
+	pa, _ := bp.Fetch(a)
+	pa.Insert([]byte("stuck"))
+	bp.MarkDirty(a)
+	pb, _ := bp.Fetch(b)
+	pb.Insert([]byte("fine"))
+	bp.MarkDirty(b)
+
+	d.stuckWrite[a] = true
+	if err := bp.Flush(); err == nil {
+		t.Fatal("flush with an unwritable frame must report the failure")
+	}
+	if !bp.Dirty(a) {
+		t.Fatal("frame whose write-back failed must stay dirty")
+	}
+	if bp.Dirty(b) {
+		t.Fatal("flush must still write the other dirty frames")
+	}
+	buf, _ := d.Disk.ReadPage(b)
+	if rec, _ := pageFromBytes(buf).Record(0); string(rec) != "fine" {
+		t.Fatalf("healthy frame not flushed: %q", rec)
+	}
+
+	d.stuckWrite[a] = false
+	if err := bp.Flush(); err != nil {
+		t.Fatalf("flush after heal: %v", err)
+	}
+	buf, _ = d.Disk.ReadPage(a)
+	if rec, _ := pageFromBytes(buf).Record(0); string(rec) != "stuck" {
+		t.Fatalf("retried flush lost the modification: %q", rec)
+	}
+}
+
+func TestDropAllPartialFailureIsRetryable(t *testing.T) {
+	d, bp := newFlakyPool(t, 4, 2)
+	f := d.CreateFile()
+	a := allocInit(t, d.Disk, f)
+	b := allocInit(t, d.Disk, f)
+
+	pa, _ := bp.Fetch(a)
+	pa.Insert([]byte("held"))
+	bp.MarkDirty(a)
+	pb, _ := bp.Fetch(b)
+	pb.Insert([]byte("safe"))
+	bp.MarkDirty(b)
+
+	d.stuckWrite[a] = true
+	if err := bp.DropAll(); err == nil {
+		t.Fatal("DropAll with an unwritable frame must fail")
+	}
+	// Nothing was dropped: the failed frame keeps its modification in
+	// memory, and the flushed frame is clean but still resident.
+	if !bp.Resident(a) || !bp.Resident(b) {
+		t.Fatal("DropAll must not drop frames on a partial failure")
+	}
+	if !bp.Dirty(a) || bp.Dirty(b) {
+		t.Fatalf("dirty bits wrong after partial DropAll: a=%v b=%v", bp.Dirty(a), bp.Dirty(b))
+	}
+
+	d.stuckWrite[a] = false
+	if err := bp.DropAll(); err != nil {
+		t.Fatalf("DropAll retry after heal: %v", err)
+	}
+	if bp.Resident(a) || bp.Resident(b) {
+		t.Fatal("retried DropAll must empty the pool")
+	}
+	buf, _ := d.Disk.ReadPage(a)
+	if rec, _ := pageFromBytes(buf).Record(0); string(rec) != "held" {
+		t.Fatalf("modification lost across retried DropAll: %q", rec)
+	}
+}
+
+func TestPoolWriteRetriesTransientOnly(t *testing.T) {
+	d, bp := newFlakyPool(t, 4, 4)
+	f := d.CreateFile()
+	a := allocInit(t, d.Disk, f)
+	pa, _ := bp.Fetch(a)
+	pa.Insert([]byte("retried"))
+	bp.MarkDirty(a)
+	d.failWrites[a] = 2
+	if err := bp.Flush(); err != nil {
+		t.Fatalf("flush with 2 transient write faults and budget 4: %v", err)
+	}
+	if s := bp.Stats(); s.WriteRetries != 2 {
+		t.Fatalf("WriteRetries = %d, want 2", s.WriteRetries)
+	}
+	buf, _ := d.Disk.ReadPage(a)
+	if rec, _ := pageFromBytes(buf).Record(0); string(rec) != "retried" {
+		t.Fatalf("retried write lost data: %q", rec)
+	}
+}
+
+func TestRetryPolicyBackoffDeterministicAndBounded(t *testing.T) {
+	record := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		p := RetryPolicy{
+			MaxAttempts: 6,
+			BaseDelay:   100 * time.Microsecond,
+			MaxDelay:    400 * time.Microsecond,
+			Seed:        seed,
+			sleep:       func(d time.Duration) { delays = append(delays, d) },
+		}
+		id := PageID{File: 3, Page: 9}
+		for retry := 1; retry <= 5; retry++ {
+			p.pause(retry, id)
+		}
+		return delays
+	}
+	a, b := record(42), record(42)
+	if len(a) != 5 {
+		t.Fatalf("recorded %d delays, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff not deterministic at retry %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	// Jitter stays in [50%, 100%] of the doubled-then-capped backoff.
+	want := []time.Duration{100, 200, 400, 400, 400} // microseconds, pre-jitter
+	for i, d := range a {
+		hi := want[i] * time.Microsecond
+		lo := hi / 2
+		if d < lo || d > hi {
+			t.Fatalf("retry %d delay %v outside [%v, %v]", i+1, d, lo, hi)
+		}
+	}
+	if c := record(43); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds should jitter differently")
 	}
 }

@@ -1,6 +1,7 @@
 package zorder
 
 import (
+	"context"
 	"sort"
 
 	"spatialjoin/internal/geom"
@@ -42,11 +43,26 @@ func SortPairs(ps []Pair) {
 // strips contributes k decompositions — the duplicated boundary work the
 // partitioning actually performs.
 func (g *Grid) ParallelOverlapJoin(rs, ss []geom.Rect, workers int) ([]Pair, JoinStats) {
+	pairs, stats, err := g.ParallelOverlapJoinCtx(context.Background(), rs, ss, workers)
+	if err != nil {
+		// A background context never fires and no task here fails otherwise.
+		panic("zorder: unreachable parallel error: " + err.Error())
+	}
+	return pairs, stats
+}
+
+// ParallelOverlapJoinCtx is ParallelOverlapJoin bounded by a context: it is
+// checked between strips (and in the sequential fallback, before the scan),
+// and cancellation returns ctx.Err() with a nil pair set.
+func (g *Grid) ParallelOverlapJoinCtx(ctx context.Context, rs, ss []geom.Rect, workers int) ([]Pair, JoinStats, error) {
 	w := parallel.Workers(workers)
 	if w <= 1 || len(rs)+len(ss) < parallelMinInput {
+		if err := ctx.Err(); err != nil {
+			return nil, JoinStats{}, err
+		}
 		pairs, stats := g.OverlapJoin(rs, ss, JoinOptions{Dedup: true, Exact: true})
 		SortPairs(pairs)
-		return pairs, stats
+		return pairs, stats, nil
 	}
 
 	// Strip boundaries, shared by membership and ownership decisions so a
@@ -79,7 +95,7 @@ func (g *Grid) ParallelOverlapJoin(rs, ss []geom.Rect, workers int) ([]Pair, Joi
 		stats JoinStats
 	}
 	results := make([]tileResult, tiles)
-	err := parallel.Run(w, tiles, func(t int) error {
+	err := parallel.RunCtx(ctx, w, tiles, func(t int) error {
 		strip := stripRect(t)
 		var rsub, ssub []geom.Rect
 		var rmap, smap []int
@@ -115,8 +131,8 @@ func (g *Grid) ParallelOverlapJoin(rs, ss []geom.Rect, workers int) ([]Pair, Joi
 		return nil
 	})
 	if err != nil {
-		// parallel.Run only propagates task errors and no task here fails.
-		panic("zorder: unreachable parallel error: " + err.Error())
+		// The only error source is cancellation: no task here fails.
+		return nil, JoinStats{}, err
 	}
 
 	var out []Pair
@@ -130,7 +146,7 @@ func (g *Grid) ParallelOverlapJoin(rs, ss []geom.Rect, workers int) ([]Pair, Joi
 		stats.ExactTests += tr.stats.ExactTests
 	}
 	SortPairs(out)
-	return out, stats
+	return out, stats, nil
 }
 
 // clampCoord clamps v into [lo, hi].

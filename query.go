@@ -1,11 +1,15 @@
 package spatialjoin
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 
 	"spatialjoin/internal/core"
+	"spatialjoin/internal/fault"
 	"spatialjoin/internal/join"
 	"spatialjoin/internal/joinindex"
+	"spatialjoin/internal/storage"
 )
 
 // Strategy selects how a selection or join is computed, matching the
@@ -47,14 +51,47 @@ type Stats = join.Stats
 // search range "is defined ad hoc by the user" and cannot be precomputed);
 // use SelectStored for a stored selector.
 func (db *Database) Select(c *Collection, o Spatial, op Operator, strategy Strategy) ([]int, Stats, error) {
+	return db.SelectContext(context.Background(), c, o, op, strategy)
+}
+
+// SelectContext is Select bounded by a context (composed with
+// Config.QueryTimeout when set). Before a tree-strategy selection the
+// collection's backing index file is scrubbed — read and checksum-verified,
+// charged to Stats.IndexReads — and a permanent storage fault on the index
+// degrades the query to the exhaustive scan, recorded in Stats.Downgrades,
+// still returning the correct result.
+func (db *Database) SelectContext(ctx context.Context, c *Collection, o Spatial, op Operator, strategy Strategy) ([]int, Stats, error) {
 	if c == nil || o == nil || op == nil {
 		return nil, Stats{}, fmt.Errorf("spatialjoin: nil select argument")
 	}
+	ctx, cancel := db.queryCtx(ctx)
+	defer cancel()
+	ids, stats, err := db.selectOnce(ctx, c, o, op, strategy)
+	if err == nil || strategy != TreeStrategy || !fault.IsPermanent(err) || ctx.Err() != nil {
+		return ids, stats, err
+	}
+	ids, scanStats, err2 := db.selectOnce(ctx, c, o, op, ScanStrategy)
+	if err2 != nil {
+		return nil, stats.Add(scanStats), fmt.Errorf("spatialjoin: scan fallback after %v failure (%v): %w", strategy, err, err2)
+	}
+	total := stats.Add(scanStats)
+	total.Downgrades++
+	return ids, total, nil
+}
+
+// selectOnce runs one strategy attempt without degradation.
+func (db *Database) selectOnce(ctx context.Context, c *Collection, o Spatial, op Operator, strategy Strategy) ([]int, Stats, error) {
 	switch strategy {
 	case ScanStrategy:
-		return join.ExhaustiveSelect(c.table, o, op)
+		return join.ExhaustiveSelectCtx(ctx, c.table, o, op)
 	case TreeStrategy:
-		return join.TreeSelect(c.index.Generalization(), c.table, o, op, core.BreadthFirst)
+		scrubbed, err := db.scrubFiles(ctx, c.indexFile.File())
+		if err != nil {
+			return nil, Stats{IndexReads: scrubbed}, err
+		}
+		ids, stats, err := join.TreeSelectCtx(ctx, c.index.Generalization(), c.table, o, op, core.BreadthFirst)
+		stats.IndexReads += scrubbed
+		return ids, stats, err
 	case IndexStrategy:
 		return nil, Stats{}, fmt.Errorf("spatialjoin: join indices cannot answer ad-hoc selections; use SelectStored")
 	default:
@@ -80,38 +117,132 @@ func (db *Database) SelectStored(r *Collection, rID int, s *Collection, op Opera
 // strategy, the returned matches are canonically sorted by (R, S), so the
 // outputs of all strategies are byte-comparable.
 func (db *Database) Join(r, s *Collection, op Operator, strategy Strategy) ([]Match, Stats, error) {
+	return db.JoinContext(context.Background(), r, s, op, strategy)
+}
+
+// JoinContext is Join bounded by a context (composed with
+// Config.QueryTimeout when set). Before a tree- or index-strategy join the
+// backing index files are scrubbed — read and checksum-verified, charged to
+// Stats.IndexReads — and a permanent storage fault on an index structure
+// degrades the query to the nested-loop scan over the base heap files,
+// recorded in Stats.Downgrades, still returning the byte-identical correct
+// match set. Faults on the heap files themselves are not recoverable and
+// surface as typed errors.
+func (db *Database) JoinContext(ctx context.Context, r, s *Collection, op Operator, strategy Strategy) ([]Match, Stats, error) {
 	if r == nil || s == nil || op == nil {
 		return nil, Stats{}, fmt.Errorf("spatialjoin: nil join argument")
 	}
+	ctx, cancel := db.queryCtx(ctx)
+	defer cancel()
+	ms, stats, err := db.joinOnce(ctx, r, s, op, strategy)
+	if err == nil || strategy == ScanStrategy || !fault.IsPermanent(err) || ctx.Err() != nil {
+		return ms, stats, err
+	}
+	ms, scanStats, err2 := db.joinOnce(ctx, r, s, op, ScanStrategy)
+	if err2 != nil {
+		return nil, stats.Add(scanStats), fmt.Errorf("spatialjoin: scan fallback after %v failure (%v): %w", strategy, err, err2)
+	}
+	total := stats.Add(scanStats)
+	total.Downgrades++
+	return ms, total, nil
+}
+
+// joinOnce runs one strategy attempt without degradation.
+func (db *Database) joinOnce(ctx context.Context, r, s *Collection, op Operator, strategy Strategy) ([]Match, Stats, error) {
 	switch strategy {
 	case ScanStrategy:
-		return join.NestedLoopWorkers(r.table, s.table, op, db.cfg.Workers)
+		return join.NestedLoopCtx(ctx, r.table, s.table, op, db.cfg.Workers)
 	case TreeStrategy:
-		return join.TreeJoinWorkers(r.index.Generalization(), r.table,
+		scrubbed, err := db.scrubFiles(ctx, r.indexFile.File(), s.indexFile.File())
+		if err != nil {
+			return nil, Stats{IndexReads: scrubbed}, err
+		}
+		ms, stats, err := join.TreeJoinCtx(ctx, r.index.Generalization(), r.table,
 			s.index.Generalization(), s.table, op, db.cfg.Workers)
+		stats.IndexReads += scrubbed
+		return ms, stats, err
 	case IndexStrategy:
 		ix, ok := db.joinIndexFor(r, s, op)
 		if !ok {
 			return nil, Stats{}, fmt.Errorf("spatialjoin: no join index for %s ⋈ %s on %s; call BuildJoinIndex first",
 				r.name, s.name, op.Name())
 		}
-		return join.IndexJoinWorkers(ix.ix, r.table, s.table, db.cfg.Workers)
+		scrubbed, err := db.scrubFiles(ctx, ix.file.File())
+		if err != nil {
+			return nil, Stats{IndexReads: scrubbed}, err
+		}
+		ms, stats, err := join.IndexJoinCtx(ctx, ix.ix, r.table, s.table, db.cfg.Workers)
+		stats.IndexReads += scrubbed
+		return ms, stats, err
 	default:
 		return nil, Stats{}, fmt.Errorf("spatialjoin: unknown strategy %d", strategy)
 	}
 }
 
+// queryCtx composes the caller's context with Config.QueryTimeout.
+func (db *Database) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if db.cfg.QueryTimeout > 0 {
+		return context.WithTimeout(ctx, db.cfg.QueryTimeout)
+	}
+	return ctx, func() {}
+}
+
+// scrubFiles fetches every page of the given files through the buffer pool,
+// whose end-to-end verification rejects lost or corrupted pages before the
+// strategy trusts the index structures the files back. The returned count
+// is the physical reads the scrub caused (the executor charges them as
+// index I/O); it is returned even alongside an error so partial scrub work
+// stays visible in the statistics.
+func (db *Database) scrubFiles(ctx context.Context, files ...storage.FileID) (int64, error) {
+	before := db.pool.Stats().Misses
+	device := db.pool.Disk()
+	for _, f := range files {
+		n := device.NumPages(f)
+		for p := 0; p < n; p++ {
+			if err := ctx.Err(); err != nil {
+				return db.pool.Stats().Misses - before, err
+			}
+			if _, err := db.pool.Fetch(storage.PageID{File: f, Page: int32(p)}); err != nil {
+				return db.pool.Stats().Misses - before,
+					fmt.Errorf("spatialjoin: index scrub of file %d: %w", f, err)
+			}
+		}
+	}
+	return db.pool.Stats().Misses - before, nil
+}
+
 // JoinIndex is a precomputed Valduriez join index between two collections
 // for one operator. It is maintained automatically on inserts into either
-// collection — the expensive path the paper's update model prices.
+// collection — the expensive path the paper's update model prices. The
+// B+-tree lives in memory; every pair is also persisted to a backing file
+// on the simulated disk, which index-strategy joins scrub before trusting
+// the index (see JoinContext).
 type JoinIndex struct {
 	r, s *Collection
 	op   Operator
 	ix   *joinindex.Index
+	file *storage.HeapFile
 }
 
 // Pairs returns the number of precomputed matching pairs |J|.
 func (ji *JoinIndex) Pairs() int { return ji.ix.Len() }
+
+// FileID returns the disk file backing the join index's persisted pairs —
+// the pages an index-strategy join scrubs. Chaos tests target these pages
+// to simulate join-index loss.
+func (ji *JoinIndex) FileID() storage.FileID { return ji.file.File() }
+
+// appendPair persists one (rid, sid) pair to the index's backing file.
+func (ji *JoinIndex) appendPair(rid, sid int) error {
+	var rec [16]byte
+	binary.LittleEndian.PutUint64(rec[0:], uint64(rid))
+	binary.LittleEndian.PutUint64(rec[8:], uint64(sid))
+	_, err := ji.file.Append(rec[:])
+	return err
+}
 
 // joinIndexKey identifies an index by collections and operator.
 func joinIndexKey(r, s *Collection, op Operator) string {
@@ -139,7 +270,19 @@ func (db *Database) BuildJoinIndex(r, s *Collection, op Operator) (*JoinIndex, S
 	if err != nil {
 		return nil, stats, err
 	}
-	ji := &JoinIndex{r: r, s: s, op: op, ix: ix}
+	file, err := storage.NewHeapFile(db.pool, db.cfg.FillFactor)
+	if err != nil {
+		return nil, stats, err
+	}
+	ji := &JoinIndex{r: r, s: s, op: op, ix: ix, file: file}
+	var werr error
+	ix.AllPairs(func(rid, sid int) bool {
+		werr = ji.appendPair(rid, sid)
+		return werr == nil
+	})
+	if werr != nil {
+		return nil, stats, werr
+	}
 	db.joinIndices[key] = ji
 	return ji, stats, nil
 }
@@ -157,7 +300,10 @@ func (db *Database) maintainJoinIndices(c *Collection, id int, shape Spatial) er
 				if err != nil {
 					return false, err
 				}
-				return ji.op.Eval(shape, other), nil
+				if !ji.op.Eval(shape, other) {
+					return false, nil
+				}
+				return true, ji.appendPair(id, sid)
 			})
 			if err != nil {
 				return err
@@ -169,7 +315,10 @@ func (db *Database) maintainJoinIndices(c *Collection, id int, shape Spatial) er
 				if err != nil {
 					return false, err
 				}
-				return ji.op.Eval(other, shape), nil
+				if !ji.op.Eval(other, shape) {
+					return false, nil
+				}
+				return true, ji.appendPair(rid, id)
 			})
 			if err != nil {
 				return err

@@ -22,6 +22,8 @@
 package spatialjoin
 
 import (
+	"context"
+
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/pred"
@@ -107,16 +109,28 @@ func ZOverlapJoin(rs, ss []Rect, world Rect, level uint) ([]Match, error) {
 // boundary reported exactly once. The match set is identical for every
 // worker count and is returned canonically sorted by (R, S).
 func ZOverlapJoinWorkers(rs, ss []Rect, world Rect, level uint, workers int) ([]Match, error) {
+	return ZOverlapJoinCtx(context.Background(), rs, ss, world, level, workers)
+}
+
+// ZOverlapJoinCtx is ZOverlapJoinWorkers bounded by a context: cancellation
+// between partition strips aborts the join with ctx.Err().
+func ZOverlapJoinCtx(ctx context.Context, rs, ss []Rect, world Rect, level uint, workers int) ([]Match, error) {
 	g, err := zorder.NewGrid(world, level)
 	if err != nil {
 		return nil, err
 	}
 	var pairs []zorder.Pair
 	if workers == 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pairs, _ = g.OverlapJoin(rs, ss, zorder.JoinOptions{Dedup: true, Exact: true})
 		zorder.SortPairs(pairs)
 	} else {
-		pairs, _ = g.ParallelOverlapJoin(rs, ss, workers)
+		pairs, _, err = g.ParallelOverlapJoinCtx(ctx, rs, ss, workers)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := make([]Match, len(pairs))
 	for i, p := range pairs {
