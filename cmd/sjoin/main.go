@@ -49,9 +49,25 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the injected fault schedule")
 		faultRate = flag.Float64("fault-rate", 0, "transient fault probability per physical page transfer (0 = healthy disk)")
+		useWAL    = flag.Bool("wal", false, "run the workload through the Database API with a write-ahead log (every insert a transaction)")
+		walGroup  = flag.Int("wal-group", 1, "WAL group-commit size (<=1 syncs on every commit)")
+		crashAt   = flag.Int64("crash-at", 0, "with -wal: crash the device after this many physical page writes, then recover (0 = no crash)")
+		doRecover = flag.Bool("recover", false, "with -wal: run recovery and print its ledger even without a crash")
 	)
 	flag.Parse()
 
+	if *useWAL {
+		if err := runWAL(os.Stdout, *k, *height, *opSpec, *strategy, *buffer, *seed,
+			*faultSeed, *walGroup, *crashAt, *doRecover); err != nil {
+			fmt.Fprintln(os.Stderr, "sjoin:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *crashAt != 0 || *doRecover {
+		fmt.Fprintln(os.Stderr, "sjoin: -crash-at and -recover require -wal")
+		os.Exit(1)
+	}
 	if err := run(os.Stdout, *mode, *k, *height, *opSpec, *strategy, *layout, *buffer, *seed,
 		*timeout, *faultSeed, *faultRate); err != nil {
 		fmt.Fprintln(os.Stderr, "sjoin:", err)

@@ -1,0 +1,181 @@
+package main
+
+// The -wal path runs the workload through the Database API with a
+// write-ahead log: every insert is a crash-consistent transaction, and the
+// -crash-at / -recover flags drive the injected-crash → reboot → recover
+// cycle from the command line, printing the recovery ledger the harness
+// tests assert on.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	spatialjoin "spatialjoin"
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/fault"
+	"spatialjoin/internal/geom"
+)
+
+// walRects generates the workload rectangles: the tuple-level MBRs of one
+// model generalization tree.
+func walRects(seed int64, k, height int) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	world := geom.NewRect(0, 0, 1000, 1000)
+	tree, n := datagen.ModelTree(rng, world, k, height)
+	rects := make([]geom.Rect, n)
+	core.Walk(tree, func(nd core.Node, _ int) bool {
+		if id, ok := nd.Tuple(); ok {
+			rects[id] = nd.Bounds()
+		}
+		return true
+	})
+	return rects
+}
+
+// runWAL executes the join workload on a WAL-enabled Database, optionally
+// crashing it mid-load (-crash-at) and recovering (-recover or after a
+// crash), then reports per-strategy results plus the WAL and recovery
+// ledgers.
+func runWAL(out io.Writer, k, height int, opSpec, strategy string, buffer int, seed int64,
+	faultSeed int64, group int, crashAt int64, doRecover bool) (err error) {
+
+	op, err := parseOp(opSpec)
+	if err != nil {
+		return err
+	}
+	want := func(name string) bool { return strategy == "all" || strategy == name }
+	if !want("tree") && !want("scan") && !want("index") {
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	cfg := spatialjoin.DefaultConfig()
+	cfg.BufferPages = buffer
+	cfg.Workers = 1
+	cfg.WAL = true
+	cfg.WALGroupCommit = group
+	cfg.Fault = &fault.Options{Seed: faultSeed}
+
+	db, err := spatialjoin.Open(cfg)
+	if err != nil {
+		return err
+	}
+	rectsR := walRects(seed, k, height)
+	rectsS := walRects(seed+1, k, height)
+
+	if crashAt > 0 {
+		db.FaultDisk().SetCrashAfterWrites(crashAt)
+	}
+	inserted := 0
+	crashed := func() (crashed bool) {
+		defer func() {
+			if v := recover(); v != nil {
+				c, ok := fault.AsCrash(v)
+				if !ok {
+					panic(v)
+				}
+				fmt.Fprintf(out, "crash: %v\n", c)
+				crashed = true
+			}
+		}()
+		r, err2 := db.CreateCollection("R")
+		if err2 != nil {
+			err = err2
+			return false
+		}
+		s, err2 := db.CreateCollection("S")
+		if err2 != nil {
+			err = err2
+			return false
+		}
+		for i, rc := range rectsR {
+			if _, err2 := r.Insert(rc, fmt.Sprintf("r%d", i)); err2 != nil {
+				err = err2
+				return false
+			}
+			inserted++
+		}
+		for i, sc := range rectsS {
+			if _, err2 := s.Insert(sc, fmt.Sprintf("s%d", i)); err2 != nil {
+				err = err2
+				return false
+			}
+			inserted++
+		}
+		return false
+	}()
+	if err != nil {
+		return err
+	}
+	ws := db.WALStats()
+	fmt.Fprintf(out, "workload: two %d-ary trees of height %d (%d+%d tuples), WAL on (group commit %d), M=%d pages, op=%s\n",
+		k, height, len(rectsR), len(rectsS), group, buffer, op.Name())
+	fmt.Fprintf(out, "wal: %d records, %d commits, %d syncs, %d log page writes, %d bytes logged (%d padding)\n",
+		ws.Records, ws.Commits, ws.Syncs, ws.PageWrites, ws.BytesLogged, ws.PaddingBytes)
+
+	if crashed || doRecover {
+		if fd := db.FaultDisk(); fd.Crashed() {
+			fd.Reboot()
+		}
+		rdb, stats, rerr := spatialjoin.Reopen(cfg, db.Device())
+		if rerr != nil {
+			return fmt.Errorf("recovering: %w", rerr)
+		}
+		fmt.Fprintf(out, "recovery: %d records scanned, %d replayed onto %d pages, %d txns committed, %d discarded, %d torn tail bytes (%d torn pages)\n",
+			stats.RecordsScanned, stats.RecordsReplayed, stats.PagesRestored,
+			stats.TxnsCommitted, stats.TxnsDiscarded, stats.TornTailBytes, stats.TornPages)
+		db = rdb
+	} else if inserted > 0 {
+		if err := db.Flush(); err != nil {
+			return err
+		}
+	}
+
+	r, okR := db.Collection("R")
+	s, okS := db.Collection("S")
+	if !okR || !okS {
+		fmt.Fprintln(out, "collections did not survive the crash (no committed creation); nothing to join")
+		return nil
+	}
+	fmt.Fprintf(out, "collections: |R|=%d |S|=%d\n", r.Len(), s.Len())
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
+	defer func() {
+		if ferr := w.Flush(); err == nil {
+			err = ferr
+		}
+	}()
+	fmt.Fprintf(w, "strategy\tresults\tfilter evals\texact evals\tpage reads\tindex reads\tcost\t\n")
+	report := func(name string, results int, st spatialjoin.Stats) {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.4g\t\n",
+			name, results, st.FilterEvals, st.ExactEvals, st.PageReads, st.IndexReads,
+			st.Cost(1, 1000))
+	}
+	if want("scan") {
+		ms, st, err := db.Join(r, s, op, spatialjoin.ScanStrategy)
+		if err != nil {
+			return err
+		}
+		report("scan", len(ms), st)
+	}
+	if want("tree") {
+		ms, st, err := db.Join(r, s, op, spatialjoin.TreeStrategy)
+		if err != nil {
+			return err
+		}
+		report("tree", len(ms), st)
+	}
+	if want("index") {
+		if _, _, err := db.BuildJoinIndex(r, s, op); err != nil {
+			return err
+		}
+		ms, st, err := db.Join(r, s, op, spatialjoin.IndexStrategy)
+		if err != nil {
+			return err
+		}
+		report("index", len(ms), st)
+	}
+	return nil
+}

@@ -37,7 +37,7 @@ import (
 
 func main() {
 	what := flag.String("what", "all",
-		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, scaling, faults, all (scaling and faults are measured, not analytic, and are excluded from all)")
+		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, scaling, faults, wal, all (scaling, faults and wal are measured, not analytic, and are excluded from all)")
 	points := flag.Int("points", 13, "selectivity samples per figure")
 	pmin := flag.Float64("pmin", 1e-12, "smallest selectivity for join figures")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
@@ -45,17 +45,26 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline in the -what faults table (0 = none)")
 	faultSeed := flag.Int64("fault-seed", 11, "seed of the injected fault schedule in -what faults")
 	faultRate := flag.Float64("fault-rate", 0.2, "largest transient fault rate swept by -what faults")
+	useWAL := flag.Bool("wal", false, "shortcut for -what wal: measure WAL overhead")
+	walGroup := flag.Int("wal-group", 8, "group-commit size in the -what wal table")
+	crashAt := flag.Int64("crash-at", 0, "with -what wal: crash after this many physical writes, then recover")
+	doRecover := flag.Bool("recover", false, "with -what wal: run the crash/recovery cycle and print its ledger")
 	flag.Parse()
 
+	if *useWAL {
+		*what = "wal"
+	}
 	prm := costmodel.PaperParams()
-	if err := run(os.Stdout, prm, *what, *points, *pmin, *workers, *timeout, *faultSeed, *faultRate); err != nil {
+	if err := run(os.Stdout, prm, *what, *points, *pmin, *workers, *timeout, *faultSeed, *faultRate,
+		*walGroup, *crashAt, *doRecover); err != nil {
 		fmt.Fprintln(os.Stderr, "spatialbench:", err)
 		os.Exit(1)
 	}
 }
 
 func run(out io.Writer, prm costmodel.Params, what string, points int, pmin float64, workers int,
-	timeout time.Duration, faultSeed int64, faultRate float64) error {
+	timeout time.Duration, faultSeed int64, faultRate float64,
+	walGroup int, crashAt int64, doRecover bool) error {
 
 	figures := map[string]func() error{
 		"params":   func() error { return printParams(out, prm) },
@@ -71,6 +80,7 @@ func run(out io.Writer, prm costmodel.Params, what string, points int, pmin floa
 		"validate": func() error { return printValidate(out) },
 		"scaling":  func() error { return printScaling(out, workers) },
 		"faults":   func() error { return printFaults(out, faultSeed, faultRate, timeout) },
+		"wal":      func() error { return printWAL(out, faultSeed, walGroup, crashAt, doRecover) },
 	}
 	if what != "all" {
 		f, ok := figures[what]

@@ -10,7 +10,7 @@ import (
 func render(t *testing.T, what string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), what, 7, 1e-12, 2, 0, 11, 0.2); err != nil {
+	if err := run(&sb, costmodel.PaperParams(), what, 7, 1e-12, 2, 0, 11, 0.2, 4, 0, false); err != nil {
 		t.Fatalf("run(%s): %v", what, err)
 	}
 	return sb.String()
@@ -18,7 +18,7 @@ func render(t *testing.T, what string) string {
 
 func TestRunUnknownWhat(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "fig99", 7, 1e-12, 2, 0, 11, 0.2); err == nil {
+	if err := run(&sb, costmodel.PaperParams(), "fig99", 7, 1e-12, 2, 0, 11, 0.2, 4, 0, false); err == nil {
 		t.Fatal("unknown -what must fail")
 	}
 }
@@ -119,7 +119,7 @@ func TestJoinFigureOutputs(t *testing.T) {
 	// Figure 11's headline: the UNIFORM crossover near 1e-9, resolved on a
 	// fine grid (25 points over 12 decades → half-decade steps).
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "fig11", 25, 1e-12, 2, 0, 11, 0.2); err != nil {
+	if err := run(&sb, costmodel.PaperParams(), "fig11", 25, 1e-12, 2, 0, 11, 0.2, 4, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -132,7 +132,7 @@ func TestJoinFigureOutputs(t *testing.T) {
 func TestFaultsOutput(t *testing.T) {
 	var sb strings.Builder
 	// A small swept rate keeps the backoff sleeps short in the test.
-	if err := run(&sb, costmodel.PaperParams(), "faults", 7, 1e-12, 2, 0, 11, 0.04); err != nil {
+	if err := run(&sb, costmodel.PaperParams(), "faults", 7, 1e-12, 2, 0, 11, 0.04, 4, 0, false); err != nil {
 		t.Fatalf("run(faults): %v", err)
 	}
 	out := sb.String()

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/costmodel"
+)
+
+func TestWALOverheadOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, costmodel.PaperParams(), "wal", 7, 1e-12, 2, 0, 11, 0.2, 4, 0, false); err != nil {
+		t.Fatalf("run(wal): %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"WAL overhead", "wal off", "sync every commit",
+		"group commit 4", "inserts/s", "device writes", "log writes", "bytes logged", "1.00x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("wal output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "recovery:") {
+		t.Fatalf("wal table without -crash-at/-recover must not run recovery:\n%s", out)
+	}
+	// The wal-off row logs nothing; both WAL rows log the same byte stream
+	// (policy changes when syncs happen, not what is logged).
+	var logged []string
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 9 && strings.HasSuffix(f[len(f)-6], "x") {
+			logged = append(logged, f[len(f)-2])
+		}
+	}
+	if len(logged) != 3 || logged[0] != "0" || logged[1] == "0" || logged[1] != logged[2] {
+		t.Fatalf("bytes-logged column inconsistent: %v\n%s", logged, out)
+	}
+}
+
+func TestWALCrashCycleOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, costmodel.PaperParams(), "wal", 7, 1e-12, 2, 0, 11, 0.2, 4, 40, false); err != nil {
+		t.Fatalf("run(wal, crash-at 40): %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"crash cycle", "injected crash at write 40",
+		"recovery:", "records scanned", "torn tail bytes", "survived:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("crash-cycle output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWALRecoverWithoutCrash(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, costmodel.PaperParams(), "wal", 7, 1e-12, 2, 0, 11, 0.2, 4, 0, true); err != nil {
+		t.Fatalf("run(wal, recover): %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"recovery:", "0 torn tail bytes", "0 discarded"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("recover-only output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "survived: 600 of 600") {
+		t.Fatalf("recover without crash must keep every insert:\n%s", out)
+	}
+}

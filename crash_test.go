@@ -1,0 +1,535 @@
+package spatialjoin
+
+// Crash-sweep harness: a scripted update workload is killed at every
+// injectable point — every physical write ordinal and every occurrence of
+// every named protocol crash point — then the device is rebooted and the
+// database reopened through WAL recovery. After each crash, the recovered
+// database must be byte-identical, across all four strategies (scan, tree,
+// joinindex, z-order), to a committed prefix of the workload: either every
+// step that returned before the crash, or additionally the step that was
+// in flight (a crash can land after the commit record is durable but
+// before the call returns). Nothing else is admissible.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/fault"
+	"spatialjoin/internal/storage"
+)
+
+// crashWorld bounds every workload rectangle; the z-order grid is built
+// over it.
+var crashWorld = NewRect(0, 0, 1000, 1000)
+
+const crashZLevel = 4
+
+// crashConfig is the small WAL-enabled configuration the harness runs: a
+// fault device for crash injection, pages small enough that single inserts
+// span multiple physical writes.
+func crashConfig(workers, groupCommit int) Config {
+	cfg := DefaultConfig()
+	cfg.PageSize = 512
+	cfg.BufferPages = 32
+	cfg.Workers = workers
+	cfg.WAL = true
+	cfg.WALGroupCommit = groupCommit
+	cfg.Fault = &fault.Options{Seed: 1}
+	return cfg
+}
+
+// crashRect returns the i-th deterministic workload rectangle, spread so
+// that some pairs overlap and some do not.
+func crashRect(i int) Rect {
+	x := float64((i * 137) % 900)
+	y := float64((i * 211) % 900)
+	w := float64(20 + (i*53)%80)
+	h := float64(20 + (i*29)%80)
+	return NewRect(x, y, x+w, y+h)
+}
+
+// crashModel is the expected committed state after a prefix of workload
+// steps.
+type crashModel struct {
+	createdR, createdS bool
+	rectsR, rectsS     []Rect
+	hasIndex           bool
+}
+
+// expectedMatches brute-forces r ⋈overlaps s over the model, sorted
+// canonically like every strategy's output.
+func (m crashModel) expectedMatches() []Match {
+	var ms []Match
+	for i, a := range m.rectsR {
+		for j, b := range m.rectsS {
+			if a.Intersects(b) {
+				ms = append(ms, Match{R: i, S: j})
+			}
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].R != ms[j].R {
+			return ms[i].R < ms[j].R
+		}
+		return ms[i].S < ms[j].S
+	})
+	return ms
+}
+
+// crashStep is one scripted update.
+type crashStep struct {
+	name  string
+	run   func(db *Database) error
+	model crashModel // expected committed state once this step commits
+}
+
+// crashSteps returns the scripted workload: collection creation,
+// interleaved inserts, an explicit flush, a join-index build, and more
+// inserts exercising incremental join-index maintenance — each step one
+// WAL transaction (Flush excepted).
+func crashSteps() []crashStep {
+	var steps []crashStep
+	m := crashModel{}
+	add := func(name string, run func(db *Database) error) {
+		steps = append(steps, crashStep{name: name, run: run, model: m})
+	}
+	insertR := func(i int) func(db *Database) error {
+		return func(db *Database) error {
+			c, _ := db.Collection("r")
+			_, err := c.Insert(crashRect(i), fmt.Sprintf("r%d", i))
+			return err
+		}
+	}
+	insertS := func(i int) func(db *Database) error {
+		return func(db *Database) error {
+			c, _ := db.Collection("s")
+			_, err := c.Insert(crashRect(i), fmt.Sprintf("s%d", i))
+			return err
+		}
+	}
+
+	m.createdR = true
+	add("create-r", func(db *Database) error {
+		_, err := db.CreateCollection("r")
+		return err
+	})
+	m.createdS = true
+	add("create-s", func(db *Database) error {
+		_, err := db.CreateCollection("s")
+		return err
+	})
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			m.rectsR = append(append([]Rect(nil), m.rectsR...), crashRect(i))
+			add(fmt.Sprintf("insert-r%d", i), insertR(i))
+		} else {
+			m.rectsS = append(append([]Rect(nil), m.rectsS...), crashRect(i))
+			add(fmt.Sprintf("insert-s%d", i), insertS(i))
+		}
+	}
+	add("flush-1", func(db *Database) error { return db.Flush() })
+	m.hasIndex = true
+	add("build-joinindex", func(db *Database) error {
+		r, _ := db.Collection("r")
+		s, _ := db.Collection("s")
+		_, _, err := db.BuildJoinIndex(r, s, Overlaps())
+		return err
+	})
+	for i := 6; i < 9; i++ {
+		if i%2 == 0 {
+			m.rectsR = append(append([]Rect(nil), m.rectsR...), crashRect(i))
+			add(fmt.Sprintf("insert-r%d", i), insertR(i))
+		} else {
+			m.rectsS = append(append([]Rect(nil), m.rectsS...), crashRect(i))
+			add(fmt.Sprintf("insert-s%d", i), insertS(i))
+		}
+	}
+	add("flush-2", func(db *Database) error { return db.Flush() })
+	return steps
+}
+
+// collectionRects reads every stored shape of a recovered collection in ID
+// order.
+func collectionRects(c *Collection) ([]Rect, error) {
+	out := make([]Rect, c.Len())
+	for id := 0; id < c.Len(); id++ {
+		shape, _, err := c.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		r, ok := shape.(Rect)
+		if !ok {
+			return nil, fmt.Errorf("object %d is %T, want Rect", id, shape)
+		}
+		out[id] = r
+	}
+	return out, nil
+}
+
+// stateMatches reports whether db's observable state equals the model
+// byte-for-byte across all four strategies. A nil error with false means a
+// clean mismatch; an error means the database failed to answer, which the
+// sweep treats as a verification failure at the call site.
+func stateMatches(db *Database, m crashModel) (bool, error) {
+	r, okR := db.Collection("r")
+	s, okS := db.Collection("s")
+	if okR != m.createdR || okS != m.createdS {
+		return false, nil
+	}
+	if !m.createdR || !m.createdS {
+		return true, nil // nothing else observable yet
+	}
+	if r.Len() != len(m.rectsR) || s.Len() != len(m.rectsS) {
+		return false, nil
+	}
+	gotR, err := collectionRects(r)
+	if err != nil {
+		return false, err
+	}
+	gotS, err := collectionRects(s)
+	if err != nil {
+		return false, err
+	}
+	for i := range gotR {
+		if gotR[i] != m.rectsR[i] {
+			return false, nil
+		}
+	}
+	for i := range gotS {
+		if gotS[i] != m.rectsS[i] {
+			return false, nil
+		}
+	}
+	want := matchKey(m.expectedMatches())
+	for _, strat := range []Strategy{ScanStrategy, TreeStrategy} {
+		ms, _, err := db.Join(r, s, Overlaps(), strat)
+		if err != nil {
+			return false, fmt.Errorf("%v join: %w", strat, err)
+		}
+		if matchKey(ms) != want {
+			return false, nil
+		}
+	}
+	ms, _, err := db.Join(r, s, Overlaps(), IndexStrategy)
+	if m.hasIndex {
+		if err != nil {
+			return false, fmt.Errorf("joinindex join: %w", err)
+		}
+		if matchKey(ms) != want {
+			return false, nil
+		}
+	} else if err == nil {
+		return false, nil // an index exists that never committed
+	}
+	zms, err := ZOverlapJoinWorkers(gotR, gotS, crashWorld, crashZLevel, db.cfg.Workers)
+	if err != nil {
+		return false, fmt.Errorf("zorder join: %w", err)
+	}
+	if matchKey(zms) != want {
+		return false, nil
+	}
+	return true, nil
+}
+
+// runCrashCase opens a fresh database, arms the given schedule, runs the
+// workload catching the injected crash, reboots and reopens, and asserts
+// the recovered state equals an admissible committed prefix. It returns
+// the recovery stats for callers that assert on accounting.
+func runCrashCase(t *testing.T, cfg Config, label string, arm func(fd *fault.Disk)) RecoveryStats {
+	t.Helper()
+	steps := crashSteps()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	fd := db.FaultDisk()
+	if arm != nil {
+		arm(fd)
+	}
+	completed := 0
+	crashed := false
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				if _, ok := fault.AsCrash(v); !ok {
+					panic(v)
+				}
+				crashed = true
+			}
+		}()
+		for _, st := range steps {
+			if err := st.run(db); err != nil {
+				t.Fatalf("%s: step %s: %v", label, st.name, err)
+			}
+			completed++
+		}
+	}()
+	fault.DisarmCrashPoints()
+	if !crashed {
+		// The schedule never fired: the workload ran to completion; the
+		// live database must hold the final state.
+		ok, err := stateMatches(db, steps[len(steps)-1].model)
+		if err != nil {
+			t.Fatalf("%s: verifying uncrashed state: %v", label, err)
+		}
+		if !ok {
+			t.Fatalf("%s: uncrashed database diverges from the workload model", label)
+		}
+		return RecoveryStats{}
+	}
+	fd.Reboot()
+	rdb, stats, err := Reopen(cfg, db.Device())
+	if err != nil {
+		t.Fatalf("%s: Reopen after crash in step %s: %v", label, steps[completed].name, err)
+	}
+	// Admissible states: every step before the in-flight one committed, and
+	// the in-flight step may or may not have made its commit record durable.
+	var candidates []crashModel
+	if completed == 0 {
+		candidates = append(candidates, crashModel{})
+	} else {
+		candidates = append(candidates, steps[completed-1].model)
+	}
+	if completed < len(steps) {
+		candidates = append(candidates, steps[completed].model)
+	}
+	for _, m := range candidates {
+		ok, err := stateMatches(rdb, m)
+		if err != nil {
+			t.Fatalf("%s: verifying recovered state (crash in step %s): %v",
+				label, steps[completed].name, err)
+		}
+		if ok {
+			return stats
+		}
+	}
+	r, _ := rdb.Collection("r")
+	s, _ := rdb.Collection("s")
+	lenOf := func(c *Collection) int {
+		if c == nil {
+			return -1
+		}
+		return c.Len()
+	}
+	t.Fatalf("%s: recovered state matches no admissible prefix (crash in step %s, completed %d, |r|=%d, |s|=%d, stats %+v)",
+		label, steps[completed].name, completed, lenOf(r), lenOf(s), stats)
+	return stats
+}
+
+// dryRunWrites runs the workload uncrashed and returns the total physical
+// write count — the number of injectable write ordinals.
+func dryRunWrites(t *testing.T, cfg Config) int64 {
+	t.Helper()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range crashSteps() {
+		if err := st.run(db); err != nil {
+			t.Fatalf("dry run step %s: %v", st.name, err)
+		}
+	}
+	return db.DiskStats().Writes
+}
+
+// TestCrashSweepWriteCounts kills the workload at every physical write
+// ordinal, at both worker counts, and requires recovery to an admissible
+// committed prefix every time.
+func TestCrashSweepWriteCounts(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := crashConfig(workers, 1)
+			writes := dryRunWrites(t, cfg)
+			if writes < 20 {
+				t.Fatalf("workload only performs %d writes; the sweep is vacuous", writes)
+			}
+			for n := int64(1); n <= writes; n++ {
+				n := n
+				runCrashCase(t, cfg, fmt.Sprintf("write=%d", n), func(fd *fault.Disk) {
+					fd.SetCrashAfterWrites(n)
+				})
+			}
+		})
+	}
+}
+
+// TestCrashSweepNamedPoints kills the workload at every occurrence of every
+// named protocol crash point (transaction begin/mutate/log/commit and the
+// WAL sync steps).
+func TestCrashSweepNamedPoints(t *testing.T) {
+	cfg := crashConfig(1, 1)
+	// Discover the points and their occurrence counts with a recording dry
+	// run.
+	fault.StartCrashPointRecording()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range crashSteps() {
+		if err := st.run(db); err != nil {
+			t.Fatalf("recording run step %s: %v", st.name, err)
+		}
+	}
+	counts := fault.RecordedCrashPoints()
+	fault.DisarmCrashPoints()
+	if len(counts) < 4 {
+		t.Fatalf("only %d named crash points recorded: %v", len(counts), counts)
+	}
+	points := make([]string, 0, len(counts))
+	for p := range counts {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	for _, workers := range []int{1, 4} {
+		wcfg := crashConfig(workers, 1)
+		for _, point := range points {
+			for k := 1; k <= counts[point]; k++ {
+				point, k := point, k
+				runCrashCase(t, wcfg, fmt.Sprintf("workers=%d/%s#%d", workers, point, k),
+					func(*fault.Disk) { fault.ArmCrashPoint(point, k) })
+			}
+		}
+	}
+}
+
+// TestCrashGroupCommitPrefix checks the weaker guarantee of group commit:
+// a crash may lose the newest unsynced transactions, but what survives is
+// always a committed prefix of the workload — never a corrupt or reordered
+// state.
+func TestCrashGroupCommitPrefix(t *testing.T) {
+	cfg := crashConfig(1, 4)
+	writes := dryRunWrites(t, cfg)
+	steps := crashSteps()
+	for n := int64(1); n <= writes; n += 3 {
+		label := fmt.Sprintf("group-commit write=%d", n)
+		db, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.FaultDisk().SetCrashAfterWrites(n)
+		crashed := false
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					if _, ok := fault.AsCrash(v); !ok {
+						panic(v)
+					}
+					crashed = true
+				}
+			}()
+			for _, st := range steps {
+				if err := st.run(db); err != nil {
+					t.Fatalf("%s: step %s: %v", label, st.name, err)
+				}
+			}
+		}()
+		if !crashed {
+			continue
+		}
+		db.FaultDisk().Reboot()
+		rdb, _, err := Reopen(cfg, db.Device())
+		if err != nil {
+			t.Fatalf("%s: Reopen: %v", label, err)
+		}
+		matched := false
+		for j := -1; j < len(steps) && !matched; j++ {
+			m := crashModel{}
+			if j >= 0 {
+				m = steps[j].model
+			}
+			ok, err := stateMatches(rdb, m)
+			if err != nil {
+				t.Fatalf("%s: verify: %v", label, err)
+			}
+			matched = ok
+		}
+		if !matched {
+			t.Fatalf("%s: recovered state is not any committed prefix", label)
+		}
+	}
+}
+
+// TestCleanReopen recovers a database that shut down without crashing: the
+// full workload must come back with zero torn bytes and all transactions
+// committed.
+func TestCleanReopen(t *testing.T) {
+	cfg := crashConfig(1, 1)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := crashSteps()
+	for _, st := range steps {
+		if err := st.run(db); err != nil {
+			t.Fatalf("step %s: %v", st.name, err)
+		}
+	}
+	rdb, stats, err := Reopen(cfg, db.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TornTailBytes != 0 || stats.TornPages != 0 {
+		t.Errorf("clean shutdown reports torn state: %+v", stats)
+	}
+	if stats.TxnsDiscarded != 0 {
+		t.Errorf("clean shutdown discarded %d transactions", stats.TxnsDiscarded)
+	}
+	if stats.RecordsScanned == 0 || stats.RecordsReplayed == 0 {
+		t.Errorf("recovery scanned nothing: %+v", stats)
+	}
+	ok, err := stateMatches(rdb, steps[len(steps)-1].model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("cleanly reopened database diverges from the workload model")
+	}
+	// The recovered database must accept new transactions.
+	r, _ := rdb.Collection("r")
+	if _, err := r.Insert(crashRect(100), "post-recovery"); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
+// TestPoisonedDatabaseRefusesWork checks the failure path short of a crash:
+// when a WAL transaction dies with an error (not a panic), the database
+// refuses further queries and mutations until reopened.
+func TestPoisonedDatabaseRefusesWork(t *testing.T) {
+	cfg := crashConfig(1, 1)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := db.CreateCollection("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(crashRect(0), "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(nil, "nil shape"); err == nil {
+		t.Fatal("nil-shape insert succeeded")
+	}
+	// A nil shape is rejected before the transaction opens, so the database
+	// stays usable...
+	if _, _, err := db.Select(c, crashRect(0), Overlaps(), ScanStrategy); err != nil {
+		t.Fatalf("select after rejected insert: %v", err)
+	}
+	// ...but an error inside a transaction poisons it. Force one by losing
+	// the heap page under the insert (after write-back, so the loss hits the
+	// transaction's read, not the flush).
+	if err := db.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	db.FaultDisk().LosePage(storage.PageID{File: c.rel.FileID(), Page: 0})
+	if _, err := c.Insert(crashRect(1), "doomed"); err == nil {
+		t.Fatal("insert over a lost heap page succeeded")
+	}
+	if _, _, err := db.Select(c, crashRect(0), Overlaps(), ScanStrategy); err == nil {
+		t.Fatal("poisoned database answered a query")
+	}
+	if _, err := c.Insert(crashRect(2), "refused"); err == nil {
+		t.Fatal("poisoned database accepted an insert")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"spatialjoin/internal/relation"
 	"spatialjoin/internal/rtree"
 	"spatialjoin/internal/storage"
+	"spatialjoin/internal/wal"
 )
 
 // Config sizes the simulated storage subsystem, mirroring the cost model's
@@ -45,6 +46,17 @@ type Config struct {
 	// Retry, when non-nil, overrides the buffer pool's default retry
 	// policy for physical page transfers.
 	Retry *storage.RetryPolicy
+	// WAL turns on crash-consistent updates through a write-ahead log:
+	// every mutation (Insert, CreateCollection, BuildJoinIndex) becomes an
+	// atomic transaction, and a crashed database reopened with Reopen
+	// recovers to exactly the committed state.
+	WAL bool
+	// WALGroupCommit is the number of commits batched per log sync when
+	// WAL is on. Values <= 1 force the log durable on every commit (the
+	// safest, slowest policy); larger values amortize log writes at the
+	// cost of losing the newest unsynced transactions in a crash — never
+	// of corrupting the survivors.
+	WALGroupCommit int
 }
 
 // DefaultConfig returns a laptop-scale configuration with the paper's page
@@ -73,8 +85,11 @@ type Database struct {
 	cfg         Config
 	pool        *storage.BufferPool
 	faultDisk   *fault.Disk // nil unless Config.Fault was set
+	wal         *wal.Log    // nil unless Config.WAL
 	collections map[string]*Collection
 	joinIndices map[string]*JoinIndex
+	nextTxn     uint64
+	poisoned    error // set when a WAL transaction died mid-flight
 }
 
 // Open creates an empty database.
@@ -100,6 +115,16 @@ func Open(cfg Config) (*Database, error) {
 		fd = fault.Wrap(device, *cfg.Fault)
 		device = fd
 	}
+	var lg *wal.Log
+	if cfg.WAL {
+		// The log claims the device's first file, before any collection
+		// exists, so recovery can find it without a catalog.
+		var err error
+		lg, err = wal.Create(device, cfg.WALGroupCommit)
+		if err != nil {
+			return nil, err
+		}
+	}
 	pool, err := storage.NewBufferPool(device, cfg.BufferPages)
 	if err != nil {
 		return nil, err
@@ -107,12 +132,17 @@ func Open(cfg Config) (*Database, error) {
 	if cfg.Retry != nil {
 		pool.SetRetryPolicy(*cfg.Retry)
 	}
+	if lg != nil {
+		pool.SetWAL(lg)
+	}
 	return &Database{
 		cfg:         cfg,
 		pool:        pool,
 		faultDisk:   fd,
+		wal:         lg,
 		collections: make(map[string]*Collection),
 		joinIndices: make(map[string]*JoinIndex),
+		nextTxn:     1,
 	}, nil
 }
 
@@ -132,7 +162,18 @@ type Collection struct {
 	indexFile *storage.HeapFile
 }
 
-// CreateCollection makes an empty collection. Names must be unique.
+// collectionSchema is the fixed schema of every collection: an arbitrary
+// payload string plus the spatial shape.
+func collectionSchema() (relation.Schema, error) {
+	return relation.NewSchema(
+		relation.Column{Name: "payload", Type: relation.TypeString},
+		relation.Column{Name: "shape", Type: relation.TypeGeometry},
+	)
+}
+
+// CreateCollection makes an empty collection. Names must be unique. Under a
+// WAL the creation is a transaction carrying the collection's catalog
+// record, so recovery knows which files the collection owns.
 func (db *Database) CreateCollection(name string) (*Collection, error) {
 	if name == "" {
 		return nil, fmt.Errorf("spatialjoin: empty collection name")
@@ -140,30 +181,43 @@ func (db *Database) CreateCollection(name string) (*Collection, error) {
 	if _, dup := db.collections[name]; dup {
 		return nil, fmt.Errorf("spatialjoin: collection %q already exists", name)
 	}
-	sch, err := relation.NewSchema(
-		relation.Column{Name: "payload", Type: relation.TypeString},
-		relation.Column{Name: "shape", Type: relation.TypeGeometry},
-	)
+	var c *Collection
+	err := db.runTxn(func(txn uint64) error {
+		sch, err := collectionSchema()
+		if err != nil {
+			return err
+		}
+		rel, err := relation.Create(db.pool, name, sch, db.cfg.FillFactor)
+		if err != nil {
+			return err
+		}
+		table, err := join.NewTable(rel, 1, db.pool)
+		if err != nil {
+			return err
+		}
+		index, err := rtree.New(db.cfg.IndexOptions)
+		if err != nil {
+			return err
+		}
+		indexFile, err := storage.NewHeapFile(db.pool, db.cfg.FillFactor)
+		if err != nil {
+			return err
+		}
+		c = &Collection{db: db, name: name, rel: rel, table: table, index: index, indexFile: indexFile}
+		if db.wal != nil {
+			_, err = db.wal.AppendCatalog(txn, wal.RecNewCollection,
+				wal.EncodeNewCollection(wal.NewCollection{
+					Name:      name,
+					HeapFile:  rel.FileID(),
+					IndexFile: indexFile.File(),
+				}))
+			return err
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	rel, err := relation.Create(db.pool, name, sch, db.cfg.FillFactor)
-	if err != nil {
-		return nil, err
-	}
-	table, err := join.NewTable(rel, 1, db.pool)
-	if err != nil {
-		return nil, err
-	}
-	index, err := rtree.New(db.cfg.IndexOptions)
-	if err != nil {
-		return nil, err
-	}
-	indexFile, err := storage.NewHeapFile(db.pool, db.cfg.FillFactor)
-	if err != nil {
-		return nil, err
-	}
-	c := &Collection{db: db, name: name, rel: rel, table: table, index: index, indexFile: indexFile}
 	db.collections[name] = c
 	return c, nil
 }
@@ -194,6 +248,31 @@ func (db *Database) DiskStats() storage.DiskStats { return db.pool.Disk().Stats(
 // nil when Config.Fault was not set. Chaos tests use it to mark pages lost
 // or torn mid-run.
 func (db *Database) FaultDisk() *fault.Disk { return db.faultDisk }
+
+// Device returns the simulated disk the database runs over. A crash
+// harness keeps it across the crash and hands it to Reopen: the device is
+// the only state that survives.
+func (db *Database) Device() storage.Device { return db.pool.Disk() }
+
+// Flush makes every committed change durable: the log first (write-ahead),
+// then all committed dirty pages. Under a WAL it refuses to write back
+// pages held by a failed in-flight transaction.
+func (db *Database) Flush() error {
+	if db.wal != nil {
+		if err := db.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	return db.pool.Flush()
+}
+
+// WALStats returns the write-ahead log's counters; zero when WAL is off.
+func (db *Database) WALStats() wal.Stats {
+	if db.wal == nil {
+		return wal.Stats{}
+	}
+	return db.wal.Stats()
+}
 
 // Name returns the collection's name.
 func (c *Collection) Name() string { return c.name }
@@ -228,20 +307,28 @@ func (c *Collection) appendIndexEntry(id int, shape Spatial) error {
 
 // Insert stores the object with an arbitrary payload string and returns its
 // ID. Any precomputed join index involving this collection is maintained
-// incrementally — at the full cost the paper warns about.
+// incrementally — at the full cost the paper warns about. Under a WAL the
+// whole multi-page update (heap insert + R-tree entry + join-index
+// maintenance) is one transaction: a crash at any point leaves either all
+// of it or none of it.
 func (c *Collection) Insert(shape Spatial, payload string) (int, error) {
 	if shape == nil {
 		return 0, fmt.Errorf("spatialjoin: nil shape")
 	}
-	id, err := c.rel.Insert(relation.Tuple{payload, shape})
+	var id int
+	err := c.db.runTxn(func(uint64) error {
+		var err error
+		id, err = c.rel.Insert(relation.Tuple{payload, shape})
+		if err != nil {
+			return err
+		}
+		c.index.Insert(shape, id)
+		if err := c.appendIndexEntry(id, shape); err != nil {
+			return err
+		}
+		return c.db.maintainJoinIndices(c, id, shape)
+	})
 	if err != nil {
-		return 0, err
-	}
-	c.index.Insert(shape, id)
-	if err := c.appendIndexEntry(id, shape); err != nil {
-		return 0, err
-	}
-	if err := c.db.maintainJoinIndices(c, id, shape); err != nil {
 		return 0, err
 	}
 	return id, nil

@@ -1,0 +1,239 @@
+package spatialjoin
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/fault"
+	"spatialjoin/internal/join"
+	"spatialjoin/internal/joinindex"
+	"spatialjoin/internal/pred"
+	"spatialjoin/internal/relation"
+	"spatialjoin/internal/rtree"
+	"spatialjoin/internal/storage"
+	"spatialjoin/internal/wal"
+)
+
+// RecoveryStats summarizes what Reopen replayed and discarded.
+type RecoveryStats = wal.RecoveryStats
+
+// runTxn executes one atomic update. Without a WAL it just runs f. With
+// one, it wraps f in begin/commit records: after f mutates pages in the
+// buffer pool (where the no-steal discipline holds them back from the
+// device), the write set's after-images and the commit record are appended
+// to the log, the log is forced durable per the group-commit policy, and
+// only then are the frames released for write-back. A crash at any point
+// therefore leaves the device in either the pre- or the post-transaction
+// committed state. An error from f poisons the database — in-memory
+// structures may hold half a transaction — and every later call is refused
+// until the device is reopened through recovery.
+func (db *Database) runTxn(f func(txn uint64) error) error {
+	if db.poisoned != nil {
+		return db.poisoned
+	}
+	if db.wal == nil {
+		return f(0)
+	}
+	txn := db.nextTxn
+	db.nextTxn++
+	fault.CrashPoint("txn.begin")
+	db.wal.Begin(txn)
+	if err := f(txn); err != nil {
+		return db.poison(err)
+	}
+	fault.CrashPoint("txn.mutated")
+	dirty := db.pool.UnloggedDirtyPages()
+	for _, id := range dirty {
+		img, err := db.pool.SnapshotPage(id)
+		if err != nil {
+			return db.poison(err)
+		}
+		db.wal.AppendImage(txn, id, img)
+	}
+	fault.CrashPoint("txn.images-logged")
+	lsn, err := db.wal.Commit(txn)
+	if err != nil {
+		return db.poison(err)
+	}
+	// Only now, with the commit record (at least) appended, may the frames
+	// learn their covering LSN: releasing them earlier would let an
+	// eviction persist pages of a transaction that never commits.
+	for _, id := range dirty {
+		if err := db.pool.SetPageLSN(id, lsn); err != nil {
+			return db.poison(err)
+		}
+	}
+	fault.CrashPoint("txn.committed")
+	return nil
+}
+
+// poison marks the database as needing recovery after a failed WAL
+// transaction. It returns err unchanged so callers report the root cause.
+func (db *Database) poison(err error) error {
+	if db.wal != nil && db.poisoned == nil {
+		db.poisoned = fmt.Errorf("spatialjoin: database needs recovery after a failed update: %w", err)
+	}
+	return err
+}
+
+// checkUsable refuses queries on a poisoned database.
+func (db *Database) checkUsable() error { return db.poisoned }
+
+// Reopen recovers a database from a device that survived a crash: it scans
+// the write-ahead log, discards the torn tail and every uncommitted
+// transaction, replays the page images of committed transactions, and
+// rebuilds the in-memory catalog (collections, R-trees, join indices) from
+// the recovered pages. cfg must have WAL set and should otherwise match the
+// crashed instance's configuration. The device is used as-is — pass the
+// crashed database's Device() after rebooting any fault wrapper.
+func Reopen(cfg Config, device storage.Device) (*Database, RecoveryStats, error) {
+	var stats RecoveryStats
+	if !cfg.WAL {
+		return nil, stats, fmt.Errorf("spatialjoin: Reopen requires Config.WAL")
+	}
+	if cfg.PageSize <= 0 || cfg.BufferPages <= 0 {
+		return nil, stats, fmt.Errorf("spatialjoin: page size and buffer pages must be positive")
+	}
+	if cfg.FillFactor <= 0 || cfg.FillFactor > 1 {
+		return nil, stats, fmt.Errorf("spatialjoin: fill factor %g out of (0,1]", cfg.FillFactor)
+	}
+	if cfg.JoinIndexOrder < 3 {
+		return nil, stats, fmt.Errorf("spatialjoin: join index order %d < 3", cfg.JoinIndexOrder)
+	}
+	if device.PageSize() != cfg.PageSize {
+		return nil, stats, fmt.Errorf("spatialjoin: device page size %d != configured %d",
+			device.PageSize(), cfg.PageSize)
+	}
+	// Replay runs on the raw device before the pool exists, so the pool
+	// never caches pre-replay bytes.
+	lg, catalog, stats, err := wal.Recover(device, cfg.WALGroupCommit)
+	if err != nil {
+		return nil, stats, err
+	}
+	pool, err := storage.NewBufferPool(device, cfg.BufferPages)
+	if err != nil {
+		return nil, stats, err
+	}
+	if cfg.Retry != nil {
+		pool.SetRetryPolicy(*cfg.Retry)
+	}
+	pool.SetWAL(lg)
+	fd, _ := device.(*fault.Disk)
+	db := &Database{
+		cfg:         cfg,
+		pool:        pool,
+		faultDisk:   fd,
+		wal:         lg,
+		collections: make(map[string]*Collection),
+		joinIndices: make(map[string]*JoinIndex),
+		nextTxn:     stats.NextTxn,
+	}
+	for _, rec := range catalog {
+		switch rec.Type {
+		case wal.RecNewCollection:
+			nc, err := wal.DecodeNewCollection(rec.Data)
+			if err != nil {
+				return nil, stats, err
+			}
+			if err := db.reopenCollection(nc); err != nil {
+				return nil, stats, fmt.Errorf("spatialjoin: recovering collection %q: %w", nc.Name, err)
+			}
+		case wal.RecNewJoinIndex:
+			nj, err := wal.DecodeNewJoinIndex(rec.Data)
+			if err != nil {
+				return nil, stats, err
+			}
+			if err := db.reopenJoinIndex(nj); err != nil {
+				return nil, stats, fmt.Errorf("spatialjoin: recovering join index %s ⋈ %s on %s: %w",
+					nj.R, nj.S, nj.Operator, err)
+			}
+		}
+	}
+	return db, stats, nil
+}
+
+// reopenCollection rebuilds one collection from its recovered files: tuple
+// IDs come back in heap order (equal to insertion order for sequentially
+// grown collections), and the R-tree is rebuilt from the exact stored
+// shapes rather than the MBR-only entries of the persisted index file.
+func (db *Database) reopenCollection(nc wal.NewCollection) error {
+	sch, err := collectionSchema()
+	if err != nil {
+		return err
+	}
+	rel, err := relation.Open(db.pool, nc.Name, sch, nc.HeapFile, db.cfg.FillFactor)
+	if err != nil {
+		return err
+	}
+	table, err := join.NewTable(rel, 1, db.pool)
+	if err != nil {
+		return err
+	}
+	index, err := rtree.New(db.cfg.IndexOptions)
+	if err != nil {
+		return err
+	}
+	if err := rel.Scan(func(id int, t relation.Tuple) (bool, error) {
+		shape, err := rel.Schema().SpatialValue(t, 1)
+		if err != nil {
+			return false, err
+		}
+		index.Insert(shape, id)
+		return true, nil
+	}); err != nil {
+		return err
+	}
+	indexFile, err := storage.OpenHeapFile(db.pool, nc.IndexFile, db.cfg.FillFactor)
+	if err != nil {
+		return err
+	}
+	db.collections[nc.Name] = &Collection{
+		db: db, name: nc.Name, rel: rel, table: table, index: index, indexFile: indexFile,
+	}
+	return nil
+}
+
+// reopenJoinIndex rebuilds one join index by replaying its recovered pair
+// file into a fresh B+-tree (Add de-duplicates, so the file needs no
+// compaction discipline).
+func (db *Database) reopenJoinIndex(nj wal.NewJoinIndex) error {
+	r, ok := db.collections[nj.R]
+	if !ok {
+		return fmt.Errorf("collection %q not recovered", nj.R)
+	}
+	s, ok := db.collections[nj.S]
+	if !ok {
+		return fmt.Errorf("collection %q not recovered", nj.S)
+	}
+	op, err := pred.ParseName(nj.Operator)
+	if err != nil {
+		return err
+	}
+	ix, err := joinindex.New(db.cfg.JoinIndexOrder)
+	if err != nil {
+		return err
+	}
+	file, err := storage.OpenHeapFile(db.pool, nj.PairFile, db.cfg.FillFactor)
+	if err != nil {
+		return err
+	}
+	var addErr error
+	if err := file.Scan(func(_ storage.RID, rec []byte) bool {
+		rid, sid, err := decodePair(rec)
+		if err != nil {
+			addErr = err
+			return false
+		}
+		if _, err := ix.Add(rid, sid); err != nil {
+			addErr = err
+			return false
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if addErr != nil {
+		return addErr
+	}
+	db.joinIndices[joinIndexKey(r, s, op)] = &JoinIndex{r: r, s: s, op: op, ix: ix, file: file}
+	return nil
+}

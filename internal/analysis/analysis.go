@@ -84,6 +84,7 @@ func All() []*Analyzer {
 		ErrDrop,
 		CtxPool,
 		StatsReset,
+		ThetaPair,
 	}
 }
 

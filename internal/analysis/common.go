@@ -11,6 +11,7 @@ const (
 	rootPkgPath     = "spatialjoin"
 	storagePkgPath  = "spatialjoin/internal/storage"
 	faultPkgPath    = "spatialjoin/internal/fault"
+	walPkgPath      = "spatialjoin/internal/wal"
 	parallelPkgPath = "spatialjoin/internal/parallel"
 	geomPkgPath     = "spatialjoin/internal/geom"
 	atomicPkgPath   = "sync/atomic"

@@ -116,6 +116,7 @@ func TestFloatEqGolden(t *testing.T)       { runGolden(t, FloatEq) }
 func TestErrDropGolden(t *testing.T)       { runGolden(t, ErrDrop) }
 func TestCtxPoolGolden(t *testing.T)       { runGolden(t, CtxPool) }
 func TestStatsResetGolden(t *testing.T)    { runGolden(t, StatsReset) }
+func TestThetaPairGolden(t *testing.T)     { runGolden(t, ThetaPair) }
 
 // TestRepoIsClean is the self-hosting gate: the entire module must pass
 // every analyzer with zero findings, so a regression anywhere in the tree

@@ -29,6 +29,12 @@ func runRawDisk(pass *Pass) {
 	switch pass.Pkg.Path() {
 	case storagePkgPath, faultPkgPath:
 		return // the storage layer mediates; the fault layer wraps the device
+	case walPkgPath:
+		// The write-ahead log owns its device region: its appends bypass the
+		// pool by design (log pages are written once and never cached), and
+		// recovery replays images onto the raw device before any pool exists.
+		// Its transfers still land in DiskStats via the device itself.
+		return
 	}
 	inspectAll(pass, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)

@@ -1,0 +1,55 @@
+// Package pred is the thetapair fixture: a miniature operator package with
+// deliberately broken Table 1 pairings. The analyzer gates on the package
+// name, so this fixture is named pred like the real operator package.
+package pred
+
+// Spatial and Rect stand in for the geom types; the pairing check keys on
+// method shapes, not on the concrete geometry package.
+type Spatial interface{ Bounds() Rect }
+
+type Rect struct{ MinX, MinY, MaxX, MaxY float64 }
+
+// Operator mirrors the real package's interface.
+type Operator interface {
+	Name() string
+	Eval(a, b Spatial) bool
+	Filter(a, b Rect) bool
+}
+
+// Good is a complete, registered operator: no findings.
+type Good struct{}
+
+func (Good) Name() string           { return "good" }
+func (Good) Eval(a, b Spatial) bool { return true }
+func (Good) Filter(a, b Rect) bool  { return true }
+
+// MissingFilter declares the exact predicate but no MBR filter.
+type MissingFilter struct{} // want "declares Eval but no Θ-filter"
+
+func (MissingFilter) Name() string           { return "missing_filter" }
+func (MissingFilter) Eval(a, b Spatial) bool { return true }
+
+// OrphanFilter declares an MBR filter with no exact predicate behind it.
+type OrphanFilter struct{} // want "no θ-operator Eval"
+
+func (OrphanFilter) Name() string          { return "orphan_filter" }
+func (OrphanFilter) Filter(a, b Rect) bool { return true }
+
+// NoName is a complete pair without a stable identifier; it also cannot be
+// registered, since it does not satisfy Operator.
+type NoName struct{} // want "declares no Name" "not registered"
+
+func (NoName) Eval(a, b Spatial) bool { return true }
+func (NoName) Filter(a, b Rect) bool  { return true }
+
+// Unregistered is a complete operator that no registry returns.
+type Unregistered struct{} // want "not registered in any package-level registry"
+
+func (Unregistered) Name() string           { return "unregistered" }
+func (Unregistered) Eval(a, b Spatial) bool { return true }
+func (Unregistered) Filter(a, b Rect) bool  { return true }
+
+// Table1 is the registry; only Good is registered.
+func Table1() []Operator {
+	return []Operator{Good{}}
+}

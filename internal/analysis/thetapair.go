@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ThetaPair enforces the Table 1 pairing discipline in the pred package:
+// every θ-operator (a type with an Eval predicate) must carry its Θ-filter
+// (a Filter predicate over MBRs) and a stable Name, and every complete
+// operator must be registered in a package-level registry returning
+// []Operator (Table1/Extended). A θ without a Θ is unusable by the
+// tree-based strategies; an unregistered operator silently escapes the
+// soundness property tests (θ(a,b) ⇒ Θ(mbr(a),mbr(b))) and the ParseName
+// round-trip that recovery depends on to reattach persisted join indices.
+var ThetaPair = &Analyzer{
+	Name: "thetapair",
+	Doc:  "in package pred, require every θ-operator (Eval) to pair with a Θ-filter (Filter) and Name, and to be registered in a []Operator registry",
+	Run:  runThetaPair,
+}
+
+func runThetaPair(pass *Pass) {
+	if pass.Pkg.Name() != "pred" {
+		return // the pairing contract binds the operator package only
+	}
+
+	// Collect every non-interface named type declaring operator-shaped
+	// methods.
+	type opInfo struct {
+		pos                         token.Pos
+		hasEval, hasFilter, hasName bool
+	}
+	scope := pass.Pkg.Scope()
+	ops := make(map[string]*opInfo)
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Interface); ok {
+			continue
+		}
+		info := &opInfo{pos: tn.Pos()}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			sig, ok := m.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			switch m.Name() {
+			case "Eval":
+				info.hasEval = info.hasEval || isBinaryPredicate(sig)
+			case "Filter":
+				info.hasFilter = info.hasFilter || isBinaryPredicate(sig)
+			case "Name":
+				info.hasName = info.hasName || isNullaryString(sig)
+			}
+		}
+		if info.hasEval || info.hasFilter {
+			ops[name] = info
+		}
+	}
+	if len(ops) == 0 {
+		return
+	}
+
+	// A registry is a package-level function returning []Operator; every
+	// operator composite literal inside one counts as registered.
+	registered := make(map[string]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil || !returnsOperatorSlice(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if named := namedOf(pass.TypeOf(cl)); named != nil &&
+					named.Obj().Pkg() == pass.Pkg {
+					registered[named.Obj().Name()] = true
+				}
+				return true
+			})
+		}
+	}
+
+	names := make([]string, 0, len(ops))
+	for name := range ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		info := ops[name]
+		switch {
+		case info.hasEval && !info.hasFilter:
+			pass.Reportf(info.pos,
+				"θ-operator %s declares Eval but no Θ-filter Filter(a, b Rect) bool; tree-based join strategies cannot prune with it (Table 1 pairing)",
+				name)
+		case info.hasFilter && !info.hasEval:
+			pass.Reportf(info.pos,
+				"type %s declares a Θ-filter Filter but no θ-operator Eval; a filter without an exact predicate admits false positives into join results",
+				name)
+		default:
+			if !info.hasName {
+				pass.Reportf(info.pos,
+					"operator %s declares no Name() string; join-index persistence and ParseName recovery need a stable identifier",
+					name)
+			}
+			if !registered[name] {
+				pass.Reportf(info.pos,
+					"operator %s is not registered in any package-level registry returning []Operator (Table1/Extended); soundness and ParseName round-trip tests will not cover it",
+					name)
+			}
+		}
+	}
+}
+
+// isBinaryPredicate matches func(a, b T) bool — the shape shared by Eval
+// (over geometries) and Filter (over MBRs).
+func isBinaryPredicate(sig *types.Signature) bool {
+	return sig.Params().Len() == 2 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+// isNullaryString matches func() string.
+func isNullaryString(sig *types.Signature) bool {
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.String])
+}
+
+// returnsOperatorSlice reports whether fd's results include a slice of the
+// package's own Operator type.
+func returnsOperatorSlice(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		sl, ok := pass.TypeOf(res.Type).(*types.Slice)
+		if !ok {
+			continue
+		}
+		named := namedOf(sl.Elem())
+		if named != nil && named.Obj().Pkg() == pass.Pkg && named.Obj().Name() == "Operator" {
+			return true
+		}
+	}
+	return false
+}

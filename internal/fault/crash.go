@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"spatialjoin/internal/storage"
+)
+
+// errCrashed is the cause wrapped by every I/O error a crashed device
+// returns until Reboot.
+var errCrashed = errors.New("device crashed; reboot required")
+
+// Crash is the panic value raised by a scheduled crash, simulating the
+// process dying mid-update: the panic unwinds whatever update was in
+// flight, all buffered state is lost, and only bytes already on the device
+// survive. Harnesses catch it with recover and AsCrash, reboot the device,
+// and reopen the database through recovery.
+type Crash struct {
+	Point  string         // named crash point, "" for write-count crashes
+	Writes int64          // write-attempt ordinal that triggered a write-count crash
+	Page   storage.PageID // page whose write was torn by a write-count crash
+}
+
+// Error implements the error interface so a recovered Crash can be
+// reported, though a Crash is always raised as a panic, never returned.
+func (c *Crash) Error() string {
+	if c.Point != "" {
+		return fmt.Sprintf("fault: injected crash at point %q", c.Point)
+	}
+	return fmt.Sprintf("fault: injected crash at write %d (page %v)", c.Writes, c.Page)
+}
+
+// AsCrash reports whether a recovered panic value is an injected crash.
+func AsCrash(v any) (*Crash, bool) {
+	c, ok := v.(*Crash)
+	return c, ok
+}
+
+// SetCrashAfterWrites schedules a crash on the n-th write attempt from now
+// (n >= 1). The doomed write tears its page instead of completing — the
+// stored bytes no longer match the recorded checksum, like power loss
+// mid-sector — marks the device crashed, and panics with a *Crash. n <= 0
+// disarms the schedule.
+func (d *Disk) SetCrashAfterWrites(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashAt = n
+	d.writeSeq = 0
+}
+
+// Crashed reports whether an injected crash has taken the device down.
+// While crashed, every read and write fails with a Permanent error.
+func (d *Disk) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// Reboot brings a crashed device back and disarms the write-count
+// schedule. Torn pages stay torn: a reboot does not repair the sector the
+// crash interrupted.
+func (d *Disk) Reboot() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashed = false
+	d.crashAt = 0
+	d.writeSeq = 0
+}
+
+// Named crash points are code locations instrumented with CrashPoint calls
+// (the WAL sync loop, the commit protocol). Arming one makes its k-th
+// occurrence panic with a *Crash, which drives schedules keyed to protocol
+// steps rather than physical write counts. The registry is process-global,
+// so tests must disarm in a deferred call and not run armed sections in
+// parallel.
+var crashPoints struct {
+	mu     sync.Mutex
+	armed  string
+	hit    int
+	seen   int
+	record map[string]int
+}
+
+// ArmCrashPoint makes the hit-th occurrence (1-based) of the named crash
+// point panic with a *Crash.
+func ArmCrashPoint(name string, hit int) {
+	if hit < 1 {
+		hit = 1
+	}
+	crashPoints.mu.Lock()
+	defer crashPoints.mu.Unlock()
+	crashPoints.armed = name
+	crashPoints.hit = hit
+	crashPoints.seen = 0
+}
+
+// DisarmCrashPoints clears any armed crash point and stops recording.
+func DisarmCrashPoints() {
+	crashPoints.mu.Lock()
+	defer crashPoints.mu.Unlock()
+	crashPoints.armed = ""
+	crashPoints.hit = 0
+	crashPoints.seen = 0
+	crashPoints.record = nil
+}
+
+// StartCrashPointRecording begins counting crash-point occurrences instead
+// of (or in addition to) crashing, so a harness can discover how many times
+// each point fires in a workload before sweeping them.
+func StartCrashPointRecording() {
+	crashPoints.mu.Lock()
+	defer crashPoints.mu.Unlock()
+	crashPoints.record = make(map[string]int)
+}
+
+// RecordedCrashPoints returns a copy of the occurrence counts gathered
+// since StartCrashPointRecording.
+func RecordedCrashPoints() map[string]int {
+	crashPoints.mu.Lock()
+	defer crashPoints.mu.Unlock()
+	out := make(map[string]int, len(crashPoints.record))
+	for k, v := range crashPoints.record {
+		out[k] = v
+	}
+	return out
+}
+
+// CrashPoint marks a crash-injectable code location. It is a cheap no-op
+// unless a harness armed this name or turned on recording.
+func CrashPoint(name string) {
+	crashPoints.mu.Lock()
+	if crashPoints.record != nil {
+		crashPoints.record[name]++
+	}
+	if crashPoints.armed != name {
+		crashPoints.mu.Unlock()
+		return
+	}
+	crashPoints.seen++
+	if crashPoints.seen < crashPoints.hit {
+		crashPoints.mu.Unlock()
+		return
+	}
+	crashPoints.armed = ""
+	crashPoints.mu.Unlock()
+	panic(&Crash{Point: name})
+}

@@ -51,6 +51,9 @@ type Disk struct {
 	torn         map[storage.PageID]bool
 	readAttempts map[storage.PageID]int64
 	writeAttempt map[storage.PageID]int64
+	crashAt      int64 // crash on this write-attempt ordinal; 0 = disarmed
+	writeSeq     int64 // write attempts since the schedule was armed
+	crashed      bool  // device is down until Reboot
 
 	readFaults  atomic.Int64
 	writeFaults atomic.Int64
@@ -139,8 +142,14 @@ func (d *Disk) ReadPage(id storage.PageID) ([]byte, error) {
 	d.readAttempts[id]++
 	attempt := d.readAttempts[id]
 	lost, torn := d.lost[id], d.torn[id]
+	crashed := d.crashed
 	d.mu.Unlock()
 
+	if crashed {
+		d.readFaults.Add(1)
+		return nil, &Error{Op: "read", Page: id, Kind: Permanent, Attempt: attempt,
+			Err: errCrashed}
+	}
 	if lost {
 		d.readFaults.Add(1)
 		return nil, &Error{Op: "read", Page: id, Kind: Permanent, Attempt: attempt}
@@ -167,13 +176,34 @@ func (d *Disk) ReadPage(id storage.PageID) ([]byte, error) {
 	return buf, nil
 }
 
-// WritePage runs one physical write attempt through the schedule.
+// WritePage runs one physical write attempt through the schedule. A
+// successful write mends a torn page: fresh bytes replace the damaged
+// sector, which is what lets recovery replay images over crash-torn pages.
 func (d *Disk) WritePage(id storage.PageID, buf []byte) error {
 	d.pause(d.opts.WriteLatency)
 	d.mu.Lock()
 	d.writeAttempt[id]++
 	attempt := d.writeAttempt[id]
 	lost := d.lost[id]
+	if d.crashed {
+		d.mu.Unlock()
+		d.writeFaults.Add(1)
+		return &Error{Op: "write", Page: id, Kind: Permanent, Attempt: attempt,
+			Err: errCrashed}
+	}
+	if d.crashAt > 0 {
+		d.writeSeq++
+		if d.writeSeq >= d.crashAt {
+			// The doomed write tears its page instead of completing and
+			// takes the device down, simulating power loss mid-sector.
+			d.torn[id] = true
+			d.crashed = true
+			n := d.writeSeq
+			d.mu.Unlock()
+			d.writeFaults.Add(1)
+			panic(&Crash{Writes: n, Page: id})
+		}
+	}
 	d.mu.Unlock()
 
 	if lost {
@@ -184,7 +214,13 @@ func (d *Disk) WritePage(id storage.PageID, buf []byte) error {
 		d.writeFaults.Add(1)
 		return &Error{Op: "write", Page: id, Kind: Transient, Attempt: attempt}
 	}
-	return d.inner.WritePage(id, buf)
+	if err := d.inner.WritePage(id, buf); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	delete(d.torn, id)
+	d.mu.Unlock()
+	return nil
 }
 
 // Stats merges the inner device's transfer counters with the injected

@@ -1,0 +1,82 @@
+package pred
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseName is the inverse of Operator.Name: it reconstructs an operator
+// from its stable identifier. Recovery uses it to reattach persisted join
+// indices, whose log records carry only the operator name, so every
+// operator the package registers must round-trip through it.
+func ParseName(name string) (Operator, error) {
+	switch name {
+	case "overlaps":
+		return Overlaps{}, nil
+	case "includes":
+		return Includes{}, nil
+	case "contained_in":
+		return ContainedIn{}, nil
+	case Northwest.String() + "_of":
+		return NorthwestOf{}, nil
+	case Northeast.String() + "_of":
+		return DirectionOf{Dir: Northeast}, nil
+	case Southwest.String() + "_of":
+		return DirectionOf{Dir: Southwest}, nil
+	case Southeast.String() + "_of":
+		return DirectionOf{Dir: Southeast}, nil
+	}
+	if args, ok := callArgs(name, "within_distance"); ok {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("pred: within_distance takes 1 parameter, got %q", name)
+		}
+		d, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("pred: parsing %q: %w", name, err)
+		}
+		return WithinDistance{D: d}, nil
+	}
+	if args, ok := callArgs(name, "distance_band"); ok {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("pred: distance_band takes 2 parameters, got %q", name)
+		}
+		lo, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("pred: parsing %q: %w", name, err)
+		}
+		hi, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("pred: parsing %q: %w", name, err)
+		}
+		return DistanceBand{Lo: lo, Hi: hi}, nil
+	}
+	if args, ok := callArgs(name, "reachable_within"); ok {
+		// Encoded as "reachable_within(<minutes>min@<speed>)".
+		if len(args) == 1 {
+			if min, speed, ok := strings.Cut(args[0], "min@"); ok {
+				m, err1 := strconv.ParseFloat(min, 64)
+				s, err2 := strconv.ParseFloat(speed, 64)
+				if err1 == nil && err2 == nil {
+					return ReachableWithin{Minutes: m, Speed: s}, nil
+				}
+			}
+		}
+		return nil, fmt.Errorf("pred: malformed reachable_within name %q", name)
+	}
+	return nil, fmt.Errorf("pred: unknown operator name %q", name)
+}
+
+// callArgs splits "fn(a,b)" into its comma-separated arguments when name
+// has the given function form.
+func callArgs(name, fn string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(name, fn+"(")
+	if !ok {
+		return nil, false
+	}
+	rest, ok = strings.CutSuffix(rest, ")")
+	if !ok {
+		return nil, false
+	}
+	return strings.Split(rest, ","), true
+}

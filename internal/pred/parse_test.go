@@ -1,0 +1,56 @@
+package pred
+
+import "testing"
+
+// TestParseNameRoundTrip checks that every registered operator's Name
+// reconstructs an operator with the identical name — the property recovery
+// relies on to reattach persisted join indices.
+func TestParseNameRoundTrip(t *testing.T) {
+	for _, op := range Extended() {
+		got, err := ParseName(op.Name())
+		if err != nil {
+			t.Errorf("ParseName(%q): %v", op.Name(), err)
+			continue
+		}
+		if got.Name() != op.Name() {
+			t.Errorf("ParseName(%q).Name() = %q", op.Name(), got.Name())
+		}
+	}
+}
+
+// TestParseNameParameters checks the parameterized forms carry their values
+// through, not just their names.
+func TestParseNameParameters(t *testing.T) {
+	op, err := ParseName("within_distance(12.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := op.(WithinDistance); !ok || w.D != 12.5 {
+		t.Errorf("within_distance(12.5) parsed as %#v", op)
+	}
+	op, err = ParseName("distance_band(15,40)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := op.(DistanceBand); !ok || d.Lo != 15 || d.Hi != 40 {
+		t.Errorf("distance_band(15,40) parsed as %#v", op)
+	}
+	op, err = ParseName("reachable_within(10min@1.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := op.(ReachableWithin); !ok || r.Minutes != 10 || r.Speed != 1.5 {
+		t.Errorf("reachable_within(10min@1.5) parsed as %#v", op)
+	}
+}
+
+// TestParseNameRejectsGarbage checks malformed names fail loudly instead of
+// silently mapping to some operator.
+func TestParseNameRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "overlapss", "within_distance()", "within_distance(x)",
+		"distance_band(1)", "reachable_within(3)", "north_of"} {
+		if op, err := ParseName(bad); err == nil {
+			t.Errorf("ParseName(%q) = %v, want error", bad, op)
+		}
+	}
+}

@@ -86,8 +86,32 @@ func BulkLoad(pool *storage.BufferPool, name string, schema Schema,
 	return r, nil
 }
 
+// Open reattaches to a relation's existing heap file after a restart,
+// reassigning tuple IDs in physical scan order. For relations grown by
+// sequential Insert — the database's collections — physical order equals
+// the original insertion order, so IDs are stable across restarts.
+func Open(pool *storage.BufferPool, name string, schema Schema,
+	file storage.FileID, fillFactor float64) (*Relation, error) {
+
+	h, err := storage.OpenHeapFile(pool, file, fillFactor)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relation{name: name, schema: schema, heap: h}
+	if err := h.Scan(func(rid storage.RID, _ []byte) bool {
+		r.rids = append(r.rids, rid)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // Name returns the relation's name.
 func (r *Relation) Name() string { return r.name }
+
+// FileID returns the id of the heap file backing the relation.
+func (r *Relation) FileID() storage.FileID { return r.heap.File() }
 
 // Schema returns the relation's schema.
 func (r *Relation) Schema() Schema { return r.schema }

@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -20,6 +21,10 @@ type PoolStats struct {
 	Evictions    int64
 	ReadRetries  int64
 	WriteRetries int64
+	// WALSyncs counts the log syncs the pool forced before writing back a
+	// dirty frame the durable log did not yet cover (the WAL-before-
+	// write-back discipline).
+	WALSyncs int64
 }
 
 // HitRatio returns the fraction of logical reads served from memory.
@@ -47,6 +52,7 @@ type BufferPool struct {
 	disk     Device
 	capacity int
 	retry    RetryPolicy
+	wal      WAL // nil = no write-ahead logging
 	frames   map[PageID]*list.Element
 	lru      *list.List // front = most recently used
 
@@ -55,14 +61,31 @@ type BufferPool struct {
 	evictions    atomic.Int64
 	readRetries  atomic.Int64
 	writeRetries atomic.Int64
+	walSyncs     atomic.Int64
 }
+
+// WAL is the hook through which the pool enforces write-ahead logging
+// without importing the log's package: DurableLSN is the log offset below
+// which every record is on disk, and Sync forces the log durable. Both must
+// be safe to call while the pool holds its frame lock.
+type WAL interface {
+	DurableLSN() int64
+	Sync() error
+}
+
+// recLSN sentinels. A frame's recLSN is 0 when clean or when the pool has
+// no WAL, lsnUnlogged while the frame carries modifications the log has not
+// been told about (an open transaction), and otherwise the LSN of the
+// commit record covering the frame's latest image.
+const lsnUnlogged = int64(-1)
 
 // frame is one cached page.
 type frame struct {
-	id    PageID
-	page  *Page
-	pins  int
-	dirty bool
+	id     PageID
+	page   *Page
+	pins   int
+	dirty  bool
+	recLSN int64
 }
 
 // NewBufferPool returns a pool of capacity pages over disk, with the
@@ -89,6 +112,31 @@ func (bp *BufferPool) Disk() Device { return bp.disk }
 // SetRetryPolicy replaces the pool's retry policy. Not safe to call
 // concurrently with pool operations.
 func (bp *BufferPool) SetRetryPolicy(p RetryPolicy) { bp.retry = p }
+
+// SetWAL puts the pool under write-ahead logging: from now on every dirty
+// frame is held back from the device until the log covers it. Call it
+// before any page is dirtied; it is not safe to call concurrently with pool
+// operations.
+func (bp *BufferPool) SetWAL(w WAL) { bp.wal = w }
+
+// ensureLoggedLocked enforces WAL-before-write-back for one dirty frame:
+// a frame the log has not been told about may not touch the device at all,
+// and one covered by a not-yet-durable commit forces a log sync first.
+func (bp *BufferPool) ensureLoggedLocked(f *frame) error {
+	if bp.wal == nil {
+		return nil
+	}
+	if f.recLSN == lsnUnlogged {
+		return fmt.Errorf("storage: page %v is dirty inside an open transaction; write-back would break the WAL discipline", f.id)
+	}
+	if f.recLSN > bp.wal.DurableLSN() {
+		bp.walSyncs.Add(1)
+		if err := bp.wal.Sync(); err != nil {
+			return fmt.Errorf("storage: WAL sync before write-back of %v: %w", f.id, err)
+		}
+	}
+	return nil
+}
 
 // readPage drives one logical read against the device, retrying transient
 // faults and checksum mismatches (in-flight corruption a re-read can fix)
@@ -173,8 +221,10 @@ func (bp *BufferPool) fetchLocked(id PageID) (*Page, error) {
 // evictIfFullLocked makes room for one more frame, writing back a dirty
 // victim. A victim whose write-back fails permanently is skipped — it stays
 // resident and dirty so the data is not lost — and the next least-recently
-// used unpinned frame is tried instead. It fails when every frame is pinned
-// or unwritable.
+// used unpinned frame is tried instead. Under a WAL, frames dirtied by an
+// open transaction are likewise skipped (no-steal: an uncommitted image
+// must never reach the device), and committed frames force the log durable
+// before the write-back. It fails when every frame is pinned or unwritable.
 func (bp *BufferPool) evictIfFullLocked() error {
 	if bp.lru.Len() < bp.capacity {
 		return nil
@@ -185,12 +235,20 @@ func (bp *BufferPool) evictIfFullLocked() error {
 		if f.pins > 0 {
 			continue
 		}
+		if f.dirty && bp.wal != nil && f.recLSN == lsnUnlogged {
+			continue
+		}
 		if f.dirty {
+			if err := bp.ensureLoggedLocked(f); err != nil {
+				lastErr = err
+				continue
+			}
 			if err := bp.writePage(f.id, f.page.Bytes()); err != nil {
 				lastErr = err
 				continue
 			}
 			f.dirty = false
+			f.recLSN = 0
 		}
 		bp.lru.Remove(el)
 		delete(bp.frames, f.id)
@@ -200,7 +258,7 @@ func (bp *BufferPool) evictIfFullLocked() error {
 	if lastErr != nil {
 		return fmt.Errorf("storage: buffer pool full and no victim writable: %w", lastErr)
 	}
-	return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.capacity)
+	return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned or held by an open transaction", bp.capacity)
 }
 
 // Pin fetches the page and marks it non-evictable until a matching Unpin.
@@ -234,7 +292,9 @@ func (bp *BufferPool) Unpin(id PageID) error {
 }
 
 // MarkDirty records that the cached copy of the page was modified, so it
-// will be written back on eviction or Flush.
+// will be written back on eviction or Flush. Under a WAL the frame becomes
+// unlogged-dirty: pinned in memory until the transaction layer logs its
+// image and reports the covering commit LSN via SetPageLSN.
 func (bp *BufferPool) MarkDirty(id PageID) error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -242,14 +302,69 @@ func (bp *BufferPool) MarkDirty(id PageID) error {
 	if !ok {
 		return fmt.Errorf("storage: MarkDirty of non-resident page %v", id)
 	}
-	el.Value.(*frame).dirty = true
+	f := el.Value.(*frame)
+	f.dirty = true
+	if bp.wal != nil {
+		f.recLSN = lsnUnlogged
+	}
 	return nil
 }
 
-// Flush writes every dirty frame back to disk, leaving the frames resident.
-// On failure it still attempts the remaining dirty frames and returns the
-// first error; a frame whose write-back failed stays dirty, so a later
-// Flush retries it rather than silently dropping the modification.
+// UnloggedDirtyPages returns the pages dirtied since their last logged
+// image, in ascending PageID order — the write set the transaction layer
+// must log before committing.
+func (bp *BufferPool) UnloggedDirtyPages() []PageID {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var ids []PageID
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.dirty && f.recLSN == lsnUnlogged {
+			ids = append(ids, f.id)
+		}
+	}
+	sortPageIDs(ids)
+	return ids
+}
+
+// SnapshotPage returns a copy of the resident page's current bytes without
+// touching the logical-read counters: it is the transaction layer reading
+// its own write set for logging, not query I/O.
+func (bp *BufferPool) SnapshotPage(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	el, ok := bp.frames[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: snapshot of non-resident page %v", id)
+	}
+	src := el.Value.(*frame).page.Bytes()
+	buf := make([]byte, len(src))
+	copy(buf, src)
+	return buf, nil
+}
+
+// SetPageLSN records that the log covers the frame's current content up to
+// lsn, making it eligible for write-back once the log is durable past lsn.
+func (bp *BufferPool) SetPageLSN(id PageID, lsn int64) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	el, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: SetPageLSN of non-resident page %v", id)
+	}
+	el.Value.(*frame).recLSN = lsn
+	return nil
+}
+
+// Flush writes every dirty frame back to disk in ascending PageID order,
+// leaving the frames resident. The deterministic order — rather than LRU
+// recency, which depends on access history and worker interleaving — makes
+// crash schedules keyed to "the n-th physical write" reproducible across
+// runs. On failure it still attempts the remaining dirty frames and returns
+// the first error; a frame whose write-back failed stays dirty, so a later
+// Flush retries it rather than silently dropping the modification. Under a
+// WAL, a frame dirtied by an open transaction is an error: Flush promises
+// durability, and an uncommitted image may not be made durable.
 func (bp *BufferPool) Flush() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -257,10 +372,19 @@ func (bp *BufferPool) Flush() error {
 }
 
 func (bp *BufferPool) flushLocked() error {
-	var firstErr error
+	dirty := make([]*frame, 0, len(bp.frames))
 	for el := bp.lru.Front(); el != nil; el = el.Next() {
-		f := el.Value.(*frame)
-		if !f.dirty {
+		if f := el.Value.(*frame); f.dirty {
+			dirty = append(dirty, f)
+		}
+	}
+	sortFrames(dirty)
+	var firstErr error
+	for _, f := range dirty {
+		if err := bp.ensureLoggedLocked(f); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
 			continue
 		}
 		if err := bp.writePage(f.id, f.page.Bytes()); err != nil {
@@ -270,8 +394,26 @@ func (bp *BufferPool) flushLocked() error {
 			continue
 		}
 		f.dirty = false
+		f.recLSN = 0
 	}
 	return firstErr
+}
+
+// sortFrames orders frames by ascending PageID (file, then page).
+func sortFrames(fs []*frame) {
+	sort.Slice(fs, func(i, j int) bool { return pageIDLess(fs[i].id, fs[j].id) })
+}
+
+// sortPageIDs orders ids ascending (file, then page).
+func sortPageIDs(ids []PageID) {
+	sort.Slice(ids, func(i, j int) bool { return pageIDLess(ids[i], ids[j]) })
+}
+
+func pageIDLess(a, b PageID) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	return a.Page < b.Page
 }
 
 // DropAll flushes and then empties the pool, so the next access to any page
@@ -322,6 +464,7 @@ func (bp *BufferPool) Stats() PoolStats {
 		Evictions:    bp.evictions.Load(),
 		ReadRetries:  bp.readRetries.Load(),
 		WriteRetries: bp.writeRetries.Load(),
+		WALSyncs:     bp.walSyncs.Load(),
 	}
 }
 
@@ -332,4 +475,5 @@ func (bp *BufferPool) ResetStats() {
 	bp.evictions.Store(0)
 	bp.readRetries.Store(0)
 	bp.writeRetries.Store(0)
+	bp.walSyncs.Store(0)
 }

@@ -41,6 +41,32 @@ func NewHeapFile(pool *BufferPool, fillFactor float64) (*HeapFile, error) {
 	}, nil
 }
 
+// OpenHeapFile reattaches to an existing heap file after a restart,
+// rebuilding the append state (last page, record count) from the pages on
+// disk. A page whose header is all zeroes was allocated but never written
+// back before a crash; it holds no committed records and appends resume on
+// the last initialized page before it.
+func OpenHeapFile(pool *BufferPool, file FileID, fillFactor float64) (*HeapFile, error) {
+	if fillFactor <= 0 || fillFactor > 1 {
+		return nil, fmt.Errorf("storage: fill factor %g out of (0,1]", fillFactor)
+	}
+	h := &HeapFile{pool: pool, file: file, fillFactor: fillFactor}
+	n := pool.Disk().NumPages(file)
+	for pg := 0; pg < n; pg++ {
+		id := PageID{File: file, Page: int32(pg)}
+		p, err := pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		if !p.initialized() {
+			continue
+		}
+		h.lastPage, h.hasPage = id, true
+		h.numRecords += p.NumRecords()
+	}
+	return h, nil
+}
+
 // File returns the underlying file id.
 func (h *HeapFile) File() FileID { return h.file }
 

@@ -68,6 +68,12 @@ func (p *Page) slotPos(i int) int { return len(p.buf) - (i+1)*slotSize }
 // NumRecords returns the number of records stored on the page.
 func (p *Page) NumRecords() int { return p.count() }
 
+// initialized reports whether the page has ever held a slotted-page header:
+// NewPage sets free to pageHeaderSize even on an empty page, so an
+// all-zero header identifies a page that was allocated on the device but
+// never written back (e.g. because a crash landed first).
+func (p *Page) initialized() bool { return p.count() != 0 || p.free() != 0 }
+
 // FreeSpace returns the number of payload bytes still available for one more
 // record including its slot entry.
 func (p *Page) FreeSpace() int {

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// orderDevice records the order of successful page writes.
+type orderDevice struct {
+	Device
+	mu     sync.Mutex
+	writes []PageID
+}
+
+func (d *orderDevice) WritePage(id PageID, buf []byte) error {
+	if err := d.Device.WritePage(id, buf); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.writes = append(d.writes, id)
+	d.mu.Unlock()
+	return nil
+}
+
+// fakeWAL implements the WAL interface with a controllable durability
+// horizon.
+type fakeWAL struct {
+	mu      sync.Mutex
+	durable int64
+	syncs   int
+	syncTo  int64 // durable LSN after the next Sync
+}
+
+func (w *fakeWAL) DurableLSN() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+func (w *fakeWAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncs++
+	w.durable = w.syncTo
+	return nil
+}
+
+// dirtyPages allocates n pages in one file and dirties them in the given
+// order.
+func dirtyPages(t *testing.T, bp *BufferPool, dev Device, order []int) []PageID {
+	t.Helper()
+	f := dev.CreateFile()
+	ids := make([]PageID, len(order))
+	for i := range order {
+		id, err := dev.AllocPage(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for _, i := range order {
+		if _, err := bp.Fetch(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := bp.MarkDirty(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+// TestFlushAscendingPageOrder checks Flush writes dirty frames in ascending
+// PageID order regardless of dirtying order — the elevator schedule the
+// paper's sequential-I/O cost model assumes.
+func TestFlushAscendingPageOrder(t *testing.T) {
+	dev := &orderDevice{Device: NewDisk(64)}
+	bp, err := NewBufferPool(dev, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyPages(t, bp, dev, []int{5, 0, 3, 7, 1, 6, 2, 4})
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.writes) != 8 {
+		t.Fatalf("flushed %d pages, want 8", len(dev.writes))
+	}
+	if !sort.SliceIsSorted(dev.writes, func(i, j int) bool {
+		return pageIDLess(dev.writes[i], dev.writes[j])
+	}) {
+		t.Errorf("flush order not ascending: %v", dev.writes)
+	}
+}
+
+// TestUnloggedDirtyBlocksFlushAndEviction checks the no-steal discipline: a
+// frame dirtied under a WAL but not yet covered by a durable LSN can be
+// neither flushed nor evicted.
+func TestUnloggedDirtyBlocksFlushAndEviction(t *testing.T) {
+	dev := NewDisk(64)
+	bp, err := NewBufferPool(dev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &fakeWAL{}
+	bp.SetWAL(w)
+	f := dev.CreateFile()
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, err := dev.AllocPage(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := bp.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.MarkDirty(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.UnloggedDirtyPages(); len(got) != 1 || got[0] != ids[0] {
+		t.Fatalf("UnloggedDirtyPages = %v", got)
+	}
+	if err := bp.Flush(); err == nil {
+		t.Fatal("Flush persisted an unlogged dirty frame")
+	}
+	// Fill the pool; eviction must pass over the unlogged frame.
+	if _, err := bp.Fetch(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Fetch(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if !bp.Resident(ids[0]) {
+		t.Fatal("eviction stole an unlogged dirty frame")
+	}
+	if dev.Stats().Writes != 0 {
+		t.Fatalf("device saw %d writes before commit", dev.Stats().Writes)
+	}
+
+	// Commit: cover the frame with an LSN the WAL will report durable.
+	w.syncTo = 100
+	if err := bp.SetPageLSN(ids[0], 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.syncs != 1 {
+		t.Errorf("flush forced %d WAL syncs, want 1", w.syncs)
+	}
+	if got := bp.Stats().WALSyncs; got != 1 {
+		t.Errorf("WALSyncs stat = %d, want 1", got)
+	}
+	if dev.Stats().Writes != 1 {
+		t.Errorf("device writes after flush = %d, want 1", dev.Stats().Writes)
+	}
+}
+
+// TestFlushSkipsWALSyncWhenAlreadyDurable checks write-back does not force a
+// redundant sync when the covering LSN is already durable.
+func TestFlushSkipsWALSyncWhenAlreadyDurable(t *testing.T) {
+	dev := NewDisk(64)
+	bp, err := NewBufferPool(dev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &fakeWAL{durable: 500}
+	bp.SetWAL(w)
+	f := dev.CreateFile()
+	id, err := dev.AllocPage(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Fetch(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.MarkDirty(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.SetPageLSN(id, 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.syncs != 0 {
+		t.Errorf("flush forced %d WAL syncs for an already-durable LSN", w.syncs)
+	}
+}
+
+// TestOpenHeapFileSkipsUninitializedPages checks OpenHeapFile tolerates
+// trailing zeroed pages, which recovery leaves behind when a crash lands
+// after AllocPage but before the first image of the page commits.
+func TestOpenHeapFileSkipsUninitializedPages(t *testing.T) {
+	dev := NewDisk(256)
+	bp, err := NewBufferPool(dev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := NewHeapFile(bp, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 10; i++ {
+		rid, err := hf.Append([]byte("record-payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Trailing allocated-but-never-written pages.
+	for i := 0; i < 3; i++ {
+		if _, err := dev.AllocPage(hf.File()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp2, err := NewBufferPool(dev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf2, err := OpenHeapFile(bp2, hf.File(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf2.NumRecords() != len(rids) {
+		t.Fatalf("reopened heap has %d records, want %d", hf2.NumRecords(), len(rids))
+	}
+	// New inserts must go to initialized territory and stay readable.
+	if _, err := hf2.Append([]byte("post-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := hf2.Scan(func(RID, []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(rids)+1 {
+		t.Errorf("scan after reopen saw %d records, want %d", n, len(rids)+1)
+	}
+}

@@ -1,0 +1,213 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"spatialjoin/internal/storage"
+)
+
+// RecoveryStats summarizes one recovery pass.
+type RecoveryStats struct {
+	RecordsScanned  int64 // complete, checksum-valid records found in the log
+	RecordsReplayed int64 // page images of committed transactions applied
+	PagesRestored   int64 // distinct pages written during replay
+	TxnsCommitted   int64 // transactions with a durable commit record
+	TxnsDiscarded   int64 // transactions begun but never durably committed
+	TornTailBytes   int64 // stream bytes after the last complete record
+	TornPages       int64 // log pages whose checksum did not verify
+	NextTxn         uint64
+}
+
+// ErrNotALog reports that the device's first file does not begin with a WAL
+// header; recovery refuses to touch such a device.
+var ErrNotALog = errors.New("wal: device file 0 does not start with a log header")
+
+// Recover scans the log on dev, replays the page images of every committed
+// transaction onto the device, and returns a Log positioned to append after
+// the last complete record, the committed catalog records in LSN order for
+// the caller to re-register, and the recovery counters.
+//
+// Torn tails are discarded, not erased: the log never rewrites a durable
+// page, so the garbage bytes stay on the device and are superseded by the
+// stream offsets of post-recovery appends (see the package comment).
+func Recover(dev storage.Device, groupCommit int) (*Log, []Record, RecoveryStats, error) {
+	var stats RecoveryStats
+	stream, tornPages, err := scanStream(dev)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.TornPages = tornPages
+	records, consumed := parseStream(stream)
+	stats.RecordsScanned = int64(len(records))
+	stats.TornTailBytes = int64(len(stream)) - consumed
+	if len(records) == 0 || records[0].Type != RecHeader || string(records[0].Data) != string(magic) {
+		return nil, nil, stats, ErrNotALog
+	}
+
+	committed := make(map[uint64]bool)
+	begun := make(map[uint64]bool)
+	var maxTxn uint64
+	for _, r := range records {
+		if r.Txn > maxTxn {
+			maxTxn = r.Txn
+		}
+		switch r.Type {
+		case RecBegin:
+			begun[r.Txn] = true
+		case RecCommit:
+			committed[r.Txn] = true
+		}
+	}
+	for txn := range begun {
+		if committed[txn] {
+			stats.TxnsCommitted++
+		} else {
+			stats.TxnsDiscarded++
+		}
+	}
+	stats.NextTxn = maxTxn + 1
+
+	var catalog []Record
+	restored := make(map[storage.PageID]bool)
+	for _, r := range records {
+		if !committed[r.Txn] {
+			continue
+		}
+		switch r.Type {
+		case RecImage:
+			if err := replayImage(dev, r); err != nil {
+				return nil, nil, stats, err
+			}
+			stats.RecordsReplayed++
+			if !restored[r.Page] {
+				restored[r.Page] = true
+				stats.PagesRestored++
+			}
+		case RecNewCollection, RecNewJoinIndex:
+			catalog = append(catalog, r)
+		}
+	}
+
+	l := newLog(dev, groupCommit)
+	l.tailStart = consumed
+	l.durable = consumed
+	return l, catalog, stats, nil
+}
+
+// scanStream reads every log page in order and assembles the logical record
+// stream. Pages that never made it to the device (zero-filled allocations)
+// or arrive corrupted are skipped and reported; a page whose startLSN
+// rewinds below the assembled length marks a post-recovery resume, so the
+// superseded garbage is truncated away before appending its payload.
+func scanStream(dev storage.Device) ([]byte, int64, error) {
+	n := dev.NumPages(LogFileID)
+	var stream []byte
+	var torn int64
+	for p := 0; p < n; p++ {
+		id := storage.PageID{File: LogFileID, Page: int32(p)}
+		buf, err := dev.ReadPage(id)
+		if err != nil {
+			if storage.IsChecksum(err) {
+				// A page torn by the crash; everything it held is past the
+				// last durable sync, so skipping it discards only tail bytes.
+				torn++
+				continue
+			}
+			return nil, 0, fmt.Errorf("wal: reading log page %v: %w", id, err)
+		}
+		// Verify against the recorded checksum explicitly: fault devices
+		// return corrupted bytes rather than erroring (end-to-end
+		// verification is the reader's job), and trusting a torn page's
+		// header fields could truncate the stream at a garbage startLSN.
+		if want, ok := dev.Checksum(id); !ok || storage.PageChecksum(buf) != want {
+			torn++
+			continue
+		}
+		used := int(binary.LittleEndian.Uint32(buf[0:]))
+		if used == 0 {
+			continue // allocated but never written
+		}
+		if used > len(buf)-pageHeader {
+			torn++
+			continue
+		}
+		start := LSN(binary.LittleEndian.Uint64(buf[4:]))
+		switch {
+		case start < LSN(len(stream)):
+			stream = stream[:start]
+		case start > LSN(len(stream)):
+			// A gap means the pages between were lost wholesale; nothing
+			// after them can be trusted to be contiguous.
+			return stream, torn, nil
+		}
+		stream = append(stream, buf[pageHeader:pageHeader+used]...)
+	}
+	return stream, torn, nil
+}
+
+// parseStream decodes records until the stream ends or turns invalid,
+// returning the records and the number of bytes consumed by complete,
+// checksum-valid records. Everything past that point is a torn tail.
+func parseStream(stream []byte) ([]Record, int64) {
+	var records []Record
+	off := 0
+	for off+recHeaderSize+recTrailer <= len(stream) {
+		hdr := stream[off:]
+		lsn := LSN(binary.LittleEndian.Uint64(hdr[0:]))
+		typ := RecordType(hdr[8])
+		dataLen := int(binary.LittleEndian.Uint32(hdr[25:]))
+		if lsn != LSN(off) || typ < RecHeader || typ > RecNewJoinIndex || dataLen > maxDataLen {
+			break
+		}
+		end := off + recHeaderSize + dataLen + recTrailer
+		if end > len(stream) {
+			break
+		}
+		body := stream[off : end-recTrailer]
+		want := binary.LittleEndian.Uint32(stream[end-recTrailer:])
+		if storage.PageChecksum(body) != want {
+			break
+		}
+		data := make([]byte, dataLen)
+		copy(data, stream[off+recHeaderSize:end-recTrailer])
+		records = append(records, Record{
+			LSN:  lsn,
+			Type: typ,
+			Txn:  binary.LittleEndian.Uint64(hdr[9:]),
+			Page: storage.PageID{
+				File: storage.FileID(binary.LittleEndian.Uint32(hdr[17:])),
+				Page: int32(binary.LittleEndian.Uint32(hdr[21:])),
+			},
+			Data: data,
+		})
+		off = end
+	}
+	return records, int64(off)
+}
+
+// replayImage writes one committed after-image back to the device, creating
+// the file and allocating pages as needed: the crash may have landed before
+// the first write-back ever materialized them.
+func replayImage(dev storage.Device, r Record) error {
+	if len(r.Data) != dev.PageSize() {
+		return fmt.Errorf("wal: image for %v has %d bytes, device page size is %d",
+			r.Page, len(r.Data), dev.PageSize())
+	}
+	for int(r.Page.Page) >= dev.NumPages(r.Page.File) {
+		if _, err := dev.AllocPage(r.Page.File); err == nil {
+			continue
+		}
+		// AllocPage rejects unknown files; file IDs are dense, so creating
+		// files in order eventually materializes the target. Overshooting
+		// it means the failure had another cause.
+		if id := dev.CreateFile(); id > r.Page.File {
+			return fmt.Errorf("wal: cannot materialize file %d for replay of %v", r.Page.File, r.Page)
+		}
+	}
+	if err := dev.WritePage(r.Page, r.Data); err != nil {
+		return fmt.Errorf("wal: replaying image onto %v: %w", r.Page, err)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"spatialjoin/internal/join"
 	"spatialjoin/internal/joinindex"
 	"spatialjoin/internal/storage"
+	"spatialjoin/internal/wal"
 )
 
 // Strategy selects how a selection or join is computed, matching the
@@ -64,6 +65,9 @@ func (db *Database) SelectContext(ctx context.Context, c *Collection, o Spatial,
 	if c == nil || o == nil || op == nil {
 		return nil, Stats{}, fmt.Errorf("spatialjoin: nil select argument")
 	}
+	if err := db.checkUsable(); err != nil {
+		return nil, Stats{}, err
+	}
 	ctx, cancel := db.queryCtx(ctx)
 	defer cancel()
 	ids, stats, err := db.selectOnce(ctx, c, o, op, strategy)
@@ -103,6 +107,9 @@ func (db *Database) selectOnce(ctx context.Context, c *Collection, o Spatial, op
 // rID of collection r, against collection s, from the precomputed join
 // index for (r, s, op).
 func (db *Database) SelectStored(r *Collection, rID int, s *Collection, op Operator) ([]int, Stats, error) {
+	if err := db.checkUsable(); err != nil {
+		return nil, Stats{}, err
+	}
 	ix, ok := db.joinIndexFor(r, s, op)
 	if !ok {
 		return nil, Stats{}, fmt.Errorf("spatialjoin: no join index for %s ⋈ %s on %s",
@@ -131,6 +138,9 @@ func (db *Database) Join(r, s *Collection, op Operator, strategy Strategy) ([]Ma
 func (db *Database) JoinContext(ctx context.Context, r, s *Collection, op Operator, strategy Strategy) ([]Match, Stats, error) {
 	if r == nil || s == nil || op == nil {
 		return nil, Stats{}, fmt.Errorf("spatialjoin: nil join argument")
+	}
+	if err := db.checkUsable(); err != nil {
+		return nil, Stats{}, err
 	}
 	ctx, cancel := db.queryCtx(ctx)
 	defer cancel()
@@ -244,6 +254,14 @@ func (ji *JoinIndex) appendPair(rid, sid int) error {
 	return err
 }
 
+// decodePair parses one persisted (rid, sid) pair record.
+func decodePair(rec []byte) (rid, sid int, err error) {
+	if len(rec) != 16 {
+		return 0, 0, fmt.Errorf("spatialjoin: pair record of %d bytes, want 16", len(rec))
+	}
+	return int(binary.LittleEndian.Uint64(rec[0:])), int(binary.LittleEndian.Uint64(rec[8:])), nil
+}
+
 // joinIndexKey identifies an index by collections and operator.
 func joinIndexKey(r, s *Collection, op Operator) string {
 	return r.name + "\x00" + s.name + "\x00" + op.Name()
@@ -270,18 +288,32 @@ func (db *Database) BuildJoinIndex(r, s *Collection, op Operator) (*JoinIndex, S
 	if err != nil {
 		return nil, stats, err
 	}
-	file, err := storage.NewHeapFile(db.pool, db.cfg.FillFactor)
+	var ji *JoinIndex
+	err = db.runTxn(func(txn uint64) error {
+		file, err := storage.NewHeapFile(db.pool, db.cfg.FillFactor)
+		if err != nil {
+			return err
+		}
+		ji = &JoinIndex{r: r, s: s, op: op, ix: ix, file: file}
+		var werr error
+		ix.AllPairs(func(rid, sid int) bool {
+			werr = ji.appendPair(rid, sid)
+			return werr == nil
+		})
+		if werr != nil {
+			return werr
+		}
+		if db.wal != nil {
+			_, err = db.wal.AppendCatalog(txn, wal.RecNewJoinIndex,
+				wal.EncodeNewJoinIndex(wal.NewJoinIndex{
+					R: r.name, S: s.name, Operator: op.Name(), PairFile: file.File(),
+				}))
+			return err
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, stats, err
-	}
-	ji := &JoinIndex{r: r, s: s, op: op, ix: ix, file: file}
-	var werr error
-	ix.AllPairs(func(rid, sid int) bool {
-		werr = ji.appendPair(rid, sid)
-		return werr == nil
-	})
-	if werr != nil {
-		return nil, stats, werr
 	}
 	db.joinIndices[key] = ji
 	return ji, stats, nil

@@ -1,0 +1,85 @@
+package spatialjoin
+
+// FuzzRecovery drives the crash-sweep harness from fuzzed inputs: an
+// arbitrary crash point (by physical write ordinal), worker count, and
+// group-commit policy. The invariant is the tentpole guarantee itself —
+// reopening a crashed device never errors, and the recovered database is
+// byte-identical to a committed prefix of the workload for every strategy.
+
+import (
+	"testing"
+
+	"spatialjoin/internal/fault"
+)
+
+func FuzzRecovery(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(1))
+	f.Add(int64(7), uint8(4), uint8(1))
+	f.Add(int64(20), uint8(1), uint8(4))
+	f.Add(int64(39), uint8(2), uint8(2))
+	f.Add(int64(1000), uint8(3), uint8(8))
+	f.Fuzz(func(t *testing.T, crashAt int64, workers, group uint8) {
+		w := 1 + int(workers%8)
+		g := 1 + int(group%8)
+		// Keep the ordinal in a range that can actually fire plus a margin
+		// that exercises the no-crash path.
+		n := 1 + crashAt%64
+		if n < 0 {
+			n = -n
+		}
+		cfg := crashConfig(w, g)
+		if g > 1 {
+			// Group commit relaxes the in-flight-step ambiguity to the
+			// prefix property; the harness's two-candidate check only holds
+			// for sync-every-commit, so fuzz the strict policy for state
+			// equality and the relaxed one for crash-free recovery only.
+			db, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.FaultDisk().SetCrashAfterWrites(n)
+			crashed := false
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						if _, ok := fault.AsCrash(v); !ok {
+							panic(v)
+						}
+						crashed = true
+					}
+				}()
+				for _, st := range crashSteps() {
+					if err := st.run(db); err != nil {
+						t.Fatalf("step %s: %v", st.name, err)
+					}
+				}
+			}()
+			if !crashed {
+				return
+			}
+			db.FaultDisk().Reboot()
+			rdb, _, err := Reopen(cfg, db.Device())
+			if err != nil {
+				t.Fatalf("Reopen after group-commit crash at write %d: %v", n, err)
+			}
+			steps := crashSteps()
+			for j := -1; j < len(steps); j++ {
+				m := crashModel{}
+				if j >= 0 {
+					m = steps[j].model
+				}
+				ok, err := stateMatches(rdb, m)
+				if err != nil {
+					t.Fatalf("verifying recovered state: %v", err)
+				}
+				if ok {
+					return
+				}
+			}
+			t.Fatalf("group-commit recovery at write %d matches no committed prefix", n)
+		}
+		runCrashCase(t, cfg, t.Name(), func(fd *fault.Disk) {
+			fd.SetCrashAfterWrites(n)
+		})
+	})
+}
