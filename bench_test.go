@@ -8,6 +8,7 @@ package spatialjoin
 // and report cost-model units via b.ReportMetric.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"spatialjoin/internal/gridfile"
 	"spatialjoin/internal/join"
 	"spatialjoin/internal/localindex"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/pred"
 	"spatialjoin/internal/relation"
 	"spatialjoin/internal/rtree"
@@ -353,6 +355,78 @@ func BenchmarkMeasuredUpdate(b *testing.B) {
 	}
 	b.Run("tree_only_UII", mk(false))
 	b.Run("with_join_index_UIII", mk(true))
+}
+
+// --- Observability overhead on the Figure-8 workload -----------------------
+
+// BenchmarkFig8TraceOverhead prices the tracing hooks on the measured
+// Figure-8 select workload. "uninstrumented" replicates the executor's
+// pre-hook call path (measure + core.Select with no trace options) as the
+// baseline; "nil_trace" is the shipped off-by-default path (a context
+// lookup plus nil checks, the state every un-traced query pays); and
+// "full_trace" arms a fresh trace per query. The nil_trace column must
+// stay within 2% of the baseline — spatialbench -what trace prints the
+// same comparison as a table.
+func BenchmarkFig8TraceOverhead(b *testing.B) {
+	pool := newBenchPool(b, 16)
+	tab, tree := benchWorkload(b, pool, 1, 5, 4, relation.PlaceShuffled)
+	q := geom.NewRect(100, 100, 420, 420)
+	op := pred.Overlaps{}
+
+	b.Run("uninstrumented", func(b *testing.B) {
+		opts := &core.SelectOptions{
+			Traversal: core.BreadthFirst,
+			Touch: func(n core.Node) error {
+				id, ok := n.Tuple()
+				if !ok {
+					return nil
+				}
+				rid, err := tab.Rel.RID(id)
+				if err != nil {
+					return err
+				}
+				_, err = tab.Pool.Fetch(rid.Page)
+				return err
+			},
+		}
+		var reads int64
+		for i := 0; i < b.N; i++ {
+			if err := pool.DropAll(); err != nil {
+				b.Fatal(err)
+			}
+			before := pool.Stats().Misses
+			if _, err := core.Select(tree, q, op, opts); err != nil {
+				b.Fatal(err)
+			}
+			reads = pool.Stats().Misses - before
+		}
+		b.ReportMetric(float64(reads), "page_reads")
+	})
+	b.Run("nil_trace", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if err := pool.DropAll(); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := join.TreeSelectCtx(ctx, tree, tab, q, op, core.BreadthFirst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full_trace", func(b *testing.B) {
+		var spans int
+		for i := 0; i < b.N; i++ {
+			if err := pool.DropAll(); err != nil {
+				b.Fatal(err)
+			}
+			ctx, trace := obs.WithTrace(context.Background())
+			if _, _, err := join.TreeSelectCtx(ctx, tree, tab, q, op, core.BreadthFirst); err != nil {
+				b.Fatal(err)
+			}
+			spans = len(trace.Spans())
+		}
+		b.ReportMetric(float64(spans), "spans")
+	})
 }
 
 // --- Ablations of design choices -------------------------------------------

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/pred"
 )
 
@@ -37,10 +40,18 @@ func TestParseOp(t *testing.T) {
 	}
 }
 
+// testOptions is the shared small workload of the run tests.
+func testOptions(mode, op, strategy, layout string) options {
+	return options{
+		mode: mode, k: 3, height: 2, op: op, strategy: strategy, layout: layout,
+		buffer: 32, seed: 1, faultSeed: 1,
+	}
+}
+
 func runSjoin(t *testing.T, mode, op, strategy, layout string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, mode, 3, 2, op, strategy, layout, 32, 1, 0, 1, 0); err != nil {
+	if err := run(&sb, testOptions(mode, op, strategy, layout)); err != nil {
 		t.Fatal(err)
 	}
 	return sb.String()
@@ -48,7 +59,9 @@ func runSjoin(t *testing.T, mode, op, strategy, layout string) string {
 
 func TestRunWithFaultsRecoversAndReportsRetries(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "join", 3, 2, "overlaps", "tree", "clustered", 32, 1, 0, 7, 0.2); err != nil {
+	o := testOptions("join", "overlaps", "tree", "clustered")
+	o.faultSeed, o.faultRate = 7, 0.2
+	if err := run(&sb, o); err != nil {
 		t.Fatalf("join under transient faults must recover: %v", err)
 	}
 	out := sb.String()
@@ -106,22 +119,111 @@ func TestRunSelectSkipsIndex(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "join", 3, 2, "bogus", "all", "clustered", 32, 1, 0, 1, 0); err == nil {
+	if err := run(&sb, testOptions("join", "bogus", "all", "clustered")); err == nil {
 		t.Error("bad operator must fail")
 	}
-	if err := run(&sb, "join", 3, 2, "overlaps", "warp", "clustered", 32, 1, 0, 1, 0); err == nil {
+	if err := run(&sb, testOptions("join", "overlaps", "warp", "clustered")); err == nil {
 		t.Error("bad strategy must fail")
 	}
-	if err := run(&sb, "join", 3, 2, "overlaps", "all", "diagonal", 32, 1, 0, 1, 0); err == nil {
+	if err := run(&sb, testOptions("join", "overlaps", "all", "diagonal")); err == nil {
 		t.Error("bad layout must fail")
 	}
-	if err := run(&sb, "neither", 3, 2, "overlaps", "all", "clustered", 32, 1, 0, 1, 0); err == nil {
+	if err := run(&sb, testOptions("neither", "overlaps", "all", "clustered")); err == nil {
 		t.Error("bad mode must fail")
 	}
-	if err := run(&sb, "join", 3, 2, "overlaps", "all", "clustered", 0, 1, 0, 1, 0); err == nil {
+	zeroBuf := testOptions("join", "overlaps", "all", "clustered")
+	zeroBuf.buffer = 0
+	if err := run(&sb, zeroBuf); err == nil {
 		t.Error("zero buffer must fail")
 	}
-	if err := run(&sb, "join", 3, 2, "overlaps", "all", "clustered", 32, 1, 0, 1, 1.5); err == nil {
+	badRate := testOptions("join", "overlaps", "all", "clustered")
+	badRate.faultRate = 1.5
+	if err := run(&sb, badRate); err == nil {
 		t.Error("out-of-range fault rate must fail")
+	}
+}
+
+// explainLevelReads parses the "trace: level reads sum A == ... reads B"
+// summary line into its two totals.
+func explainLevelReads(t *testing.T, out string) (sum, total string, equal bool) {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "trace: level reads sum") {
+			continue
+		}
+		f := strings.Fields(line)
+		// trace: level reads sum <A> <==|!=> tree strategy page reads <B>
+		if len(f) != 11 {
+			t.Fatalf("malformed trace summary line: %q", line)
+		}
+		return f[4], f[10], f[5] == "=="
+	}
+	t.Fatalf("output has no trace summary line:\n%s", out)
+	return "", "", false
+}
+
+func TestRunExplainJoin(t *testing.T) {
+	var sb strings.Builder
+	o := testOptions("join", "overlaps", "tree", "clustered")
+	o.explain = true
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"explain analyze:", "treejoin", "qualpairs", "model IOa"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// The acceptance identity: the per-level reads of the printed trace sum
+	// exactly to the strategy's page-read counter.
+	sum, total, equal := explainLevelReads(t, out)
+	if !equal {
+		t.Fatalf("level reads sum %s != strategy page reads %s:\n%s", sum, total, out)
+	}
+	if sum == "0" {
+		t.Fatalf("traced join read no pages; workload too small:\n%s", out)
+	}
+}
+
+func TestRunExplainSelect(t *testing.T) {
+	var sb strings.Builder
+	o := testOptions("select", "overlaps", "tree", "shuffled")
+	o.explain = true
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"explain analyze:", "treeselect", "qualnodes", "model nodes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if _, _, equal := explainLevelReads(t, out); !equal {
+		t.Fatalf("select level reads do not telescope:\n%s", out)
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	var sb strings.Builder
+	reg := obs.NewRegistry()
+	reg.Counter("sjoin_test_total", "Test counter.").Add(3)
+	stop, err := serveMetrics(&sb, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	addr := strings.TrimSpace(strings.TrimPrefix(sb.String(), "metrics: serving "))
+	resp, err := http.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "sjoin_test_total 3") {
+		t.Fatalf("metrics endpoint returned %d:\n%s", resp.StatusCode, body)
 	}
 }

@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -26,18 +29,23 @@ import (
 	"time"
 
 	"spatialjoin"
+	"spatialjoin/internal/core"
 	"spatialjoin/internal/costmodel"
 	"spatialjoin/internal/datagen"
 	"spatialjoin/internal/fault"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/join"
 	"spatialjoin/internal/modelcheck"
+	"spatialjoin/internal/obs"
+	"spatialjoin/internal/pred"
+	"spatialjoin/internal/relation"
 	"spatialjoin/internal/storage"
 	"spatialjoin/internal/zorder"
 )
 
 func main() {
 	what := flag.String("what", "all",
-		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, scaling, faults, wal, all (scaling, faults and wal are measured, not analytic, and are excluded from all)")
+		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, scaling, faults, wal, trace, all (scaling, faults, wal and trace are measured, not analytic, and are excluded from all)")
 	points := flag.Int("points", 13, "selectivity samples per figure")
 	pmin := flag.Float64("pmin", 1e-12, "smallest selectivity for join figures")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
@@ -49,43 +57,93 @@ func main() {
 	walGroup := flag.Int("wal-group", 8, "group-commit size in the -what wal table")
 	crashAt := flag.Int64("crash-at", 0, "with -what wal: crash after this many physical writes, then recover")
 	doRecover := flag.Bool("recover", false, "with -what wal: run the crash/recovery cycle and print its ledger")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and pprof on this address; measured runs feed the registry")
+	serveFor := flag.Duration("serve-for", 0, "with -metrics-addr: keep serving this long after the run completes")
 	flag.Parse()
 
 	if *useWAL {
 		*what = "wal"
 	}
+	o := benchOpts{
+		what:      *what,
+		points:    *points,
+		pmin:      *pmin,
+		workers:   *workers,
+		timeout:   *timeout,
+		faultSeed: *faultSeed,
+		faultRate: *faultRate,
+		walGroup:  *walGroup,
+		crashAt:   *crashAt,
+		doRecover: *doRecover,
+	}
+	if *metricsAddr != "" {
+		o.metrics = obs.NewRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spatialbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
+		srv := &http.Server{Handler: obs.NewMux(o.metrics)}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "spatialbench: metrics server:", err)
+			}
+		}()
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "spatialbench: closing metrics server:", err)
+			}
+		}()
+	}
 	prm := costmodel.PaperParams()
-	if err := run(os.Stdout, prm, *what, *points, *pmin, *workers, *timeout, *faultSeed, *faultRate,
-		*walGroup, *crashAt, *doRecover); err != nil {
+	if err := run(os.Stdout, prm, o); err != nil {
 		fmt.Fprintln(os.Stderr, "spatialbench:", err)
 		os.Exit(1)
 	}
+	if *metricsAddr != "" && *serveFor > 0 {
+		time.Sleep(*serveFor)
+	}
 }
 
-func run(out io.Writer, prm costmodel.Params, what string, points int, pmin float64, workers int,
-	timeout time.Duration, faultSeed int64, faultRate float64,
-	walGroup int, crashAt int64, doRecover bool) error {
+// benchOpts collects run's knob surface; metrics, when non-nil, is the
+// registry the measured figures attach to the databases they open.
+type benchOpts struct {
+	what      string
+	points    int
+	pmin      float64
+	workers   int
+	timeout   time.Duration
+	faultSeed int64
+	faultRate float64
+	walGroup  int
+	crashAt   int64
+	doRecover bool
+	metrics   *obs.Registry
+}
 
+func run(out io.Writer, prm costmodel.Params, o benchOpts) error {
 	figures := map[string]func() error{
 		"params":   func() error { return printParams(out, prm) },
 		"fig1":     func() error { return printFig1(out) },
 		"fig7":     func() error { return printFig7(out, prm) },
-		"fig8":     func() error { return printSelectFigure(out, prm, costmodel.Uniform, points) },
-		"fig9":     func() error { return printSelectFigure(out, prm, costmodel.NoLoc, points) },
-		"fig10":    func() error { return printSelectFigure(out, prm, costmodel.HiLoc, points) },
-		"fig11":    func() error { return printJoinFigure(out, prm, costmodel.Uniform, points, pmin) },
-		"fig12":    func() error { return printJoinFigure(out, prm, costmodel.NoLoc, points, pmin) },
-		"fig13":    func() error { return printJoinFigure(out, prm, costmodel.HiLoc, points, pmin) },
+		"fig8":     func() error { return printSelectFigure(out, prm, costmodel.Uniform, o.points) },
+		"fig9":     func() error { return printSelectFigure(out, prm, costmodel.NoLoc, o.points) },
+		"fig10":    func() error { return printSelectFigure(out, prm, costmodel.HiLoc, o.points) },
+		"fig11":    func() error { return printJoinFigure(out, prm, costmodel.Uniform, o.points, o.pmin) },
+		"fig12":    func() error { return printJoinFigure(out, prm, costmodel.NoLoc, o.points, o.pmin) },
+		"fig13":    func() error { return printJoinFigure(out, prm, costmodel.HiLoc, o.points, o.pmin) },
 		"updates":  func() error { return printUpdates(out, prm) },
 		"validate": func() error { return printValidate(out) },
-		"scaling":  func() error { return printScaling(out, workers) },
-		"faults":   func() error { return printFaults(out, faultSeed, faultRate, timeout) },
-		"wal":      func() error { return printWAL(out, faultSeed, walGroup, crashAt, doRecover) },
+		"scaling":  func() error { return printScaling(out, o.workers) },
+		"faults":   func() error { return printFaults(out, o.faultSeed, o.faultRate, o.timeout, o.metrics) },
+		"wal":      func() error { return printWAL(out, o.faultSeed, o.walGroup, o.crashAt, o.doRecover) },
+		"trace":    func() error { return printTraceOverhead(out) },
 	}
-	if what != "all" {
-		f, ok := figures[what]
+	if o.what != "all" {
+		f, ok := figures[o.what]
 		if !ok {
-			return fmt.Errorf("unknown -what %q", what)
+			return fmt.Errorf("unknown -what %q", o.what)
 		}
 		return f()
 	}
@@ -294,8 +352,13 @@ func printFig1(out io.Writer) error {
 // time, the pool's retry counts, and the device's faulted attempts. The
 // match count must be identical on every row — recovery is only allowed to
 // cost time, never correctness. Measured on this machine, not derived from
-// the cost model.
-func printFaults(out io.Writer, seed int64, maxRate float64, timeout time.Duration) error {
+// the cost model. A non-nil registry is attached to every database the
+// sweep opens, so -metrics-addr exposes the run's pool, query, and
+// parallel-pool families while it executes; the registry's samplers are
+// get-or-create by name, so the most recently opened database is the one
+// a scrape observes (the rows run sequentially, which is what a scraper
+// watching the sweep wants).
+func printFaults(out io.Writer, seed int64, maxRate float64, timeout time.Duration, reg *obs.Registry) error {
 	if maxRate < 0 || maxRate >= 1 {
 		return fmt.Errorf("fault rate %g out of [0, 1)", maxRate)
 	}
@@ -312,6 +375,7 @@ func printFaults(out io.Writer, seed int64, maxRate float64, timeout time.Durati
 		cfg := spatialjoin.DefaultConfig()
 		cfg.Workers = 1
 		cfg.QueryTimeout = timeout
+		cfg.Metrics = reg
 		if rate > 0 {
 			cfg.Fault = &fault.Options{
 				Seed:               seed,
@@ -431,4 +495,136 @@ func printScaling(out io.Writer, maxWorkers int) error {
 			n, float64(best.Microseconds())/1000, float64(base)/float64(best), pairs)
 	}
 	return w.Flush()
+}
+
+// traceWorkload mirrors sjoin's workload builder: a model tree's tuples
+// bulk-loaded with shuffled placement — the Figure-8 measured-select
+// configuration (k = 5, height 4, uniform rectangles).
+func traceWorkload(pool *storage.BufferPool) (join.Table, core.Tree, error) {
+	rng := rand.New(rand.NewSource(1))
+	world := geom.NewRect(0, 0, 1000, 1000)
+	tree, n := datagen.ModelTree(rng, world, 5, 4)
+	rects := make([]geom.Rect, n)
+	core.Walk(tree, func(nd core.Node, _ int) bool {
+		if id, ok := nd.Tuple(); ok {
+			rects[id] = nd.Bounds()
+		}
+		return true
+	})
+	sch, err := relation.NewSchema(
+		relation.Column{Name: "id", Type: relation.TypeInt64},
+		relation.Column{Name: "mbr", Type: relation.TypeRect},
+	)
+	if err != nil {
+		return join.Table{}, nil, err
+	}
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{int64(i), rects[i]}
+	}
+	rel, err := relation.BulkLoad(pool, "trace", sch, tuples, relation.PlaceShuffled, 0.75, 1)
+	if err != nil {
+		return join.Table{}, nil, err
+	}
+	tab, err := join.NewTable(rel, 1, pool)
+	if err != nil {
+		return join.Table{}, nil, err
+	}
+	return tab, tree, nil
+}
+
+// printTraceOverhead prices the tracing hooks on the measured Figure-8
+// select workload, the table-shaped twin of BenchmarkFig8TraceOverhead:
+// "off" replicates the executor's pre-hook call path as the baseline,
+// "nil-trace" is the shipped off-by-default state every un-traced query
+// pays (a context lookup plus nil checks), and "full-trace" arms a fresh
+// trace per query. The nil-trace row must stay within the 2% budget.
+func printTraceOverhead(out io.Writer) error {
+	pool, err := storage.NewBufferPool(storage.NewDisk(2000), 16)
+	if err != nil {
+		return err
+	}
+	tab, tree, err := traceWorkload(pool)
+	if err != nil {
+		return err
+	}
+	q := geom.NewRect(100, 100, 420, 420)
+	op := pred.Overlaps{}
+	const reps = 300
+
+	touch := func(n core.Node) error {
+		id, ok := n.Tuple()
+		if !ok {
+			return nil
+		}
+		rid, err := tab.Rel.RID(id)
+		if err != nil {
+			return err
+		}
+		_, err = tab.Pool.Fetch(rid.Page)
+		return err
+	}
+	rows := []struct {
+		name  string
+		note  string
+		query func() error
+	}{
+		{"off", "pre-hook call path, no trace plumbing", func() error {
+			opts := &core.SelectOptions{Traversal: core.BreadthFirst, Touch: touch}
+			_, err := core.Select(tree, q, op, opts)
+			return err
+		}},
+		{"nil-trace", "shipped default: context lookup + nil checks", func() error {
+			_, _, err := join.TreeSelectCtx(context.Background(), tree, tab, q, op, core.BreadthFirst)
+			return err
+		}},
+		{"full-trace", "obs.WithTrace armed per query", func() error {
+			ctx, _ := obs.WithTrace(context.Background())
+			_, _, err := join.TreeSelectCtx(ctx, tree, tab, q, op, core.BreadthFirst)
+			return err
+		}},
+	}
+	measure := func(query func() error) (time.Duration, error) {
+		// One warm-up query absorbs lazy initialization before the clock
+		// starts; every timed query runs cold via DropAll.
+		if err := pool.DropAll(); err != nil {
+			return 0, err
+		}
+		if err := query(); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := pool.DropAll(); err != nil {
+				return 0, err
+			}
+			if err := query(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	fmt.Fprintf(out, "== Tracing overhead, measured Figure-8 select workload (cold cache, %d queries per row) ==\n", reps)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "mode\twall ms\tus/query\tvs off\tnote\n")
+	var base time.Duration
+	for i, row := range rows {
+		d, err := measure(row.query)
+		if err != nil {
+			return fmt.Errorf("%s row: %w", row.name, err)
+		}
+		if i == 0 {
+			base = d
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.1f\t%+.2f%%\t%s\n",
+			row.name, float64(d.Microseconds())/1000,
+			float64(d.Microseconds())/float64(reps),
+			100*(float64(d)/float64(base)-1), row.note)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "budget: nil-trace must stay within 2% of off (asserted by BenchmarkFig8TraceOverhead);")
+	fmt.Fprintln(out, "single-run wall clocks are noisy — prefer the benchmark for a pass/fail verdict.")
+	return nil
 }

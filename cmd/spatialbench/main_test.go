@@ -5,12 +5,21 @@ import (
 	"testing"
 
 	"spatialjoin/internal/costmodel"
+	"spatialjoin/internal/obs"
 )
+
+// testOpts is the shared small configuration of the run tests.
+func testOpts(what string) benchOpts {
+	return benchOpts{
+		what: what, points: 7, pmin: 1e-12, workers: 2,
+		faultSeed: 11, faultRate: 0.2, walGroup: 4,
+	}
+}
 
 func render(t *testing.T, what string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), what, 7, 1e-12, 2, 0, 11, 0.2, 4, 0, false); err != nil {
+	if err := run(&sb, costmodel.PaperParams(), testOpts(what)); err != nil {
 		t.Fatalf("run(%s): %v", what, err)
 	}
 	return sb.String()
@@ -18,7 +27,7 @@ func render(t *testing.T, what string) string {
 
 func TestRunUnknownWhat(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "fig99", 7, 1e-12, 2, 0, 11, 0.2, 4, 0, false); err == nil {
+	if err := run(&sb, costmodel.PaperParams(), testOpts("fig99")); err == nil {
 		t.Fatal("unknown -what must fail")
 	}
 }
@@ -119,7 +128,9 @@ func TestJoinFigureOutputs(t *testing.T) {
 	// Figure 11's headline: the UNIFORM crossover near 1e-9, resolved on a
 	// fine grid (25 points over 12 decades → half-decade steps).
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "fig11", 25, 1e-12, 2, 0, 11, 0.2, 4, 0, false); err != nil {
+	o := testOpts("fig11")
+	o.points = 25
+	if err := run(&sb, costmodel.PaperParams(), o); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -131,8 +142,12 @@ func TestJoinFigureOutputs(t *testing.T) {
 
 func TestFaultsOutput(t *testing.T) {
 	var sb strings.Builder
-	// A small swept rate keeps the backoff sleeps short in the test.
-	if err := run(&sb, costmodel.PaperParams(), "faults", 7, 1e-12, 2, 0, 11, 0.04, 4, 0, false); err != nil {
+	// A small swept rate keeps the backoff sleeps short in the test, and
+	// the attached registry checks the sweep feeds a served registry.
+	o := testOpts("faults")
+	o.faultRate = 0.04
+	o.metrics = obs.NewRegistry()
+	if err := run(&sb, costmodel.PaperParams(), o); err != nil {
 		t.Fatalf("run(faults): %v", err)
 	}
 	out := sb.String()
@@ -152,6 +167,41 @@ func TestFaultsOutput(t *testing.T) {
 	}
 	if len(matches) != 1 {
 		t.Fatalf("match counts differ across fault rates: %v\n%s", matches, out)
+	}
+	// The sweep's databases fed the attached registry.
+	var prom strings.Builder
+	if err := o.metrics.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"spatialjoin_queries_total", "spatialjoin_pool_misses_total", "spatialjoin_query_seconds_bucket",
+	} {
+		if !strings.Contains(prom.String(), fam) {
+			t.Fatalf("faults sweep did not feed %s:\n%s", fam, prom.String())
+		}
+	}
+}
+
+func TestTraceOverheadOutput(t *testing.T) {
+	out := render(t, "trace")
+	for _, want := range []string{"Tracing overhead", "mode", "vs off", "nil-trace", "full-trace", "budget"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	// Three data rows, each with a wall-clock column parsing as +x.xx%.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) > 4 && (f[0] == "off" || f[0] == "nil-trace" || f[0] == "full-trace") {
+			rows++
+			if !strings.HasSuffix(f[3], "%") {
+				t.Fatalf("row %q has no overhead percentage", line)
+			}
+		}
+	}
+	if rows != 3 {
+		t.Fatalf("trace table has %d rows, want 3:\n%s", rows, out)
 	}
 }
 

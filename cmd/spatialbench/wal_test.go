@@ -9,7 +9,7 @@ import (
 
 func TestWALOverheadOutput(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "wal", 7, 1e-12, 2, 0, 11, 0.2, 4, 0, false); err != nil {
+	if err := run(&sb, costmodel.PaperParams(), testOpts("wal")); err != nil {
 		t.Fatalf("run(wal): %v", err)
 	}
 	out := sb.String()
@@ -38,7 +38,9 @@ func TestWALOverheadOutput(t *testing.T) {
 
 func TestWALCrashCycleOutput(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "wal", 7, 1e-12, 2, 0, 11, 0.2, 4, 40, false); err != nil {
+	o := testOpts("wal")
+	o.crashAt = 40
+	if err := run(&sb, costmodel.PaperParams(), o); err != nil {
 		t.Fatalf("run(wal, crash-at 40): %v", err)
 	}
 	out := sb.String()
@@ -52,7 +54,9 @@ func TestWALCrashCycleOutput(t *testing.T) {
 
 func TestWALRecoverWithoutCrash(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, costmodel.PaperParams(), "wal", 7, 1e-12, 2, 0, 11, 0.2, 4, 0, true); err != nil {
+	o := testOpts("wal")
+	o.doRecover = true
+	if err := run(&sb, costmodel.PaperParams(), o); err != nil {
 		t.Fatalf("run(wal, recover): %v", err)
 	}
 	out := sb.String()

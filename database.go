@@ -9,6 +9,7 @@ import (
 
 	"spatialjoin/internal/fault"
 	"spatialjoin/internal/join"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/relation"
 	"spatialjoin/internal/rtree"
 	"spatialjoin/internal/storage"
@@ -57,6 +58,13 @@ type Config struct {
 	// cost of losing the newest unsynced transactions in a crash — never
 	// of corrupting the survivors.
 	WALGroupCommit int
+	// Metrics, when non-nil, exposes the engine through the registry:
+	// buffer pool, disk, WAL, worker pool, and per-query counters are
+	// registered at Open and sampled at scrape time, so query hot paths
+	// stay unobserved-cost-free. Give each database its own registry —
+	// samplers are keyed by metric name and a second database would
+	// overwrite the first's. Serve it with obs.NewMux or WritePrometheus.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a laptop-scale configuration with the paper's page
@@ -135,7 +143,7 @@ func Open(cfg Config) (*Database, error) {
 	if lg != nil {
 		pool.SetWAL(lg)
 	}
-	return &Database{
+	db := &Database{
 		cfg:         cfg,
 		pool:        pool,
 		faultDisk:   fd,
@@ -143,8 +151,13 @@ func Open(cfg Config) (*Database, error) {
 		collections: make(map[string]*Collection),
 		joinIndices: make(map[string]*JoinIndex),
 		nextTxn:     1,
-	}, nil
+	}
+	db.registerMetrics()
+	return db, nil
 }
+
+// Metrics returns the registry configured at Open, or nil.
+func (db *Database) Metrics() *obs.Registry { return db.cfg.Metrics }
 
 // Collection is a named set of spatial objects, stored in a heap file and
 // indexed by an R-tree generalization tree. The R-tree itself is rebuilt

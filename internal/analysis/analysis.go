@@ -85,6 +85,7 @@ func All() []*Analyzer {
 		CtxPool,
 		StatsReset,
 		ThetaPair,
+		JoinAlloc,
 	}
 }
 

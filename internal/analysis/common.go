@@ -14,6 +14,7 @@ const (
 	walPkgPath      = "spatialjoin/internal/wal"
 	parallelPkgPath = "spatialjoin/internal/parallel"
 	geomPkgPath     = "spatialjoin/internal/geom"
+	obsPkgPath      = "spatialjoin/internal/obs"
 	atomicPkgPath   = "sync/atomic"
 )
 

@@ -117,6 +117,7 @@ func TestErrDropGolden(t *testing.T)       { runGolden(t, ErrDrop) }
 func TestCtxPoolGolden(t *testing.T)       { runGolden(t, CtxPool) }
 func TestStatsResetGolden(t *testing.T)    { runGolden(t, StatsReset) }
 func TestThetaPairGolden(t *testing.T)     { runGolden(t, ThetaPair) }
+func TestJoinAllocGolden(t *testing.T)     { runGolden(t, JoinAlloc) }
 
 // TestRepoIsClean is the self-hosting gate: the entire module must pass
 // every analyzer with zero findings, so a regression anywhere in the tree

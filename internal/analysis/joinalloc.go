@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// JoinAlloc enforces the allocation discipline of the join executors: in
+// the packages that run the synchronized descent and the tuple-at-a-time
+// inner loops (core, join, zorder), code nested two or more loops deep
+// must neither allocate geometry (a fresh slice, heap escape, or append
+// of geom-package values per candidate pair multiplies into O(n·m)
+// garbage) nor call into the observability layer (tracing and metrics
+// hooks belong at level and block boundaries, where their cost amortizes
+// over a whole frontier — that is what keeps the nil-trace path free).
+// Function literals reset the nesting count: a worker body handed to the
+// parallel pool starts its own loop structure.
+var JoinAlloc = &Analyzer{
+	Name: "joinalloc",
+	Doc:  "in the join-executor packages (core, join, zorder), forbid geometry allocation and observability calls inside inner (nested) loops",
+	Run:  runJoinAlloc,
+}
+
+// joinAllocPkgs names the executor packages the discipline binds.
+var joinAllocPkgs = map[string]bool{"core": true, "join": true, "zorder": true}
+
+// innerLoopDepth is the nesting level at which the checks arm: the body
+// of a loop inside a loop.
+const innerLoopDepth = 2
+
+func runJoinAlloc(pass *Pass) {
+	if !joinAllocPkgs[pass.Pkg.Name()] {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				walkAllocDepth(pass, fd.Body, 0)
+			}
+		}
+	}
+}
+
+// walkAllocDepth traverses n tracking loop-nesting depth. Loop subtrees
+// (header and body alike — a header expression re-evaluates per
+// iteration) recurse one level deeper; function literals restart at zero.
+func walkAllocDepth(pass *Pass, root ast.Node, depth int) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == root {
+			return true
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			walkAllocDepth(pass, v.Body, 0)
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			walkAllocDepth(pass, v, depth+1)
+			return false
+		}
+		if depth >= innerLoopDepth {
+			checkAllocNode(pass, n)
+		}
+		return true
+	})
+}
+
+// checkAllocNode reports the forbidden shapes at one inner-loop node:
+// geometry-backed make/new/append, address-taken or slice-kinded geometry
+// composite literals, and any call into the obs package.
+func checkAllocNode(pass *Pass, n ast.Node) {
+	switch v := n.(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "new":
+					if len(v.Args) == 1 && geomBacked(pass.TypeOf(v.Args[0])) {
+						reportGeomAlloc(pass, v.Pos(), "new of geometry")
+					}
+				case "make":
+					if geomBacked(pass.TypeOf(v)) {
+						reportGeomAlloc(pass, v.Pos(), "make of geometry storage")
+					}
+				case "append":
+					if geomBacked(pass.TypeOf(v)) {
+						reportGeomAlloc(pass, v.Pos(), "append of geometry values")
+					}
+				}
+				return
+			}
+		}
+		if fn := calleeFunc(pass, v); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == obsPkgPath {
+			pass.Reportf(v.Pos(),
+				"observability call %s.%s inside a join inner loop; hoist tracing and metrics to the level or block boundary so the per-pair path stays free",
+				fn.Pkg().Name(), fn.Name())
+		}
+	case *ast.UnaryExpr:
+		if v.Op != token.AND {
+			return
+		}
+		if cl, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok && geomBacked(pass.TypeOf(cl)) {
+			reportGeomAlloc(pass, v.Pos(), "heap-escaping geometry literal")
+		}
+	case *ast.CompositeLit:
+		// A value-typed geometry literal is a stack value and stays
+		// legal; slice- and map-kinded literals allocate backing storage.
+		t := pass.TypeOf(v)
+		if t == nil {
+			return
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			if geomBacked(t) {
+				reportGeomAlloc(pass, v.Pos(), "geometry slice literal")
+			}
+		}
+	}
+}
+
+func reportGeomAlloc(pass *Pass, pos token.Pos, what string) {
+	pass.Reportf(pos,
+		"geometry allocation (%s) inside a join inner loop; hoist the buffer out of the per-pair path or reuse a scratch value",
+		what)
+}
+
+// geomBacked reports whether t is declared in the geom package, or is a
+// slice, array, map, or pointer whose elements ultimately are.
+func geomBacked(t types.Type) bool {
+	for t != nil {
+		if named := namedOf(t); named != nil {
+			if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == geomPkgPath {
+				return true
+			}
+			t = named.Underlying()
+			continue
+		}
+		switch u := t.(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Pointer:
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+// Package join is a golden fixture for the joinalloc analyzer: geometry
+// allocations and observability calls inside nested join loops multiply
+// per candidate pair, so they must live at loop or level boundaries.
+package join
+
+import (
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
+)
+
+// nestedAppend grows a geometry buffer once per candidate pair.
+func nestedAppend(rs, ss []geom.Rect) []geom.Rect {
+	var hits []geom.Rect
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Intersects(s) {
+				hits = append(hits, s) // want "append of geometry values"
+			}
+		}
+	}
+	return hits
+}
+
+// nestedMakeAndEscape allocates scratch geometry per pair, twice over.
+func nestedMakeAndEscape(rs, ss []geom.Rect, sink func(*geom.Rect, []geom.Point)) {
+	for range rs {
+		for _, s := range ss {
+			pts := make([]geom.Point, 0, 4)     // want "make of geometry storage"
+			sink(&geom.Rect{MinX: s.MinX}, pts) // want "heap-escaping geometry literal"
+		}
+	}
+}
+
+// nestedLiterals exercises the slice-literal and new shapes.
+func nestedLiterals(rs, ss []geom.Rect, sink func(geom.Polygon, *geom.Point)) {
+	for range rs {
+		for range ss {
+			pg := geom.Polygon{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}} // want "geometry slice literal"
+			sink(pg, new(geom.Point))                                    // want "new of geometry"
+		}
+	}
+}
+
+// nestedTracing calls the observability layer per pair: the nil-trace
+// fast path is only free when the hooks sit at level boundaries.
+func nestedTracing(tr *obs.Trace, sp obs.SpanID, rs, ss []geom.Rect) {
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Intersects(s) {
+				tr.Annotate(sp, obs.Int("pair", 1)) // want "observability call obs.Annotate" "observability call obs.Int"
+			}
+		}
+	}
+}
+
+// outerLoopBuffer is the approved pattern: the buffer grows at loop depth
+// one, and a value-typed geometry literal is a stack value at any depth.
+func outerLoopBuffer(rs, ss []geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, geom.Rect{MinX: r.MinX})
+		for _, s := range ss {
+			_ = geom.Rect{MinX: r.MinX, MaxX: s.MaxX}
+		}
+	}
+	return out
+}
+
+// workerReset shows a function literal restarting the nesting count: the
+// pool worker's own single loop is an outer loop again.
+func workerReset(rs []geom.Rect, spawn func(func() []geom.Rect)) {
+	for range rs {
+		for range rs {
+			spawn(func() []geom.Rect {
+				var local []geom.Rect
+				for _, r := range rs {
+					local = append(local, r)
+				}
+				return local
+			})
+		}
+	}
+}
+
+// suppressed documents the escape hatch for a justified inner-loop copy.
+func suppressed(rs, ss []geom.Rect) []geom.Rect {
+	var hits []geom.Rect
+	for range rs {
+		for _, s := range ss {
+			//sjlint:ignore joinalloc result buffer, amortized by growth policy
+			hits = append(hits, s)
+		}
+	}
+	return hits
+}

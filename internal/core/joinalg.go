@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/parallel"
 	"spatialjoin/internal/pred"
 )
@@ -45,6 +46,20 @@ type JoinOptions struct {
 	// between worker chunks, and every ctxStride node examinations inside a
 	// chunk, and its error aborts the join mid-descent.
 	Ctx context.Context
+	// Trace, when non-nil, records the synchronized descent: one span named
+	// "level" per QualPairs level, nested under TraceParent, carrying the
+	// level index, its QualPairs cardinality, and the filter/exact/node
+	// deltas accrued expanding it. A level aborted by an error still ends
+	// its span (with an "error" event), so failed queries keep a complete
+	// trace.
+	Trace       *obs.Trace
+	TraceParent obs.SpanID
+	// TraceReads, when non-nil, is sampled at the sequential level
+	// boundaries; each level span carries the delta as its "reads"
+	// attribute. Levels are expanded one at a time (the worker fan-out is
+	// per level, with a barrier), so the per-level deltas telescope: they
+	// sum exactly to the sampler's total movement across the descent.
+	TraceReads func() int64
 }
 
 // JoinResult is the output of algorithm JOIN.
@@ -82,7 +97,7 @@ func Join(tr, ts Tree, op pred.Operator, opts *JoinOptions) (*JoinResult, error)
 	}
 
 	qual := []qualPair{{rootR, rootS}}
-	for len(qual) > 0 {
+	for level := 0; len(qual) > 0; level++ {
 		if options.Ctx != nil {
 			if err := options.Ctx.Err(); err != nil {
 				return nil, err
@@ -91,10 +106,37 @@ func Join(tr, ts Tree, op pred.Operator, opts *JoinOptions) (*JoinResult, error)
 		if len(qual) > res.Stats.MaxQueue {
 			res.Stats.MaxQueue = len(qual)
 		}
+		if options.Trace == nil {
+			next, err := expandLevel(qual, op, &options, res)
+			if err != nil {
+				return nil, err
+			}
+			qual = next
+			continue
+		}
+		span := options.Trace.Begin(options.TraceParent, "level")
+		before := res.Stats
+		var readsBefore int64
+		if options.TraceReads != nil {
+			readsBefore = options.TraceReads()
+		}
 		next, err := expandLevel(qual, op, &options, res)
+		attrs := []obs.Attr{
+			obs.Int("level", int64(level)),
+			obs.Int("qualpairs", int64(len(qual))),
+			obs.Int("filter_evals", res.Stats.FilterEvals-before.FilterEvals),
+			obs.Int("exact_evals", res.Stats.ExactEvals-before.ExactEvals),
+			obs.Int("nodes", res.Stats.NodesExamined-before.NodesExamined),
+		}
+		if options.TraceReads != nil {
+			attrs = append(attrs, obs.Int("reads", options.TraceReads()-readsBefore))
+		}
 		if err != nil {
+			options.Trace.Event(span, "error", obs.Str("error", err.Error()))
+			options.Trace.End(span, attrs...)
 			return nil, err
 		}
+		options.Trace.End(span, attrs...)
 		qual = next
 	}
 	return res, nil

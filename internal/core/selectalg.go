@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/pred"
 )
 
@@ -57,6 +58,16 @@ type SelectOptions struct {
 	// breadth-first levels and every ctxStride node examinations, and its
 	// error aborts the selection.
 	Ctx context.Context
+	// Trace, when non-nil, records the traversal under TraceParent: one
+	// "level" span per QualNodes level breadth-first (with the level index,
+	// cardinality, and work deltas), or a single "dfs" span for the
+	// depth-first variant. An aborted traversal still ends its open span
+	// with an "error" event, keeping failed queries' traces complete.
+	Trace       *obs.Trace
+	TraceParent obs.SpanID
+	// TraceReads, when non-nil, is sampled at level boundaries; each span
+	// carries its delta as the "reads" attribute (see JoinOptions).
+	TraceReads func() int64
 }
 
 // SelectResult is the output of algorithm SELECT.
@@ -86,14 +97,17 @@ func Select(tree Tree, o geom.Spatial, op pred.Operator, opts *SelectOptions) (*
 	}
 	ob := o.Bounds()
 	if options.Traversal == DepthFirst {
-		if err := selectDFS(root, o, ob, op, &options, res); err != nil {
+		end := traceLevel(&options, res, "dfs", -1, 1)
+		err := selectDFS(root, o, ob, op, &options, res)
+		end(err)
+		if err != nil {
 			return nil, err
 		}
 		return res, nil
 	}
 	// Breadth-first: QualNodes[j] is the worklist for the current level.
 	qual := []Node{root}
-	for len(qual) > 0 {
+	for level := 0; len(qual) > 0; level++ {
 		if options.Ctx != nil {
 			if err := options.Ctx.Err(); err != nil {
 				return nil, err
@@ -102,19 +116,61 @@ func Select(tree Tree, o geom.Spatial, op pred.Operator, opts *SelectOptions) (*
 		if len(qual) > res.Stats.MaxQueue {
 			res.Stats.MaxQueue = len(qual)
 		}
+		end := traceLevel(&options, res, "level", level, len(qual))
 		var next []Node
+		var lvlErr error
 		for _, a := range qual {
 			ok, err := examine(a, o, ob, op, &options, res)
 			if err != nil {
-				return nil, err
+				lvlErr = err
+				break
 			}
 			if ok {
 				next = append(next, a.Children()...)
 			}
 		}
+		end(lvlErr)
+		if lvlErr != nil {
+			return nil, lvlErr
+		}
 		qual = next
 	}
 	return res, nil
+}
+
+// traceLevel opens one traversal span (a breadth-first level or the whole
+// depth-first descent) and returns the closure that ends it with the work
+// deltas — and an "error" event when the traversal aborted. With tracing
+// off it returns a no-op without touching the clock.
+func traceLevel(options *SelectOptions, res *SelectResult, name string, level, width int) func(error) {
+	if options.Trace == nil {
+		return func(error) {}
+	}
+	span := options.Trace.Begin(options.TraceParent, name)
+	before := res.Stats
+	var readsBefore int64
+	if options.TraceReads != nil {
+		readsBefore = options.TraceReads()
+	}
+	return func(err error) {
+		attrs := make([]obs.Attr, 0, 6)
+		if level >= 0 {
+			attrs = append(attrs, obs.Int("level", int64(level)))
+		}
+		attrs = append(attrs,
+			obs.Int("qualnodes", int64(width)),
+			obs.Int("filter_evals", res.Stats.FilterEvals-before.FilterEvals),
+			obs.Int("exact_evals", res.Stats.ExactEvals-before.ExactEvals),
+			obs.Int("nodes", res.Stats.NodesExamined-before.NodesExamined),
+		)
+		if options.TraceReads != nil {
+			attrs = append(attrs, obs.Int("reads", options.TraceReads()-readsBefore))
+		}
+		if err != nil {
+			options.Trace.Event(span, "error", obs.Str("error", err.Error()))
+		}
+		options.Trace.End(span, attrs...)
+	}
 }
 
 // selectDFS is the depth-first variant of SELECT.

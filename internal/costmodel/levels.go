@@ -1,0 +1,90 @@
+package costmodel
+
+import "math"
+
+// SelectLevelTerm is one tree level's contribution to the strategy-II
+// selection cost C_IIa/C_IIb: the expected node examinations the descent
+// performs entering that level and the Yao-paged I/O charged for them
+// under unclustered (IIa) and clustered (IIb) storage. The EXPLAIN surface
+// prints these next to a traced descent's measured per-level reads.
+type SelectLevelTerm struct {
+	// Level indexes the descent: level 0 expands the root's children.
+	Level int
+	// Nodes is the expected examinations π_{h,i}·k^{i+1} at this level.
+	Nodes float64
+	// IOa / IOb are the level's page-read terms of C_IIa / C_IIb.
+	IOa, IOb float64
+}
+
+// SelectLevelTerms decomposes the I/O components of SelectCosts(h) level
+// by level; the terms sum exactly to the ioA/ioB aggregates inside
+// SelectCosts, so Σ IOa·C_IO = C_IIa − C_II^Θ (and likewise for b).
+func (m Model) SelectLevelTerms(h int) []SelectLevelTerm {
+	prm := m.Prm
+	n := prm.Nlevels
+	k := float64(prm.K)
+	mt := prm.Mtuples()
+	pages := prm.RelationPages()
+	N := prm.N()
+
+	terms := make([]SelectLevelTerm, 0, n)
+	for i := 0; i < n; i++ {
+		nodes := m.Pi(h, i) * math.Pow(k, float64(i+1))
+		x := math.Ceil(nodes)
+		xc := math.Ceil(m.Pi(h, i) * math.Pow(k, float64(i)))
+		recPages := math.Ceil(math.Pow(k, float64(i+1)) / mt)
+		terms = append(terms, SelectLevelTerm{
+			Level: i,
+			Nodes: nodes,
+			IOa:   Yao(x, pages, N),
+			IOb:   Yao(xc, recPages, math.Pow(k, float64(i))),
+		})
+	}
+	return terms
+}
+
+// JoinLevelTerm is one level's I/O contribution to the strategy-II join
+// cost D_IIa/D_IIb: the per-pass scan of the partner (S) tree and the
+// one-time load of the blocked (R) tree, under both storage layouts.
+type JoinLevelTerm struct {
+	Level        int
+	ScanA, LoadA float64
+	ScanB, LoadB float64
+}
+
+// JoinLevelTerms decomposes the I/O components of JoinCosts level by
+// level, together with the number of blocked passes the model charges:
+// D_IIa = D_II^Θ + C_IO·Σ(passes·ScanA + LoadA), likewise for b.
+func (m Model) JoinLevelTerms() (terms []JoinLevelTerm, passes float64) {
+	prm := m.Prm
+	n := prm.Nlevels
+	k := float64(prm.K)
+	mt := prm.Mtuples()
+	pages := prm.RelationPages()
+	N := prm.N()
+	blockTuples := mt * (prm.M - 10)
+
+	partR := 1.0
+	for i := 0; i < n; i++ {
+		partR += m.Pi(i, 0) * math.Pow(k, float64(i+1))
+	}
+	passes = math.Ceil(partR / blockTuples)
+
+	terms = make([]JoinLevelTerm, 0, n)
+	for i := 0; i < n; i++ {
+		xS := math.Ceil(m.Pi(0, i) * math.Pow(k, float64(i+1)))
+		xR := math.Ceil(m.Pi(i, 0) * math.Pow(k, float64(i+1)))
+		xSc := math.Ceil(m.Pi(0, i) * math.Pow(k, float64(i)))
+		xRc := math.Ceil(m.Pi(i, 0) * math.Pow(k, float64(i)))
+		recPages := math.Ceil(math.Pow(k, float64(i+1)) / mt)
+		recs := math.Pow(k, float64(i))
+		terms = append(terms, JoinLevelTerm{
+			Level: i,
+			ScanA: Yao(xS, pages, N),
+			LoadA: Yao(xR, pages, N),
+			ScanB: Yao(xSc, recPages, recs),
+			LoadB: Yao(xRc, recPages, recs),
+		})
+	}
+	return terms, passes
+}

@@ -1,0 +1,73 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSelectLevelTermsSum checks the per-level decomposition reassembles
+// SelectCosts exactly: Σ IOa·C_IO = C_IIa − C_II^Θ, likewise for b, for
+// every selector level and distribution.
+func TestSelectLevelTermsSum(t *testing.T) {
+	prm := PaperParams()
+	for _, dist := range Distributions() {
+		m := MustModel(prm, dist, 1e-12)
+		for h := 0; h <= prm.Nlevels; h++ {
+			sc := m.SelectCosts(h)
+			var ioA, ioB, nodes float64
+			for _, lt := range m.SelectLevelTerms(h) {
+				ioA += lt.IOa
+				ioB += lt.IOb
+				nodes += lt.Nodes
+			}
+			if got, want := sc.CIITheta+prm.CIO*ioA, sc.CIIa; !close(got, want) {
+				t.Errorf("%v h=%d: level IOa sum %g, CIIa %g", dist, h, got, want)
+			}
+			if got, want := sc.CIITheta+prm.CIO*ioB, sc.CIIb; !close(got, want) {
+				t.Errorf("%v h=%d: level IOb sum %g, CIIb %g", dist, h, got, want)
+			}
+			// The computation component counts the same expected nodes
+			// (plus the root): C_II^Θ = C_Θ(1 + Σ Nodes).
+			if got, want := prm.CTheta*(1+nodes), sc.CIITheta; !close(got, want) {
+				t.Errorf("%v h=%d: level nodes sum gives %g, CIITheta %g", dist, h, got, want)
+			}
+		}
+	}
+}
+
+// TestJoinLevelTermsSum checks D_IIa = D_II^Θ + C_IO·Σ(passes·ScanA+LoadA)
+// and the b-variant for every distribution.
+func TestJoinLevelTermsSum(t *testing.T) {
+	prm := PaperParams()
+	for _, dist := range Distributions() {
+		m := MustModel(prm, dist, 1e-12)
+		jc := m.JoinCosts()
+		terms, passes := m.JoinLevelTerms()
+		if len(terms) != prm.Nlevels {
+			t.Fatalf("%v: %d terms, want %d", dist, len(terms), prm.Nlevels)
+		}
+		var scanA, loadA, scanB, loadB float64
+		for _, lt := range terms {
+			scanA += lt.ScanA
+			loadA += lt.LoadA
+			scanB += lt.ScanB
+			loadB += lt.LoadB
+		}
+		if got, want := jc.DIITheta+prm.CIO*(passes*scanA+loadA), jc.DIIa; !close(got, want) {
+			t.Errorf("%v: level sum %g, DIIa %g", dist, got, want)
+		}
+		if got, want := jc.DIITheta+prm.CIO*(passes*scanB+loadB), jc.DIIb; !close(got, want) {
+			t.Errorf("%v: level sum %g, DIIb %g", dist, got, want)
+		}
+	}
+}
+
+// close compares within a relative tolerance fit for re-associated sums.
+func close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}

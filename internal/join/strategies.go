@@ -7,6 +7,7 @@ import (
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/joinindex"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/parallel"
 	"spatialjoin/internal/pred"
 	"spatialjoin/internal/storage"
@@ -23,6 +24,37 @@ func ctxStep(ctx context.Context, i int) error {
 		return nil
 	}
 	return ctx.Err()
+}
+
+// execSpan opens a strategy's executor span from the context's trace and
+// returns the trace, the span, and the context rewired so spans opened by
+// deeper layers (the per-level descent) nest under it. With no trace armed
+// it returns a nil trace and the context unchanged.
+func execSpan(ctx context.Context, name string) (*obs.Trace, obs.SpanID, context.Context) {
+	trace := obs.TraceFrom(ctx)
+	if trace == nil {
+		return nil, 0, ctx
+	}
+	span := trace.Begin(obs.SpanFromContext(ctx), name)
+	return trace, span, obs.ContextWithSpan(ctx, span)
+}
+
+// endExec closes an executor span with the strategy's measured stats. A
+// failed execution still closes its span — with an "error" event and the
+// partial stats — so degraded queries keep complete traces.
+func endExec(trace *obs.Trace, span obs.SpanID, stats Stats, err error) {
+	if trace == nil {
+		return
+	}
+	if err != nil {
+		trace.Event(span, "error", obs.Str("error", err.Error()))
+	}
+	trace.End(span,
+		obs.Int("filter_evals", stats.FilterEvals),
+		obs.Int("exact_evals", stats.ExactEvals),
+		obs.Int("page_reads", stats.PageReads),
+		obs.Int("index_reads", stats.IndexReads),
+	)
 }
 
 // NestedLoop computes R ⋈θ S by the paper's strategy I with the default
@@ -52,6 +84,7 @@ func NestedLoopCtx(ctx context.Context, r, s Table, op pred.Operator, workers in
 	if r.Pool != s.Pool {
 		return nil, Stats{}, fmt.Errorf("join: nested loop requires a shared buffer pool")
 	}
+	trace, span, ctx := execSpan(ctx, "nestedloop")
 	workers = parallel.Workers(workers)
 	var stats Stats
 	var out []core.Match
@@ -89,14 +122,7 @@ func NestedLoopCtx(ctx context.Context, r, s Table, op pred.Operator, workers in
 		obj geom.Spatial
 	}
 	reads, err := measure(r.Pool, func() error {
-		for start := 0; start < len(groups); start += blockPages {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			end := start + blockPages
-			if end > len(groups) {
-				end = len(groups)
-			}
+		runBlock := func(start, end int) error {
 			// Load the block and decode its geometries once.
 			var block []rTuple
 			for _, g := range groups[start:end] {
@@ -136,7 +162,7 @@ func NestedLoopCtx(ctx context.Context, r, s Table, op pred.Operator, workers in
 				}
 				stats.ExactEvals += evals
 				out = append(out, found...)
-				continue
+				return nil
 			}
 			chunks := parallel.Chunks(s.Rel.Len(), workers*4)
 			founds := make([][]core.Match, len(chunks))
@@ -153,11 +179,43 @@ func NestedLoopCtx(ctx context.Context, r, s Table, op pred.Operator, workers in
 				stats.ExactEvals += evals[ci]
 				out = append(out, founds[ci]...)
 			}
+			return nil
+		}
+		for start := 0; start < len(groups); start += blockPages {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			end := start + blockPages
+			if end > len(groups) {
+				end = len(groups)
+			}
+			if trace == nil {
+				if err := runBlock(start, end); err != nil {
+					return err
+				}
+				continue
+			}
+			bspan := trace.Begin(span, "block")
+			bReads := r.Pool.Stats().Misses
+			bEvals := stats.ExactEvals
+			err := runBlock(start, end)
+			if err != nil {
+				trace.Event(bspan, "error", obs.Str("error", err.Error()))
+			}
+			trace.End(bspan,
+				obs.Int("block", int64(start/blockPages)),
+				obs.Int("exact_evals", stats.ExactEvals-bEvals),
+				obs.Int("reads", r.Pool.Stats().Misses-bReads),
+			)
+			if err != nil {
+				return err
+			}
 		}
 		return nil
 	})
 	stats.PageReads = reads
 	core.SortMatches(out)
+	endExec(trace, span, stats, err)
 	return out, stats, err
 }
 
@@ -170,6 +228,7 @@ func ExhaustiveSelect(r Table, o geom.Spatial, op pred.Operator) ([]int, Stats, 
 // ExhaustiveSelectCtx is ExhaustiveSelect bounded by a context, checked
 // every ctxStride tuples.
 func ExhaustiveSelectCtx(ctx context.Context, r Table, o geom.Spatial, op pred.Operator) ([]int, Stats, error) {
+	trace, span, ctx := execSpan(ctx, "scan")
 	var stats Stats
 	var out []int
 	reads, err := measure(r.Pool, func() error {
@@ -189,6 +248,7 @@ func ExhaustiveSelectCtx(ctx context.Context, r Table, o geom.Spatial, op pred.O
 		return nil
 	})
 	stats.PageReads = reads
+	endExec(trace, span, stats, err)
 	return out, stats, err
 }
 
@@ -206,11 +266,11 @@ func TreeSelect(tr core.Tree, r Table, o geom.Spatial, op pred.Operator,
 func TreeSelectCtx(ctx context.Context, tr core.Tree, r Table, o geom.Spatial, op pred.Operator,
 	traversal core.Traversal) ([]int, Stats, error) {
 
+	trace, span, ctx := execSpan(ctx, "treeselect")
 	var stats Stats
 	var res *core.SelectResult
 	reads, err := measure(r.Pool, func() error {
-		var err error
-		res, err = core.Select(tr, o, op, &core.SelectOptions{
+		opts := &core.SelectOptions{
 			Traversal: traversal,
 			Ctx:       ctx,
 			Touch: func(n core.Node) error {
@@ -220,15 +280,25 @@ func TreeSelectCtx(ctx context.Context, tr core.Tree, r Table, o geom.Spatial, o
 				}
 				return r.touch(id)
 			},
-		})
+		}
+		if trace != nil {
+			opts.Trace, opts.TraceParent = trace, span
+			opts.TraceReads = func() int64 { return r.Pool.Stats().Misses }
+		}
+		var err error
+		res, err = core.Select(tr, o, op, opts)
 		return err
 	})
 	if err != nil {
+		st := stats
+		st.PageReads = reads
+		endExec(trace, span, st, err)
 		return nil, stats, err
 	}
 	stats.FilterEvals = res.Stats.FilterEvals
 	stats.ExactEvals = res.Stats.ExactEvals
 	stats.PageReads = reads
+	endExec(trace, span, stats, nil)
 	return res.Tuples, stats, nil
 }
 
@@ -256,6 +326,7 @@ func TreeJoinWorkers(trR core.Tree, r Table, trS core.Tree, s Table,
 func TreeJoinCtx(ctx context.Context, trR core.Tree, r Table, trS core.Tree, s Table,
 	op pred.Operator, workers int) ([]core.Match, Stats, error) {
 
+	trace, span, ctx := execSpan(ctx, "treejoin")
 	var stats Stats
 	var res *core.JoinResult
 	touch := func(t Table) func(core.Node) error {
@@ -273,14 +344,32 @@ func TreeJoinCtx(ctx context.Context, trR core.Tree, r Table, trS core.Tree, s T
 	if s.Pool != r.Pool {
 		pools = append(pools, newPoolDelta(s.Pool))
 	}
-	var err error
-	res, err = core.Join(trR, trS, op, &core.JoinOptions{
+	opts := &core.JoinOptions{
 		TouchR:  touch(r),
 		TouchS:  touch(s),
 		Workers: parallel.Workers(workers),
 		Ctx:     ctx,
-	})
+	}
+	if trace != nil {
+		opts.Trace, opts.TraceParent = trace, span
+		// Sample the same monotone miss counters poolDelta measures, so
+		// the per-level "reads" attrs sum exactly to Stats.PageReads.
+		opts.TraceReads = func() int64 {
+			var n int64
+			for _, pd := range pools {
+				n += pd.pool.Stats().Misses
+			}
+			return n
+		}
+	}
+	var err error
+	res, err = core.Join(trR, trS, op, opts)
 	if err != nil {
+		st := stats
+		for _, pd := range pools {
+			st.PageReads += pd.delta()
+		}
+		endExec(trace, span, st, err)
 		return nil, stats, err
 	}
 	for _, pd := range pools {
@@ -289,6 +378,7 @@ func TreeJoinCtx(ctx context.Context, trR core.Tree, r Table, trS core.Tree, s T
 	stats.FilterEvals = res.Stats.FilterEvals
 	stats.ExactEvals = res.Stats.ExactEvals
 	core.SortMatches(res.Pairs)
+	endExec(trace, span, stats, nil)
 	return res.Pairs, stats, nil
 }
 
@@ -346,6 +436,7 @@ func IndexJoinWorkers(ix *joinindex.Index, r, s Table, workers int) ([]core.Matc
 // IndexJoinCtx is IndexJoinWorkers bounded by a context, checked between
 // probe chunks and every ctxStride pairs inside a chunk.
 func IndexJoinCtx(ctx context.Context, ix *joinindex.Index, r, s Table, workers int) ([]core.Match, Stats, error) {
+	trace, span, ctx := execSpan(ctx, "indexjoin")
 	var stats Stats
 	pools := []*poolDelta{newPoolDelta(r.Pool)}
 	if s.Pool != r.Pool {
@@ -371,12 +462,20 @@ func IndexJoinCtx(ctx context.Context, ix *joinindex.Index, r, s Table, workers 
 		return nil
 	})
 	if err != nil {
+		st := stats
+		for _, pd := range pools {
+			st.PageReads += pd.delta()
+		}
+		st.IndexReads = indexPages(ix)
+		endExec(trace, span, st, err)
 		return nil, stats, err
 	}
 	for _, pd := range pools {
 		stats.PageReads += pd.delta()
 	}
 	stats.IndexReads = indexPages(ix)
+	trace.Annotate(span, obs.Int("pairs", int64(len(out))))
+	endExec(trace, span, stats, nil)
 	return out, stats, nil
 }
 

@@ -1,0 +1,369 @@
+// Package obs is the stdlib-only observability layer of the engine: a
+// metrics registry (atomic counters, gauges, and fixed-bucket histograms
+// with labels, exported in Prometheus text format and through expvar) and a
+// cheap per-query tracer keyed off context.Context that records the
+// level-order descent of the JOIN/SELECT algorithms as spans.
+//
+// The package sits at the bottom of the dependency graph — it imports
+// nothing from the repository — so every layer (storage, wal, parallel,
+// core, join, the query layer) can feed it without cycles. All instruments
+// are safe for concurrent use, and every instrument method is safe on a nil
+// receiver: code paths hold possibly-nil instrument pointers and pay only a
+// nil check when observability is off.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by n (n must be non-negative for the exported
+// value to stay monotone). Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value that may go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value. Safe on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n (negative allowed). Safe on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed cumulative-style buckets. The
+// bucket layout is immutable after construction; observation is lock-free
+// (one atomic add per bucket count plus a CAS loop for the float sum).
+type Histogram struct {
+	// bounds are the inclusive upper bounds of the finite buckets,
+	// strictly ascending; an implicit +Inf bucket follows.
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// newHistogram validates and copies the bucket bounds.
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram needs at least one bucket bound")
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			return nil, fmt.Errorf("obs: histogram bounds not strictly ascending at %g <= %g", bs[i], bs[i-1])
+		}
+	}
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}, nil
+}
+
+// Observe records one sample. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: le-style bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(nw)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the bucket upper bounds and their cumulative counts
+// (the last count, for the implicit +Inf bound, equals Count()).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return bounds, cumulative
+}
+
+// Label is one name=value metric dimension.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates the families a Registry holds.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// promType returns the Prometheus TYPE keyword for the kind.
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// child is one labeled instrument of a family. Exactly one of the value
+// fields is populated, matching the family's kind. fn holds a
+// func() float64 and is atomic because CounterFunc/GaugeFunc may
+// re-register while a scraper samples it.
+type child struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      atomic.Value
+}
+
+// sample invokes the child's registered func, or returns 0.
+func (c *child) sample() float64 {
+	if f, ok := c.fn.Load().(func() float64); ok && f != nil {
+		return f()
+	}
+	return 0
+}
+
+// family is one named metric with a fixed kind and label-key set.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	keys     []string // label keys in registration order
+	bounds   []float64
+	children map[string]*child // keyed by joined label values
+}
+
+// Registry holds metric families and renders them for exposition. The nil
+// *Registry is valid: every lookup returns a nil instrument, whose methods
+// are no-ops, so metrics can be plumbed unconditionally and enabled by
+// supplying a registry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// metricNameRe matches the Prometheus metric and label-name charset.
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// lookup returns (creating on first use) the family's child for the given
+// labels, enforcing that the name keeps one kind, help string, and label-key
+// set for the registry's lifetime. Registration inconsistencies are
+// programming errors and panic.
+func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, labels []Label) *child {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	keys := make([]string, len(labels))
+	vals := make([]string, len(labels))
+	for i, l := range labels {
+		if !metricNameRe.MatchString(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, name))
+		}
+		keys[i] = l.Key
+		vals[i] = l.Value
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, keys: keys,
+			bounds: bounds, children: make(map[string]*child)}
+		r.families[name] = f
+	} else {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind.promType(), f.kind.promType()))
+		}
+		if len(f.keys) != len(keys) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with label keys %v, was %v", name, keys, f.keys))
+		}
+		for i := range keys {
+			if f.keys[i] != keys[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with label keys %v, was %v", name, keys, f.keys))
+			}
+		}
+	}
+	ck := strings.Join(vals, "\xff")
+	c, ok := f.children[ck]
+	if !ok {
+		c = &child{labels: append([]Label(nil), labels...)}
+		switch kind {
+		case kindCounter:
+			c.counter = &Counter{}
+		case kindGauge:
+			c.gauge = &Gauge{}
+		case kindHistogram:
+			h, err := newHistogram(bounds)
+			if err != nil {
+				panic(err.Error())
+			}
+			c.hist = h
+		}
+		f.children[ck] = c
+	}
+	return c
+}
+
+// Counter returns the counter with the given name and labels, registering
+// it on first use. Safe on a nil registry (returns a nil, no-op counter).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, nil, labels).counter
+}
+
+// Gauge returns the gauge with the given name and labels, registering it on
+// first use. Safe on a nil registry.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, nil, labels).gauge
+}
+
+// Histogram returns the histogram with the given name, bucket upper bounds,
+// and labels, registering it on first use. Safe on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, bounds, labels).hist
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// exposition time — the zero-hot-path-cost bridge for layers that already
+// maintain their own atomic counters (the buffer pool, the disk, the WAL).
+// fn must be safe for concurrent use. Safe on a nil registry.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, help, kindCounterFunc, nil, labels).fn.Store(fn)
+}
+
+// GaugeFunc registers a gauge sampled from fn at exposition time. fn must
+// be safe for concurrent use. Safe on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, help, kindGaugeFunc, nil, labels).fn.Store(fn)
+}
+
+// famSnap is a point-in-time view of one family for exposition: the
+// family's immutable metadata plus its children copied out under the
+// registry lock (the children map mutates as new label sets register).
+type famSnap struct {
+	*family
+	kids []*child
+}
+
+// snapshot returns the families sorted by name and each family's children
+// sorted by label values, for deterministic exposition. The child slices
+// are copied under the lock so scraping never races with registration.
+func (r *Registry) snapshot() []famSnap {
+	r.mu.Lock()
+	out := make([]famSnap, 0, len(r.families))
+	for _, f := range r.families {
+		kids := make([]*child, 0, len(f.children))
+		for _, c := range f.children {
+			kids = append(kids, c)
+		}
+		out = append(out, famSnap{family: f, kids: kids})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, f := range out {
+		kids := f.kids
+		sort.Slice(kids, func(i, j int) bool {
+			a, b := kids[i].labels, kids[j].labels
+			for k := range a {
+				if a[k].Value != b[k].Value {
+					return a[k].Value < b[k].Value
+				}
+			}
+			return false
+		})
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// escapeLabel escapes a label value for the Prometheus text format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelString renders {k="v",...}, with extra labels (a histogram's le)
+// appended; empty when there are no labels at all.
+func labelString(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatBound renders a histogram le bound.
+func formatBound(v float64) string { return formatFloat(v) }
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format, with families sorted by name and children sorted by label values,
+// so the output is stable for golden-file comparison. Safe on a nil
+// registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
+			return err
+		}
+		for _, c := range f.kids {
+			if err := writeChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeChild renders one labeled instrument's sample lines.
+func writeChild(w io.Writer, f famSnap, c *child) error {
+	ls := labelString(c.labels)
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, c.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, c.gauge.Value())
+		return err
+	case kindCounterFunc, kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatFloat(c.sample()))
+		return err
+	case kindHistogram:
+		bounds, cum := c.hist.Buckets()
+		for i, b := range bounds {
+			bl := labelString(c.labels, L("le", formatBound(b)))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum[i]); err != nil {
+				return err
+			}
+		}
+		bl := labelString(c.labels, L("le", "+Inf"))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, formatFloat(c.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, c.hist.Count())
+		return err
+	}
+	return nil
+}
+
+// Expvar returns the registry as an expvar.Func rendering a JSON object:
+// one entry per family; unlabeled scalars render as their value, labeled
+// families as an object keyed by `k=v,...`, and histograms as
+// {count, sum, buckets}. Safe on a nil registry.
+func (r *Registry) Expvar() expvar.Func {
+	return func() any {
+		if r == nil {
+			return map[string]any{}
+		}
+		out := make(map[string]any)
+		for _, f := range r.snapshot() {
+			if len(f.keys) == 0 {
+				for _, c := range f.kids {
+					out[f.name] = childValue(f, c)
+				}
+				continue
+			}
+			m := make(map[string]any, len(f.kids))
+			for _, c := range f.kids {
+				parts := make([]string, len(c.labels))
+				for i, l := range c.labels {
+					parts[i] = l.Key + "=" + l.Value
+				}
+				m[strings.Join(parts, ",")] = childValue(f, c)
+			}
+			out[f.name] = m
+		}
+		return out
+	}
+}
+
+// childValue renders one instrument's current value for expvar.
+func childValue(f famSnap, c *child) any {
+	switch f.kind {
+	case kindCounter:
+		return c.counter.Value()
+	case kindGauge:
+		return c.gauge.Value()
+	case kindCounterFunc, kindGaugeFunc:
+		return c.sample()
+	case kindHistogram:
+		bounds, cum := c.hist.Buckets()
+		buckets := make(map[string]int64, len(cum))
+		for i, b := range bounds {
+			buckets[formatBound(b)] = cum[i]
+		}
+		buckets["+Inf"] = cum[len(cum)-1]
+		return map[string]any{
+			"count":   c.hist.Count(),
+			"sum":     c.hist.Sum(),
+			"buckets": buckets,
+		}
+	}
+	return nil
+}
+
+// PublishExpvar publishes the registry under the given name in the
+// process-global expvar namespace (idempotent: a second call with the same
+// name is a no-op rather than the panic expvar.Publish raises). Safe on a
+// nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.Expvar())
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux returns the observability endpoint surface: /metrics (Prometheus
+// text), /debug/vars (expvar, including the registry published as
+// "spatialjoin"), and the stdlib pprof endpoints under /debug/pprof/.
+func NewMux(r *Registry) *http.ServeMux {
+	r.PublishExpvar("spatialjoin")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,374 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanID identifies one span within a Trace. The zero SpanID is "no span":
+// it is the parent of root spans and the value every recording method
+// returns when tracing is off, so span handles can be threaded through
+// untraced code without branches.
+type SpanID int32
+
+// Attr is one key/value annotation on a span or event. Values are either
+// int64 or string; the integer form covers the cost-model units (evals,
+// reads, qualpairs) without boxing.
+type Attr struct {
+	Key string
+	Str string
+	Int int64
+	str bool
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Int: v} }
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Str: value, str: true} }
+
+// value renders the attribute's value.
+func (a Attr) value() any {
+	if a.str {
+		return a.Str
+	}
+	return a.Int
+}
+
+// String renders key=value.
+func (a Attr) String() string {
+	if a.str {
+		return a.Key + "=" + a.Str
+	}
+	return fmt.Sprintf("%s=%d", a.Key, a.Int)
+}
+
+// Span is one completed (or still-open) operation of a trace: a query, a
+// strategy attempt, an index scrub, or one level of a synchronized descent.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	// Start and End are offsets from the trace's start. End is zero while
+	// the span is open; error paths that abandon a span leave it open and
+	// the renderers mark it "unfinished".
+	Start, End time.Duration
+	Attrs      []Attr
+}
+
+// Dur returns the span's duration (0 while open).
+func (s Span) Dur() time.Duration {
+	if s.End == 0 {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// IntAttr returns the span's integer attribute by key.
+func (s Span) IntAttr(key string) (int64, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key && !a.str {
+			return a.Int, true
+		}
+	}
+	return 0, false
+}
+
+// StrAttr returns the span's string attribute by key.
+func (s Span) StrAttr(key string) (string, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key && a.str {
+			return a.Str, true
+		}
+	}
+	return "", false
+}
+
+// Event is one instantaneous annotation (a downgrade, a failure) attached
+// to a span.
+type Event struct {
+	Span  SpanID
+	Time  time.Duration
+	Name  string
+	Attrs []Attr
+}
+
+// Trace records the spans and events of one query. A Trace is created with
+// WithTrace and travels in the context; every recording method is safe for
+// concurrent use (parallel workers annotate the same trace) and safe on a
+// nil receiver, so instrumented code pays one nil check when tracing is
+// off — the allocation-free fast path the hot loops rely on.
+type Trace struct {
+	start time.Time
+
+	mu     sync.Mutex
+	spans  []Span
+	events []Event
+}
+
+// NewTrace returns an empty trace whose clock starts now.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// traceKey is the context key under which the trace travels.
+type traceKey struct{}
+
+// spanKey is the context key carrying the current parent SpanID.
+type spanKey struct{}
+
+// WithTrace arms tracing on the context: the returned context carries a
+// fresh Trace that instrumented layers discover with TraceFrom.
+func WithTrace(ctx context.Context) (context.Context, *Trace) {
+	tr := NewTrace()
+	return context.WithValue(ctx, traceKey{}, tr), tr
+}
+
+// TraceFrom returns the context's trace, or nil when tracing is off. The
+// nil result is usable: every Trace method no-ops on a nil receiver.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// ContextWithSpan marks id as the current parent span, so spans begun by
+// deeper layers nest under it.
+func ContextWithSpan(ctx context.Context, id SpanID) context.Context {
+	return context.WithValue(ctx, spanKey{}, id)
+}
+
+// SpanFromContext returns the current parent span, or 0 at the root.
+func SpanFromContext(ctx context.Context) SpanID {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(spanKey{}).(SpanID)
+	return id
+}
+
+// now returns the trace-relative clock, floored to 1ns so a recorded
+// offset is never the zero "still open" sentinel.
+func (t *Trace) now() time.Duration {
+	d := time.Since(t.start)
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// Begin opens a span under parent (0 = root) and returns its ID. On a nil
+// trace it records nothing and returns 0.
+func (t *Trace) Begin(parent SpanID, name string) SpanID {
+	if t == nil {
+		return 0
+	}
+	start := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, Start: start})
+	return id
+}
+
+// End closes the span and appends attrs to it. Ending SpanID 0 or an
+// already-closed span is a no-op, so error paths may End defensively.
+func (t *Trace) End(id SpanID, attrs ...Attr) {
+	if t == nil || id == 0 {
+		return
+	}
+	end := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := int(id) - 1
+	if i < 0 || i >= len(t.spans) || t.spans[i].End != 0 {
+		return
+	}
+	t.spans[i].End = end
+	t.spans[i].Attrs = append(t.spans[i].Attrs, attrs...)
+}
+
+// Annotate appends attrs to an open or closed span.
+func (t *Trace) Annotate(id SpanID, attrs ...Attr) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := int(id) - 1
+	if i < 0 || i >= len(t.spans) {
+		return
+	}
+	t.spans[i].Attrs = append(t.spans[i].Attrs, attrs...)
+}
+
+// Event records an instantaneous annotation on the span (0 = trace level).
+func (t *Trace) Event(span SpanID, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	at := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{Span: span, Time: at, Name: name, Attrs: attrs})
+}
+
+// Spans returns a snapshot of all recorded spans in creation order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Events returns a snapshot of all recorded events in creation order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// SpansNamed returns the spans with the given name, in creation order.
+func (t *Trace) SpansNamed(name string) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteTree renders the trace as an indented tree: each span with its
+// duration and attributes, events inlined under their span, children in
+// start order. Safe on a nil trace (writes a placeholder line).
+func (t *Trace) WriteTree(w io.Writer) error {
+	if t == nil {
+		_, err := fmt.Fprintln(w, "(no trace)")
+		return err
+	}
+	spans, events := t.Spans(), t.Events()
+	kids := make(map[SpanID][]Span)
+	for _, s := range spans {
+		kids[s.Parent] = append(kids[s.Parent], s)
+	}
+	for _, k := range kids {
+		sort.Slice(k, func(i, j int) bool {
+			if k[i].Start != k[j].Start {
+				return k[i].Start < k[j].Start
+			}
+			return k[i].ID < k[j].ID
+		})
+	}
+	evs := make(map[SpanID][]Event)
+	for _, e := range events {
+		evs[e.Span] = append(evs[e.Span], e)
+	}
+	var render func(id SpanID, depth int) error
+	render = func(id SpanID, depth int) error {
+		for _, s := range kids[id] {
+			dur := "unfinished"
+			if s.End != 0 {
+				dur = s.Dur().String()
+			}
+			attrs := ""
+			if len(s.Attrs) > 0 {
+				parts := make([]string, len(s.Attrs))
+				for i, a := range s.Attrs {
+					parts[i] = a.String()
+				}
+				attrs = " " + strings.Join(parts, " ")
+			}
+			if _, err := fmt.Fprintf(w, "%s%s%s (%s)\n",
+				strings.Repeat("  ", depth), s.Name, attrs, dur); err != nil {
+				return err
+			}
+			for _, e := range evs[s.ID] {
+				parts := make([]string, len(e.Attrs))
+				for i, a := range e.Attrs {
+					parts[i] = a.String()
+				}
+				ann := ""
+				if len(parts) > 0 {
+					ann = " " + strings.Join(parts, " ")
+				}
+				if _, err := fmt.Fprintf(w, "%s! %s%s (@%s)\n",
+					strings.Repeat("  ", depth+1), e.Name, ann, e.Time); err != nil {
+					return err
+				}
+			}
+			if err := render(s.ID, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return render(0, 0)
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace in the Chrome trace_event JSON array
+// format (load it at chrome://tracing or in Perfetto). Spans become "X"
+// complete events; still-open spans are extended to the trace's current
+// clock. Events become "i" instants.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	nowD := t.now()
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	var out []chromeEvent
+	for _, s := range t.Spans() {
+		end := s.End
+		if end == 0 {
+			end = nowD
+		}
+		args := make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			args[a.Key] = a.value()
+		}
+		out = append(out, chromeEvent{
+			Name: s.Name, Phase: "X", TS: us(s.Start), Dur: us(end - s.Start),
+			PID: 1, TID: 1, Args: args,
+		})
+	}
+	for _, e := range t.Events() {
+		args := make(map[string]any, len(e.Attrs))
+		for _, a := range e.Attrs {
+			args[a.Key] = a.value()
+		}
+		out = append(out, chromeEvent{
+			Name: e.Name, Phase: "i", TS: us(e.Time), PID: 1, TID: 1,
+			Scope: "t", Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceSpansAndEvents(t *testing.T) {
+	tr := NewTrace()
+	q := tr.Begin(0, "query")
+	lvl0 := tr.Begin(q, "level")
+	tr.End(lvl0, Int("qualpairs", 1), Int("reads", 4))
+	lvl1 := tr.Begin(q, "level")
+	tr.Event(lvl1, "downgrade", Str("reason", "index missing"))
+	tr.End(lvl1, Int("qualpairs", 9), Int("reads", 12))
+	tr.End(q, Str("strategy", "tree"))
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "query" || spans[0].Parent != 0 {
+		t.Fatalf("root span wrong: %+v", spans[0])
+	}
+	for _, s := range spans[1:] {
+		if s.Parent != q {
+			t.Fatalf("level span not parented to query: %+v", s)
+		}
+		if s.End == 0 || s.Dur() <= 0 {
+			t.Fatalf("span not closed: %+v", s)
+		}
+	}
+	if v, ok := spans[2].IntAttr("reads"); !ok || v != 12 {
+		t.Fatalf("IntAttr reads = %d,%v", v, ok)
+	}
+	if v, ok := spans[0].StrAttr("strategy"); !ok || v != "tree" {
+		t.Fatalf("StrAttr strategy = %q,%v", v, ok)
+	}
+	if _, ok := spans[0].IntAttr("strategy"); ok {
+		t.Fatal("IntAttr must not match a string attr")
+	}
+	levels := tr.SpansNamed("level")
+	if len(levels) != 2 {
+		t.Fatalf("SpansNamed(level) = %d, want 2", len(levels))
+	}
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Span != lvl1 || evs[0].Name != "downgrade" {
+		t.Fatalf("events wrong: %+v", evs)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if id := tr.Begin(0, "x"); id != 0 {
+		t.Fatalf("nil Begin = %d, want 0", id)
+	}
+	tr.End(1)
+	tr.Annotate(1, Int("a", 1))
+	tr.Event(0, "e")
+	if tr.Spans() != nil || tr.Events() != nil {
+		t.Fatal("nil trace snapshots must be nil")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil || !strings.Contains(buf.String(), "no trace") {
+		t.Fatalf("nil WriteTree: err=%v out=%q", err, buf.String())
+	}
+	buf.Reset()
+	if err := tr.WriteChromeTrace(&buf); err != nil || strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("nil WriteChromeTrace: err=%v out=%q", err, buf.String())
+	}
+}
+
+func TestTraceEndIsIdempotent(t *testing.T) {
+	tr := NewTrace()
+	id := tr.Begin(0, "s")
+	tr.End(id, Int("a", 1))
+	first := tr.Spans()[0]
+	tr.End(id, Int("a", 2)) // second End must not move End or append attrs
+	again := tr.Spans()[0]
+	if again.End != first.End || len(again.Attrs) != 1 {
+		t.Fatalf("double End mutated span: %+v vs %+v", again, first)
+	}
+	tr.End(0)   // no-op
+	tr.End(999) // out of range: no-op
+	tr.Annotate(id, Str("k", "v"))
+	if n := len(tr.Spans()[0].Attrs); n != 2 {
+		t.Fatalf("Annotate after End: %d attrs, want 2", n)
+	}
+}
+
+func TestTraceContextPlumbing(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("background context must carry no trace")
+	}
+	if TraceFrom(nil) != nil || SpanFromContext(nil) != 0 {
+		t.Fatal("nil context must be safe")
+	}
+	ctx, tr := WithTrace(context.Background())
+	if tr == nil || TraceFrom(ctx) != tr {
+		t.Fatal("WithTrace must store the trace it returns")
+	}
+	if SpanFromContext(ctx) != 0 {
+		t.Fatal("fresh context has no current span")
+	}
+	id := tr.Begin(0, "root")
+	ctx2 := ContextWithSpan(ctx, id)
+	if SpanFromContext(ctx2) != id {
+		t.Fatal("ContextWithSpan lost the span")
+	}
+	if TraceFrom(ctx2) != tr {
+		t.Fatal("span context must still carry the trace")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	root := tr.Begin(0, "root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := tr.Begin(root, "work")
+				tr.Event(id, "tick", Int("w", int64(w)))
+				tr.End(id, Int("i", int64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.End(root)
+	if got := len(tr.Spans()); got != 1+8*100 {
+		t.Fatalf("spans = %d, want %d", got, 1+8*100)
+	}
+	if got := len(tr.Events()); got != 8*100 {
+		t.Fatalf("events = %d, want %d", got, 8*100)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := NewTrace()
+	q := tr.Begin(0, "join")
+	lvl := tr.Begin(q, "level")
+	tr.Event(lvl, "downgrade", Str("to", "scan"))
+	tr.End(lvl, Int("qualpairs", 3))
+	open := tr.Begin(q, "abandoned")
+	_ = open // left unfinished on purpose
+	tr.End(q)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("tree has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "join (") {
+		t.Errorf("line 0: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  level qualpairs=3 (") {
+		t.Errorf("line 1: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    ! downgrade to=scan (@") {
+		t.Errorf("line 2: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "abandoned (unfinished)") {
+		t.Errorf("line 3: %q", lines[3])
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTrace()
+	q := tr.Begin(0, "join")
+	lvl := tr.Begin(q, "level")
+	tr.End(lvl, Int("qualpairs", 3), Str("phase", "filter"))
+	tr.Event(q, "done")
+	tr.End(q)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	var complete, instant int
+	for _, e := range evs {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if e["dur"] == nil {
+				t.Errorf("complete event missing dur: %v", e)
+			}
+		case "i":
+			instant++
+		default:
+			t.Errorf("unexpected phase %v", e["ph"])
+		}
+	}
+	if complete != 2 || instant != 1 {
+		t.Fatalf("phases: %d complete, %d instant", complete, instant)
+	}
+	for _, e := range evs {
+		if e["name"] == "level" {
+			args := e["args"].(map[string]any)
+			if args["qualpairs"] != float64(3) || args["phase"] != "filter" {
+				t.Errorf("level args wrong: %v", args)
+			}
+		}
+	}
+}

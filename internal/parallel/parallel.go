@@ -17,7 +17,62 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// maxTrackedWorkers bounds the per-worker busy-time array. Worker ids are
+// folded modulo this, so pools wider than the array still account all
+// their busy time (slots just aggregate several workers).
+const maxTrackedWorkers = 64
+
+// poolMetrics is the process-wide activity accounting for every pool run,
+// behind an atomic gate so the default path pays one atomic load per Run.
+var poolMetrics struct {
+	enabled    atomic.Bool
+	runs       atomic.Int64
+	tasks      atomic.Int64
+	busyNanos  atomic.Int64
+	workerBusy [maxTrackedWorkers]atomic.Int64
+}
+
+// EnableMetrics turns on pool activity accounting (runs, tasks, per-worker
+// busy time). It is process-wide and cannot be turned off: the exposition
+// layer samples Stats at scrape time.
+func EnableMetrics() { poolMetrics.enabled.Store(true) }
+
+// PoolStats is a snapshot of pool activity since EnableMetrics.
+type PoolStats struct {
+	Runs      int64 // Run/RunCtx invocations that started at least one task
+	Tasks     int64 // tasks completed
+	BusyNanos int64 // total time spent inside tasks, all workers
+	// WorkerBusyNanos is per-worker-slot busy time (worker ids folded
+	// modulo the slot count). Only slots that ever ran are meaningful.
+	WorkerBusyNanos [maxTrackedWorkers]int64
+}
+
+// Stats returns the pool activity snapshot (zeros before EnableMetrics).
+func Stats() PoolStats {
+	var s PoolStats
+	s.Runs = poolMetrics.runs.Load()
+	s.Tasks = poolMetrics.tasks.Load()
+	s.BusyNanos = poolMetrics.busyNanos.Load()
+	for i := range s.WorkerBusyNanos {
+		s.WorkerBusyNanos[i] = poolMetrics.workerBusy[i].Load()
+	}
+	return s
+}
+
+// runTask executes one task, accounting busy time to the worker slot when
+// metrics are enabled (the caller has already checked the gate).
+func runTask(worker int, task func(i int) error, i int) error {
+	start := time.Now()
+	err := task(i)
+	d := time.Since(start).Nanoseconds()
+	poolMetrics.tasks.Add(1)
+	poolMetrics.busyNanos.Add(d)
+	poolMetrics.workerBusy[worker%maxTrackedWorkers].Add(d)
+	return err
+}
 
 // Workers resolves a configured worker count: n itself when positive,
 // otherwise runtime.GOMAXPROCS(0) — the default degree of parallelism.
@@ -57,6 +112,10 @@ func RunCtx(ctx context.Context, workers, n int, task func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	metered := poolMetrics.enabled.Load()
+	if metered {
+		poolMetrics.runs.Add(1)
+	}
 	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -67,7 +126,13 @@ func RunCtx(ctx context.Context, workers, n int, task func(i int) error) error {
 				default:
 				}
 			}
-			if err := task(i); err != nil {
+			var err error
+			if metered {
+				err = runTask(0, task, i)
+			} else {
+				err = task(i)
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -80,7 +145,7 @@ func RunCtx(ctx context.Context, workers, n int, task func(i int) error) error {
 		firstE  error
 		wg      sync.WaitGroup
 	)
-	worker := func() {
+	worker := func(w int) {
 		defer wg.Done()
 		for !failed.Load() {
 			if done != nil {
@@ -96,7 +161,13 @@ func RunCtx(ctx context.Context, workers, n int, task func(i int) error) error {
 			if i >= n {
 				return
 			}
-			if err := task(i); err != nil {
+			var err error
+			if metered {
+				err = runTask(w, task, i)
+			} else {
+				err = task(i)
+			}
+			if err != nil {
 				errOnce.Do(func() { firstE = err })
 				failed.Store(true)
 				return
@@ -105,7 +176,7 @@ func RunCtx(ctx context.Context, workers, n int, task func(i int) error) error {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go worker()
+		go worker(w)
 	}
 	wg.Wait()
 	return firstE

@@ -138,7 +138,8 @@ type Log struct {
 	durable   LSN    // everything below this offset is on the device
 	pending   int    // commits appended since the last sync
 
-	stats Stats
+	stats    Stats
+	observer func(batchCommits, pagesWritten int)
 }
 
 // Create makes a fresh log on dev, which must be empty: the log claims the
@@ -175,6 +176,17 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.stats
+}
+
+// SetObserver registers a callback invoked after each successful sync with
+// the number of commits the sync batched and the log pages it wrote — the
+// bridge the metrics layer uses to feed a group-commit batch-size
+// histogram. The callback runs with the log lock held, so it must be cheap
+// and must not call back into the log.
+func (l *Log) SetObserver(fn func(batchCommits, pagesWritten int)) {
+	l.mu.Lock()
+	l.observer = fn
+	l.mu.Unlock()
 }
 
 // DurableLSN returns the stream offset below which every record is on the
@@ -270,6 +282,8 @@ func (l *Log) syncLocked() error {
 	}
 	fault.CrashPoint("wal.sync")
 	l.stats.Syncs++
+	batch := l.pending
+	pages := 0
 	room := l.payloadCap()
 	for len(l.tail) > 0 {
 		n := len(l.tail)
@@ -290,6 +304,7 @@ func (l *Log) syncLocked() error {
 			return fmt.Errorf("wal: log append: %w", err)
 		}
 		l.stats.PageWrites++
+		pages++
 		fault.CrashPoint("wal.sync.page")
 		if n < room {
 			l.stats.PaddingBytes += int64(room - n)
@@ -299,6 +314,9 @@ func (l *Log) syncLocked() error {
 	}
 	l.durable = l.tailStart
 	l.pending = 0
+	if l.observer != nil {
+		l.observer(batch, pages)
+	}
 	fault.CrashPoint("wal.synced")
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"spatialjoin/internal/fault"
 	"spatialjoin/internal/join"
 	"spatialjoin/internal/joinindex"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/storage"
 	"spatialjoin/internal/wal"
 )
@@ -70,16 +71,23 @@ func (db *Database) SelectContext(ctx context.Context, c *Collection, o Spatial,
 	}
 	ctx, cancel := db.queryCtx(ctx)
 	defer cancel()
+	ctx, q := db.beginQuery(ctx, "select", strategy)
 	ids, stats, err := db.selectOnce(ctx, c, o, op, strategy)
 	if err == nil || strategy != TreeStrategy || !fault.IsPermanent(err) || ctx.Err() != nil {
+		q.end(stats, err)
 		return ids, stats, err
 	}
+	q.downgrade(err)
 	ids, scanStats, err2 := db.selectOnce(ctx, c, o, op, ScanStrategy)
 	if err2 != nil {
-		return nil, stats.Add(scanStats), fmt.Errorf("spatialjoin: scan fallback after %v failure (%v): %w", strategy, err, err2)
+		total := stats.Add(scanStats)
+		err = fmt.Errorf("spatialjoin: scan fallback after %v failure (%v): %w", strategy, err, err2)
+		q.end(total, err)
+		return nil, total, err
 	}
 	total := stats.Add(scanStats)
 	total.Downgrades++
+	q.end(total, nil)
 	return ids, total, nil
 }
 
@@ -144,16 +152,23 @@ func (db *Database) JoinContext(ctx context.Context, r, s *Collection, op Operat
 	}
 	ctx, cancel := db.queryCtx(ctx)
 	defer cancel()
+	ctx, q := db.beginQuery(ctx, "join", strategy)
 	ms, stats, err := db.joinOnce(ctx, r, s, op, strategy)
 	if err == nil || strategy == ScanStrategy || !fault.IsPermanent(err) || ctx.Err() != nil {
+		q.end(stats, err)
 		return ms, stats, err
 	}
+	q.downgrade(err)
 	ms, scanStats, err2 := db.joinOnce(ctx, r, s, op, ScanStrategy)
 	if err2 != nil {
-		return nil, stats.Add(scanStats), fmt.Errorf("spatialjoin: scan fallback after %v failure (%v): %w", strategy, err, err2)
+		total := stats.Add(scanStats)
+		err = fmt.Errorf("spatialjoin: scan fallback after %v failure (%v): %w", strategy, err, err2)
+		q.end(total, err)
+		return nil, total, err
 	}
 	total := stats.Add(scanStats)
 	total.Downgrades++
+	q.end(total, nil)
 	return ms, total, nil
 }
 
@@ -207,20 +222,37 @@ func (db *Database) queryCtx(ctx context.Context) (context.Context, context.Canc
 // index I/O); it is returned even alongside an error so partial scrub work
 // stays visible in the statistics.
 func (db *Database) scrubFiles(ctx context.Context, files ...storage.FileID) (int64, error) {
+	trace := obs.TraceFrom(ctx)
+	span := trace.Begin(obs.SpanFromContext(ctx), "scrub")
 	before := db.pool.Stats().Misses
+	endScrub := func(err error) {
+		if trace == nil {
+			return
+		}
+		if err != nil {
+			trace.Event(span, "error", obs.Str("error", err.Error()))
+		}
+		trace.End(span,
+			obs.Int("files", int64(len(files))),
+			obs.Int("reads", db.pool.Stats().Misses-before),
+		)
+	}
 	device := db.pool.Disk()
 	for _, f := range files {
 		n := device.NumPages(f)
 		for p := 0; p < n; p++ {
 			if err := ctx.Err(); err != nil {
+				endScrub(err)
 				return db.pool.Stats().Misses - before, err
 			}
 			if _, err := db.pool.Fetch(storage.PageID{File: f, Page: int32(p)}); err != nil {
-				return db.pool.Stats().Misses - before,
-					fmt.Errorf("spatialjoin: index scrub of file %d: %w", f, err)
+				err = fmt.Errorf("spatialjoin: index scrub of file %d: %w", f, err)
+				endScrub(err)
+				return db.pool.Stats().Misses - before, err
 			}
 		}
 	}
+	endScrub(nil)
 	return db.pool.Stats().Misses - before, nil
 }
 
