@@ -1,0 +1,171 @@
+// Command sjoind is the spatial query daemon: it loads a synthetic
+// workload (or accepts the flags' sizing of one), builds the overlaps
+// join index, and serves the internal/wire framed protocol with
+// admission control and graceful shutdown.
+//
+// Usage:
+//
+//	sjoind -addr 127.0.0.1:7654 -metrics-addr 127.0.0.1:7655
+//	sjoind -rects 5000 -max-queries 8 -query-timeout 2s
+//
+// SIGINT/SIGTERM begins a graceful drain: in-flight queries finish and
+// stream their results, new work is refused with typed SHUTTING_DOWN
+// verdicts, and the process exits once every session unwinds (or the
+// -drain-timeout forces it).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"spatialjoin"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/fault"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
+	"spatialjoin/internal/server"
+	"spatialjoin/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sjoind:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7654", "wire-protocol listen address")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and pprof on this address")
+
+	rects := flag.Int("rects", 2000, "rectangles per collection in the synthetic workload")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	world := flag.Float64("world", 10000, "world square side length")
+
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "join worker goroutines")
+	bufferPages := flag.Int("buffer-pages", 256, "buffer pool capacity in pages")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline (0 = none); expiry answers TIMEOUT")
+
+	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "concurrent session limit; excess connections are refused SERVER_BUSY")
+	maxQueries := flag.Int("max-queries", 0, "concurrent query limit (0 = 4×GOMAXPROCS); excess queries are shed SERVER_BUSY")
+	admitWait := flag.Duration("admit-wait", 0, "how long a query may wait for an admission slot before being shed")
+	batch := flag.Int("batch", server.DefaultBatchSize, "results streamed per response frame")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGINT/SIGTERM")
+
+	faultSeed := flag.Int64("fault-seed", 0, "enable the fault-injecting device with this seed (0 = healthy disk)")
+	faultReadRate := flag.Float64("fault-read-rate", 0, "with -fault-seed: transient read fault probability")
+	readLatency := flag.Duration("read-latency", 0, "with -fault-seed: injected device read latency")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	cfg := spatialjoin.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.BufferPages = *bufferPages
+	cfg.QueryTimeout = *queryTimeout
+	cfg.Metrics = reg
+	if *faultSeed != 0 {
+		cfg.Fault = &fault.Options{
+			Seed:              *faultSeed,
+			TransientReadRate: *faultReadRate,
+			ReadLatency:       *readLatency,
+		}
+		cfg.Retry = &storage.RetryPolicy{MaxAttempts: 10, Seed: *faultSeed}
+	}
+	db, err := spatialjoin.Open(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The dataset is loaded and indexed before serving starts: the
+	// server's read paths are lock-free precisely because nothing mutates
+	// the database once Serve begins.
+	start := time.Now()
+	w := geom.NewRect(0, 0, *world, *world)
+	rng := rand.New(rand.NewSource(*seed))
+	r, err := load(db, "r", datagen.UniformRects(rng, *rects, w, 2, w.MaxX/100))
+	if err != nil {
+		return err
+	}
+	s, err := load(db, "s", datagen.ClusteredRects(rng, *rects, 16, w, w.MaxX/8, w.MaxX/150))
+	if err != nil {
+		return err
+	}
+	if _, _, err := db.BuildJoinIndex(r, s, spatialjoin.Overlaps()); err != nil {
+		return err
+	}
+	fmt.Printf("sjoind: loaded collections r and s (%d rects each), join index built in %v\n",
+		*rects, time.Since(start).Round(time.Millisecond))
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sjoind: metrics on http://%s/metrics\n", mln.Addr())
+		msrv := &http.Server{Handler: obs.NewMux(reg)}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "sjoind: metrics server:", err)
+			}
+		}()
+		defer func() { _ = msrv.Close() }()
+	}
+
+	srv := server.New(db, server.Options{
+		MaxConns:   *maxConns,
+		MaxQueries: *maxQueries,
+		AdmitWait:  *admitWait,
+		BatchSize:  *batch,
+		Metrics:    reg,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sjoind: serving wire protocol on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case got := <-sig:
+		fmt.Printf("sjoind: %v: draining (up to %v)\n", got, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "sjoind: forced exit:", err)
+		}
+		if err := <-serveErr; err != nil && err != server.ErrServerClosed {
+			return err
+		}
+		fmt.Println("sjoind: drained, bye")
+		return nil
+	}
+}
+
+// load fills a fresh collection with rects.
+func load(db *spatialjoin.Database, name string, rects []geom.Rect) (*spatialjoin.Collection, error) {
+	col, err := db.CreateCollection(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rects {
+		if _, err := col.Insert(r, ""); err != nil {
+			return nil, err
+		}
+	}
+	return col, nil
+}

@@ -1,0 +1,162 @@
+package server_test
+
+// Shared harness for the wire-level server tests: a fixed workload, a
+// database loader mirroring the root package's test fixtures, a server
+// started on an ephemeral loopback listener, and settle-loop helpers for
+// the inherently asynchronous assertions (gauges, goroutine counts).
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"spatialjoin"
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/server"
+	"spatialjoin/internal/wire"
+)
+
+// serverWorkload is the fixed dataset every server test loads: small
+// enough that a healthy query finishes quickly, large enough that every
+// strategy performs real page I/O.
+func serverWorkload() (rs, ss []geom.Rect, world geom.Rect) {
+	world = geom.NewRect(0, 0, 600, 600)
+	rng := rand.New(rand.NewSource(2026))
+	rs = datagen.UniformRects(rng, 100, world, 2, 30)
+	ss = datagen.ClusteredRects(rng, 100, 5, world, 80, 20)
+	return rs, ss, world
+}
+
+// newServerDB opens a database (cfg mutations applied), loads the server
+// workload into collections "r" and "s", and optionally builds the
+// overlaps join index so StrategyIndex works over the wire.
+func newServerDB(t *testing.T, buildIndex bool, mutate func(*spatialjoin.Config)) (*spatialjoin.Database, *spatialjoin.Collection, *spatialjoin.Collection) {
+	t.Helper()
+	cfg := spatialjoin.DefaultConfig()
+	cfg.BufferPages = 64
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	db, err := spatialjoin.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, ss, _ := serverWorkload()
+	load := func(name string, rects []geom.Rect) *spatialjoin.Collection {
+		col, err := db.CreateCollection(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rect := range rects {
+			if _, err := col.Insert(rect, ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return col
+	}
+	r := load("r", rs)
+	s := load("s", ss)
+	if buildIndex {
+		if _, _, err := db.BuildJoinIndex(r, s, spatialjoin.Overlaps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, r, s
+}
+
+// startServer serves db on an ephemeral loopback listener and registers a
+// cleanup that shuts the server down and asserts Serve exited cleanly.
+func startServer(t *testing.T, db *spatialjoin.Database, opts server.Options) (*server.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, opts)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil && err != server.ErrServerClosed {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// dialClient connects a wire client to addr with cleanup.
+func dialClient(t *testing.T, addr string) *wire.Client {
+	t.Helper()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// settledGoroutines samples runtime.NumGoroutine until the count stops
+// shrinking, giving exiting goroutines time to unwind.
+func settledGoroutines() int {
+	best := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+		n := runtime.NumGoroutine()
+		if n >= best && i > 10 {
+			return best
+		}
+		if n < best {
+			best = n
+		}
+	}
+	return best
+}
+
+// assertSameMatches requires got to be the byte-identical canonical match
+// slice want, element for element.
+func assertSameMatches(t *testing.T, label string, got, want []core.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d is %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// assertSameIDs requires got to equal want element for element.
+func assertSameIDs(t *testing.T, label string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ids, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id %d is %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"spatialjoin/internal/wire"
+)
+
+// session is one client connection: a read loop decoding request frames,
+// query goroutines executing admitted work against the engine, and a
+// write mutex serializing the interleaved response frames of pipelined
+// queries.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	wmu sync.Mutex     // serializes response frames
+	wg  sync.WaitGroup // in-flight query goroutines of this session
+}
+
+// newSession wraps an accepted connection.
+func newSession(srv *Server, conn net.Conn) *session {
+	return &session{srv: srv, conn: conn}
+}
+
+// run is the session loop: it decodes frames until the connection dies or
+// desynchronizes, dispatches requests, and on exit waits for the session's
+// query goroutines before unregistering — Shutdown's sessionWG.Wait
+// therefore transitively waits for every query goroutine.
+func (ss *session) run() {
+	defer func() {
+		ss.wg.Wait()
+		_ = ss.conn.Close()
+		ss.srv.removeSession(ss)
+	}()
+	br := bufio.NewReader(ss.conn)
+	for {
+		f, err := wire.ReadFrame(br, wire.MaxPayload)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, wire.ErrTruncated) {
+				// The stream carried garbage (bad magic, checksum, ...):
+				// tell the client why before hanging up. Request ID 0
+				// marks the verdict connection-level.
+				ss.writeDone(0, wire.FlagShed, wire.Done{
+					Status:  wire.StatusBadRequest,
+					Message: err.Error(),
+				})
+			}
+			return
+		}
+		ss.srv.m.framesIn.Inc()
+		switch f.Type {
+		case wire.TypePing:
+			ss.writeFrame(wire.Frame{Type: wire.TypePong, Request: f.Request})
+		case wire.TypeSelect, wire.TypeJoin:
+			ss.dispatch(f)
+		default:
+			// A response-typed frame from a client is a protocol error the
+			// stream cannot recover from.
+			ss.writeDone(0, wire.FlagShed, wire.Done{
+				Status:  wire.StatusBadRequest,
+				Message: "response-typed frame from client",
+			})
+			return
+		}
+	}
+}
+
+// writeFrame sends one frame under the session write lock.
+func (ss *session) writeFrame(f wire.Frame) {
+	ss.wmu.Lock()
+	err := wire.WriteFrame(ss.conn, f)
+	ss.wmu.Unlock()
+	if err == nil {
+		ss.srv.m.framesOut.Inc()
+	}
+	// A write error means the client is gone; the read loop will notice
+	// the closed connection — nothing to do here.
+}
+
+// writeDone sends a Done verdict for a request.
+func (ss *session) writeDone(request uint64, flags uint16, d wire.Done) {
+	ss.writeFrame(wire.Frame{
+		Type:    wire.TypeDone,
+		Flags:   flags,
+		Request: request,
+		Payload: wire.EncodeDone(d),
+	})
+}
+
+// shed refuses a query without executing anything.
+func (ss *session) shed(request uint64, kind string, status wire.Status) {
+	ss.srv.m.shed.Inc()
+	ss.srv.m.queryOutcome(kind, status)
+	ss.writeDone(request, wire.FlagShed, wire.Done{
+		Status:  status,
+		Message: "query shed: " + status.String(),
+	})
+}
+
+// dispatch runs admission control for one request frame and, when
+// admitted, executes it in its own goroutine so the session keeps reading
+// pipelined requests.
+func (ss *session) dispatch(f wire.Frame) {
+	kind := "select"
+	if f.Type == wire.TypeJoin {
+		kind = "join"
+	}
+	if ss.srv.draining.Load() {
+		ss.shed(f.Request, kind, wire.StatusShuttingDown)
+		return
+	}
+	// Admission: take a slot now, or within AdmitWait, or shed. The
+	// semaphore bounds concurrent engine work; nothing queues beyond the
+	// wait, so overload degrades into fast typed refusals instead of
+	// unbounded latency.
+	select {
+	case ss.srv.admit <- struct{}{}:
+	default:
+		if ss.srv.opts.AdmitWait <= 0 {
+			ss.shed(f.Request, kind, wire.StatusServerBusy)
+			return
+		}
+		timer := time.NewTimer(ss.srv.opts.AdmitWait)
+		select {
+		case ss.srv.admit <- struct{}{}:
+			timer.Stop()
+		case <-timer.C:
+			ss.shed(f.Request, kind, wire.StatusServerBusy)
+			return
+		case <-ss.srv.baseCtx.Done():
+			timer.Stop()
+			ss.shed(f.Request, kind, wire.StatusShuttingDown)
+			return
+		}
+	}
+	if !ss.srv.queryBegin() {
+		<-ss.srv.admit
+		ss.shed(f.Request, kind, wire.StatusShuttingDown)
+		return
+	}
+	ss.srv.m.activeQ.Add(1)
+	ss.wg.Add(1)
+	go func() {
+		defer func() {
+			ss.srv.m.activeQ.Add(-1)
+			<-ss.srv.admit
+			ss.srv.queryEnd()
+			ss.wg.Done()
+		}()
+		start := time.Now()
+		if f.Type == wire.TypeJoin {
+			ss.runJoin(f)
+		} else {
+			ss.runSelect(f)
+		}
+		ss.srv.m.latency.Observe(time.Since(start).Seconds())
+	}()
+}
+
+// badRequest answers a request whose payload or naming failed validation.
+func (ss *session) badRequest(request uint64, kind string, status wire.Status, msg string) {
+	ss.srv.m.queryOutcome(kind, status)
+	ss.writeDone(request, 0, wire.Done{Status: status, Message: msg})
+}
+
+// runSelect executes an admitted SELECT and streams its result.
+func (ss *session) runSelect(f wire.Frame) {
+	q, err := wire.DecodeSelect(f.Payload)
+	if err != nil {
+		ss.badRequest(f.Request, "select", wire.StatusBadRequest, err.Error())
+		return
+	}
+	col, ok := ss.srv.db.Collection(q.Collection)
+	if !ok {
+		ss.badRequest(f.Request, "select", wire.StatusNotFound, "unknown collection "+q.Collection)
+		return
+	}
+	op, err := q.Op.Operator()
+	if err != nil {
+		ss.badRequest(f.Request, "select", wire.StatusBadRequest, err.Error())
+		return
+	}
+	strat, err := wireStrategy(q.Strategy)
+	if err != nil {
+		ss.badRequest(f.Request, "select", wire.StatusBadRequest, err.Error())
+		return
+	}
+	ids, stats, err := ss.srv.db.SelectContext(ss.srv.baseCtx, col, q.Selector, op, strat)
+	status := statusOf(stats, err, ss.srv.draining.Load())
+	ss.srv.m.queryOutcome("select", status)
+	d := wire.Done{Status: status, Stats: wireStats(stats)}
+	if err != nil {
+		d.Message = err.Error()
+		ss.writeDone(f.Request, 0, d)
+		return
+	}
+	batch := ss.srv.opts.BatchSize
+	for off := 0; off < len(ids); off += batch {
+		end := off + batch
+		if end > len(ids) {
+			end = len(ids)
+		}
+		ss.writeFrame(wire.Frame{
+			Type:    wire.TypeIDs,
+			Request: f.Request,
+			Payload: wire.EncodeIDs(ids[off:end]),
+		})
+	}
+	d.Results = uint64(len(ids))
+	ss.writeDone(f.Request, 0, d)
+}
+
+// runJoin executes an admitted JOIN and streams its canonical match set.
+func (ss *session) runJoin(f wire.Frame) {
+	q, err := wire.DecodeJoin(f.Payload)
+	if err != nil {
+		ss.badRequest(f.Request, "join", wire.StatusBadRequest, err.Error())
+		return
+	}
+	r, ok := ss.srv.db.Collection(q.R)
+	if !ok {
+		ss.badRequest(f.Request, "join", wire.StatusNotFound, "unknown collection "+q.R)
+		return
+	}
+	s, ok := ss.srv.db.Collection(q.S)
+	if !ok {
+		ss.badRequest(f.Request, "join", wire.StatusNotFound, "unknown collection "+q.S)
+		return
+	}
+	op, err := q.Op.Operator()
+	if err != nil {
+		ss.badRequest(f.Request, "join", wire.StatusBadRequest, err.Error())
+		return
+	}
+	strat, err := wireStrategy(q.Strategy)
+	if err != nil {
+		ss.badRequest(f.Request, "join", wire.StatusBadRequest, err.Error())
+		return
+	}
+	ms, stats, err := ss.srv.db.JoinContext(ss.srv.baseCtx, r, s, op, strat)
+	status := statusOf(stats, err, ss.srv.draining.Load())
+	ss.srv.m.queryOutcome("join", status)
+	d := wire.Done{Status: status, Stats: wireStats(stats)}
+	if err != nil {
+		d.Message = err.Error()
+		ss.writeDone(f.Request, 0, d)
+		return
+	}
+	batch := ss.srv.opts.BatchSize
+	for off := 0; off < len(ms); off += batch {
+		end := off + batch
+		if end > len(ms) {
+			end = len(ms)
+		}
+		ss.writeFrame(wire.Frame{
+			Type:    wire.TypeMatches,
+			Request: f.Request,
+			Payload: wire.EncodeMatches(ms[off:end]),
+		})
+	}
+	d.Results = uint64(len(ms))
+	ss.writeDone(f.Request, 0, d)
+}

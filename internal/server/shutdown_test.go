@@ -1,0 +1,183 @@
+package server_test
+
+// Graceful shutdown and goroutine hygiene: Shutdown must drain in-flight
+// queries to completion (exact results over the wire), refuse new work
+// with typed SHUTTING_DOWN verdicts, reject new connections, and leave
+// zero goroutines behind — session loops, query goroutines, and the
+// accept loop all accounted for by a runtime.NumGoroutine settle loop.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"spatialjoin"
+	"spatialjoin/internal/fault"
+	"spatialjoin/internal/obs"
+	"spatialjoin/internal/server"
+	"spatialjoin/internal/wire"
+)
+
+func TestShutdownDrainsInFlightAndLeaksNothing(t *testing.T) {
+	before := settledGoroutines()
+
+	db, r, s := newServerDB(t, false, func(c *spatialjoin.Config) {
+		c.Workers = 1
+		c.Fault = &fault.Options{Seed: 4400, ReadLatency: 10 * time.Millisecond}
+	})
+	// Ground truth while the cache is warm (reads never hit the slow
+	// device), then drop it so the in-flight query is genuinely slow.
+	want, _, err := db.Join(r, s, spatialjoin.Overlaps(), spatialjoin.ScanStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Options{Metrics: reg})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	slow := dialClient(t, addr)
+	idle := dialClient(t, addr)
+	ctx := context.Background()
+	if err := idle.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cold tree join over the 4ms-latency device: slow enough that the
+	// whole drain choreography below happens while it is in flight.
+	type joinReply struct {
+		res *wire.Result
+		err error
+	}
+	slowCh := make(chan joinReply, 1)
+	go func() {
+		res, err := slow.Join(ctx, "r", "s", wire.Overlaps(), wire.StrategyTree)
+		slowCh <- joinReply{res, err}
+	}()
+	activeQ := reg.Gauge("spatialjoin_server_active_queries", "")
+	waitFor(t, "slow join admitted", func() bool { return activeQ.Value() == 1 })
+
+	shutCh := make(chan error, 1)
+	go func() { shutCh <- srv.Shutdown(context.Background()) }()
+
+	// Shutdown closes the listeners after setting the draining flag, so
+	// once a fresh dial fails we know draining is visible everywhere.
+	waitFor(t, "listener closed", func() bool {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return true
+		}
+		_ = c.Close()
+		return false
+	})
+
+	// New work on a surviving session is refused with a typed verdict and
+	// the shed flag — it never touched the engine.
+	res, err := idle.Join(ctx, "r", "s", wire.Overlaps(), wire.StrategyScan)
+	if err != nil {
+		t.Fatalf("query during drain: %v", err)
+	}
+	if res.Status != wire.StatusShuttingDown || res.Flags&wire.FlagShed == 0 {
+		t.Fatalf("query during drain: status %s flags %#x, want shutting_down+shed", res.Status, res.Flags)
+	}
+
+	// The in-flight query drains to a complete, exact answer.
+	reply := <-slowCh
+	if reply.err != nil {
+		t.Fatalf("in-flight join during drain: %v", reply.err)
+	}
+	if reply.res.Status != wire.StatusOK {
+		t.Fatalf("in-flight join: status %s (%s), want ok", reply.res.Status, reply.res.Message)
+	}
+	assertSameMatches(t, "drained join", reply.res.Matches, want)
+
+	if err := <-shutCh; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != server.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if n := reg.Gauge("spatialjoin_server_active_connections", "").Value(); n != 0 {
+		t.Errorf("active_connections = %d after shutdown, want 0", n)
+	}
+	if n := activeQ.Value(); n != 0 {
+		t.Errorf("active_queries = %d after shutdown, want 0", n)
+	}
+
+	// Second shutdown is a harmless no-op.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Errorf("repeated Shutdown: %v", err)
+	}
+
+	// The server closed both client connections, so their read loops are
+	// gone too; everything the test started must have unwound.
+	_ = slow.Close()
+	_ = idle.Close()
+	if after := settledGoroutines(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after shutdown", before, after)
+	}
+}
+
+// TestShutdownDeadlineForcesExit wedges a query behind a long device
+// latency and shuts down with an already-expiring context: Shutdown must
+// return the context error promptly — cancelling the in-flight engine
+// work rather than waiting out the full query — and still leave no
+// goroutines behind.
+func TestShutdownDeadlineForcesExit(t *testing.T) {
+	before := settledGoroutines()
+
+	db, _, _ := newServerDB(t, false, func(c *spatialjoin.Config) {
+		c.Workers = 1
+		c.Fault = &fault.Options{Seed: 4500, ReadLatency: 20 * time.Millisecond}
+	})
+	if err := db.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Options{Metrics: reg})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	cli := dialClient(t, ln.Addr().String())
+	go func() {
+		// The reply races the forced connection close; either a typed
+		// non-OK verdict or a broken connection is acceptable.
+		_, _ = cli.Join(context.Background(), "r", "s", wire.Overlaps(), wire.StrategyTree)
+	}()
+	activeQ := reg.Gauge("spatialjoin_server_active_queries", "")
+	waitFor(t, "join admitted", func() bool { return activeQ.Value() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	// The wedged query would run for seconds; a forced exit must not.
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("forced shutdown took %v", took)
+	}
+	if err := <-serveDone; err != server.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	_ = cli.Close()
+	if after := settledGoroutines(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after forced shutdown", before, after)
+	}
+}

@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+)
+
+// ErrClientClosed is returned for calls on a closed Client.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// Result is one query's complete response: the typed status, the streamed
+// results reassembled in arrival order (the server streams them in the
+// engine's canonical order), and the measured work from the Done frame.
+type Result struct {
+	Status  Status
+	Flags   uint16
+	Matches []core.Match // JOIN results
+	IDs     []int        // SELECT results
+	Stats   QueryStats
+	Message string
+}
+
+// Err converts the status to an error: nil for StatusOK and — because the
+// results are still exact — StatusDegraded; a *StatusError otherwise.
+func (r *Result) Err() error {
+	switch r.Status {
+	case StatusOK, StatusDegraded:
+		return nil
+	}
+	return &StatusError{Status: r.Status, Message: r.Message}
+}
+
+// call is one in-flight request: batches accumulate until the Done frame
+// closes done.
+type call struct {
+	res  Result
+	err  error
+	done chan struct{}
+}
+
+// Client is a pipelining client for the spatial query server: any number
+// of goroutines may issue Ping/Select/Join concurrently over one
+// connection; requests are correlated to interleaved response frames by
+// request ID. The zero value is not usable — construct with Dial or
+// NewClient.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	nextID  uint64
+	broken  error // set once the read loop dies; fails all future calls
+
+	readDone chan struct{}
+}
+
+// Dial connects to a server and starts the response reader.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:     conn,
+		pending:  make(map[uint64]*call),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears down the connection; in-flight calls fail with
+// ErrClientClosed. Safe to call twice.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}
+
+// fail marks the client broken and completes every pending call with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	calls := c.pending
+	c.pending = make(map[uint64]*call)
+	c.mu.Unlock()
+	for _, cl := range calls {
+		cl.err = err
+		close(cl.done)
+	}
+}
+
+// readLoop dispatches response frames to pending calls until the
+// connection dies, then fails everything outstanding.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	br := bufio.NewReader(c.conn)
+	for {
+		f, err := ReadFrame(br, MaxPayload)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || err == io.EOF {
+				err = ErrClientClosed
+			}
+			c.fail(err)
+			return
+		}
+		if f.Request == 0 && f.Type == TypeDone {
+			// Connection-level verdict (e.g. SERVER_BUSY at accept): the
+			// server closes after sending it; surface the typed status to
+			// every call on this connection.
+			d, derr := DecodeDone(f.Payload)
+			if derr != nil {
+				c.fail(derr)
+			} else {
+				c.fail(&StatusError{Status: d.Status, Message: d.Message})
+			}
+			return
+		}
+		c.mu.Lock()
+		cl := c.pending[f.Request]
+		c.mu.Unlock()
+		if cl == nil {
+			continue // abandoned call (caller's context expired); drop
+		}
+		switch f.Type {
+		case TypeMatches:
+			var derr error
+			cl.res.Matches, derr = DecodeMatches(cl.res.Matches, f.Payload)
+			if derr != nil {
+				c.fail(derr)
+				return
+			}
+		case TypeIDs:
+			var derr error
+			cl.res.IDs, derr = DecodeIDs(cl.res.IDs, f.Payload)
+			if derr != nil {
+				c.fail(derr)
+				return
+			}
+		case TypePong:
+			c.complete(f.Request, cl, nil)
+		case TypeDone:
+			d, derr := DecodeDone(f.Payload)
+			if derr != nil {
+				c.fail(derr)
+				return
+			}
+			cl.res.Status = d.Status
+			cl.res.Flags = f.Flags
+			cl.res.Stats = d.Stats
+			cl.res.Message = d.Message
+			var verr error
+			if got := uint64(len(cl.res.Matches) + len(cl.res.IDs)); got != d.Results {
+				verr = fmt.Errorf("%w: Done claims %d results, %d streamed", ErrBadPayload, d.Results, got)
+			}
+			c.complete(f.Request, cl, verr)
+		default:
+			c.fail(fmt.Errorf("%w: unexpected %#02x response", ErrBadPayload, f.Type))
+			return
+		}
+	}
+}
+
+// complete finishes one call and unregisters it.
+func (c *Client) complete(id uint64, cl *call, err error) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+	cl.err = err
+	close(cl.done)
+}
+
+// send registers a call and writes its request frame.
+func (c *Client) send(typ uint8, payload []byte) (*call, uint64, error) {
+	cl := &call{done: make(chan struct{})}
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return nil, 0, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = cl
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := WriteFrame(c.conn, Frame{Type: typ, Request: id, Payload: payload})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, 0, err
+	}
+	return cl, id, nil
+}
+
+// wait blocks until the call completes or ctx expires. An expired context
+// abandons the call: later frames for its request ID are discarded.
+func (c *Client) wait(ctx context.Context, cl *call, id uint64) (*Result, error) {
+	select {
+	case <-cl.done:
+		if cl.err != nil {
+			return nil, cl.err
+		}
+		return &cl.res, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Ping round-trips an empty liveness frame.
+func (c *Client) Ping(ctx context.Context) error {
+	cl, id, err := c.send(TypePing, nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.wait(ctx, cl, id)
+	return err
+}
+
+// Select runs a SELECT on the server. The returned result's IDs are exact
+// for StatusOK and StatusDegraded; other statuses carry no results (check
+// Result.Err).
+func (c *Client) Select(ctx context.Context, collection string, selector geom.Rect, op OpSpec, strategy uint8) (*Result, error) {
+	payload, err := EncodeSelect(SelectRequest{
+		Strategy: strategy, Op: op, Collection: collection, Selector: selector,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl, id, err := c.send(TypeSelect, payload)
+	if err != nil {
+		return nil, err
+	}
+	return c.wait(ctx, cl, id)
+}
+
+// Join runs a JOIN on the server. The returned result's Matches are the
+// engine's canonical (R, S)-sorted match set for StatusOK and
+// StatusDegraded; other statuses carry no results (check Result.Err).
+func (c *Client) Join(ctx context.Context, r, s string, op OpSpec, strategy uint8) (*Result, error) {
+	payload, err := EncodeJoin(JoinRequest{Strategy: strategy, Op: op, R: r, S: s})
+	if err != nil {
+		return nil, err
+	}
+	cl, id, err := c.send(TypeJoin, payload)
+	if err != nil {
+		return nil, err
+	}
+	return c.wait(ctx, cl, id)
+}

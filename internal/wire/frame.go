@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame is one protocol frame: the decoded header fields plus the raw
+// message payload its Type describes.
+type Frame struct {
+	Type    uint8
+	Flags   uint16
+	Request uint64
+	Payload []byte
+}
+
+// AppendFrame appends the frame's canonical encoding to dst and returns the
+// extended slice. It panics if the payload exceeds MaxPayload — callers
+// construct payloads with the bounded message encoders, so an oversized
+// frame is a programming error, not an input condition.
+func AppendFrame(dst []byte, f Frame) []byte {
+	if len(f.Payload) > MaxPayload {
+		panic(fmt.Sprintf("wire: frame payload %d exceeds MaxPayload", len(f.Payload)))
+	}
+	off := len(dst)
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	hdr[4] = Version
+	hdr[5] = f.Type
+	binary.LittleEndian.PutUint16(hdr[6:], f.Flags)
+	binary.LittleEndian.PutUint64(hdr[8:], f.Request)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Payload...)
+	sum := crc32.Update(0, castagnoli, dst[off:off+20])
+	sum = crc32.Update(sum, castagnoli, f.Payload)
+	binary.LittleEndian.PutUint32(dst[off+20:off+24], sum)
+	return dst
+}
+
+// WriteFrame writes the frame's canonical encoding to w in one Write call,
+// so a frame is never interleaved with another writer's frame as long as
+// callers serialize Write calls (both peers guard the connection with a
+// write mutex).
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := AppendFrame(make([]byte, 0, HeaderSize+len(f.Payload)), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and verifies one frame from r. maxPayload bounds the
+// payload allocation (values ≤ 0 or > MaxPayload mean MaxPayload); a header
+// declaring more fails with ErrFrameTooLarge before any allocation, so
+// arbitrary input can never force an over-allocation.
+//
+// A clean end of stream before any header byte returns io.EOF untouched;
+// a stream that ends mid-frame returns ErrTruncated. All other failures
+// wrap the typed errors of this package. After any error except io.EOF the
+// stream must be considered out of sync and the connection closed.
+func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
+	if maxPayload <= 0 || maxPayload > MaxPayload {
+		maxPayload = MaxPayload
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != Magic {
+		return Frame{}, fmt.Errorf("%w: 0x%08x", ErrBadMagic, m)
+	}
+	if v := hdr[4]; v != Version {
+		return Frame{}, fmt.Errorf("%w: %d", ErrVersion, v)
+	}
+	f := Frame{
+		Type:    hdr[5],
+		Flags:   binary.LittleEndian.Uint16(hdr[6:]),
+		Request: binary.LittleEndian.Uint64(hdr[8:]),
+	}
+	if !validType(f.Type) {
+		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrUnknownType, f.Type)
+	}
+	if bad := f.Flags &^ flagsDefined; bad != 0 {
+		return Frame{}, fmt.Errorf("%w: 0x%04x", ErrBadFlags, bad)
+	}
+	n := binary.LittleEndian.Uint32(hdr[16:])
+	if n > uint32(maxPayload) {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxPayload)
+	}
+	want := binary.LittleEndian.Uint32(hdr[20:])
+	sum := crc32.Update(0, castagnoli, hdr[:20])
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+		}
+		sum = crc32.Update(sum, castagnoli, f.Payload)
+	}
+	if sum != want {
+		return Frame{}, fmt.Errorf("%w: computed 0x%08x, frame claims 0x%08x", ErrChecksum, sum, want)
+	}
+	return f, nil
+}

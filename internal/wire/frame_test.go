@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameFixtures returns one frame of every type with representative
+// payloads.
+func frameFixtures() []Frame {
+	return []Frame{
+		{Type: TypePing, Request: 1},
+		{Type: TypePong, Request: 1},
+		{Type: TypeSelect, Request: 2, Payload: []byte{1, 2, 3}},
+		{Type: TypeJoin, Request: 1 << 60, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+		{Type: TypeMatches, Request: 7, Payload: EncodeMatches(nil)},
+		{Type: TypeIDs, Request: 7, Payload: EncodeIDs([]int{1, 2, 3})},
+		{Type: TypeDone, Request: 7, Flags: FlagShed, Payload: EncodeDone(Done{Status: StatusServerBusy})},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	for _, f := range frameFixtures() {
+		if err := WriteFrame(&stream, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream.Bytes())
+	for i, want := range frameFixtures() {
+		got, err := ReadFrame(r, MaxPayload)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Flags != want.Flags || got.Request != want.Request ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d round-trip mismatch: %+v vs %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r, MaxPayload); err != io.EOF {
+		t.Fatalf("clean end of stream: got %v, want io.EOF", err)
+	}
+}
+
+// corrupt returns the encoding of a valid frame with one byte altered.
+func corrupt(t *testing.T, offset int, b byte) []byte {
+	t.Helper()
+	enc := AppendFrame(nil, Frame{Type: TypeJoin, Request: 9, Payload: []byte("payload")})
+	if offset >= len(enc) {
+		t.Fatalf("offset %d beyond frame of %d", offset, len(enc))
+	}
+	enc[offset] = b
+	return enc
+}
+
+func TestFrameTypedErrors(t *testing.T) {
+	valid := AppendFrame(nil, Frame{Type: TypeJoin, Request: 9, Payload: []byte("payload")})
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"bad magic", corrupt(t, 0, 'X'), ErrBadMagic},
+		{"bad version", corrupt(t, 4, 99), ErrVersion},
+		{"unknown type", corrupt(t, 5, 0x7F), ErrUnknownType},
+		{"undefined flags", corrupt(t, 6, 0xFE), ErrBadFlags},
+		{"flipped payload byte", corrupt(t, HeaderSize+2, 'X'), ErrChecksum},
+		{"flipped crc byte", corrupt(t, 20, valid[20]+1), ErrChecksum},
+		{"torn header", valid[:HeaderSize-3], ErrTruncated},
+		{"torn payload", valid[:len(valid)-2], ErrTruncated},
+		{"empty-after-header truncation", valid[:HeaderSize], ErrTruncated},
+	}
+	for _, tc := range cases {
+		_, err := ReadFrame(bytes.NewReader(tc.data), MaxPayload)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFrameLengthLimit asserts a hostile declared length is rejected with
+// ErrFrameTooLarge before any payload allocation, both at the protocol
+// bound and at a caller-supplied tighter bound.
+func TestFrameLengthLimit(t *testing.T) {
+	enc := AppendFrame(nil, Frame{Type: TypePing, Request: 1})
+	binary.LittleEndian.PutUint32(enc[16:], MaxPayload+1)
+	if _, err := ReadFrame(bytes.NewReader(enc), MaxPayload); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized declared length: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// A tighter caller bound rejects frames the protocol bound would admit.
+	small := AppendFrame(nil, Frame{Type: TypeJoin, Request: 1, Payload: make([]byte, 512)})
+	if _, err := ReadFrame(bytes.NewReader(small), 256); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("caller bound: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// The rejection must happen before allocation: run the decode under an
+	// allocation budget far below the declared 1 MiB payload.
+	avg := testing.AllocsPerRun(100, func() {
+		_, _ = ReadFrame(bytes.NewReader(enc), MaxPayload) //nolint — error asserted above
+	})
+	if avg > 8 {
+		t.Fatalf("oversized frame rejection allocated %.1f times per run", avg)
+	}
+}
+
+func TestWriteFramePanicsOnOversizedPayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendFrame accepted a payload beyond MaxPayload")
+		}
+	}()
+	AppendFrame(nil, Frame{Type: TypeJoin, Payload: make([]byte, MaxPayload+1)})
+}

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/geom"
+)
+
+// frameDecodeTypedErrors are the only failure shapes ReadFrame may produce
+// (besides a clean io.EOF at a frame boundary).
+var frameDecodeTypedErrors = []error{
+	ErrBadMagic, ErrVersion, ErrBadFlags, ErrUnknownType,
+	ErrFrameTooLarge, ErrChecksum, ErrTruncated,
+}
+
+// FuzzFrameDecode feeds arbitrary bytes into the frame decoder and asserts
+// the contract the server's read loop depends on: no panic, no hang, no
+// allocation beyond the declared bound, and every failure is one of the
+// package's typed errors. Frames that do decode must re-encode to the
+// byte-identical canonical form (the codec is bijective on valid frames).
+func FuzzFrameDecode(f *testing.F) {
+	// Seed with valid frames of every type...
+	for _, fr := range frameFixtures() {
+		f.Add(AppendFrame(nil, fr))
+	}
+	sel, _ := EncodeSelect(SelectRequest{
+		Strategy: StrategyTree, Op: Overlaps(),
+		Collection: "r", Selector: geom.NewRect(0, 0, 1, 1),
+	})
+	f.Add(AppendFrame(nil, Frame{Type: TypeSelect, Request: 3, Payload: sel}))
+	// ...a stream of two frames...
+	two := AppendFrame(nil, Frame{Type: TypePing, Request: 1})
+	f.Add(AppendFrame(two, Frame{Type: TypePong, Request: 1}))
+	// ...and hostile shapes: truncations, a huge declared length, garbage.
+	valid := AppendFrame(nil, Frame{Type: TypeJoin, Request: 2, Payload: []byte("xyz")})
+	f.Add(valid[:HeaderSize-1])
+	f.Add(valid[:len(valid)-1])
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(huge[16:], 1<<31)
+	f.Add(huge)
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize*2))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := ReadFrame(r, MaxPayload)
+			if err != nil {
+				if err == io.EOF {
+					return // clean boundary
+				}
+				typed := false
+				for _, want := range frameDecodeTypedErrors {
+					if errors.Is(err, want) {
+						typed = true
+						break
+					}
+				}
+				if !typed {
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				return
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("decoder admitted %d-byte payload", len(fr.Payload))
+			}
+			// Bijectivity: a decoded frame re-encodes byte-identically to
+			// the consumed input prefix.
+			reenc := AppendFrame(nil, fr)
+			consumed := len(data) - r.Len()
+			start := consumed - len(reenc)
+			if start < 0 || !bytes.Equal(reenc, data[start:consumed]) {
+				t.Fatalf("re-encoding diverged from consumed bytes")
+			}
+			// The payload decoders must also never panic on whatever the
+			// frame carried, and must fail typed when they fail.
+			checkPayloadDecoders(t, fr)
+		}
+	})
+}
+
+// checkPayloadDecoders runs every message decoder that could be dispatched
+// for the frame's type and asserts failures are ErrBadPayload-typed.
+func checkPayloadDecoders(t *testing.T, fr Frame) {
+	t.Helper()
+	assertTyped := func(err error) {
+		if err != nil && !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("untyped payload error for frame type %#02x: %v", fr.Type, err)
+		}
+	}
+	switch fr.Type {
+	case TypeSelect:
+		_, err := DecodeSelect(fr.Payload)
+		assertTyped(err)
+	case TypeJoin:
+		_, err := DecodeJoin(fr.Payload)
+		assertTyped(err)
+	case TypeMatches:
+		_, err := DecodeMatches([]core.Match(nil), fr.Payload)
+		assertTyped(err)
+	case TypeIDs:
+		_, err := DecodeIDs(nil, fr.Payload)
+		assertTyped(err)
+	case TypeDone:
+		_, err := DecodeDone(fr.Payload)
+		assertTyped(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package wire is the binary framed protocol of the spatial query server:
+// fixed-layout length-prefixed frames — magic, version, type, flags, a
+// request ID for pipelining, and a CRC-32C (Castagnoli) checksum covering
+// header and payload — carrying SELECT/JOIN requests and streamed match-set
+// responses.
+//
+// Frame layout (little-endian, 24-byte header):
+//
+//	offset size  field
+//	0      4     magic "SJW1" (0x31574A53 LE)
+//	4      1     protocol version (1)
+//	5      1     frame type
+//	6      2     flags (undefined bits are a decode error)
+//	8      8     request ID (client-assigned; responses echo it)
+//	16     4     payload length (≤ MaxPayload)
+//	20     4     CRC-32C over header[0:20] ++ payload
+//
+// A connection is a full-duplex stream of frames. The client assigns a
+// non-zero request ID to every request and may pipeline: many requests may
+// be outstanding at once, and response frames for different requests may
+// interleave — the request ID is the only correlation. A query's response
+// is zero or more Matches/IDs batch frames followed by exactly one Done
+// frame carrying the typed status and the query's measured work. A Done
+// frame with request ID 0 is a connection-level verdict (e.g. SERVER_BUSY
+// at accept when the server is over its connection limit) and the peer
+// closes the connection after sending it.
+//
+// Every decode failure is a typed error (ErrBadMagic, ErrVersion,
+// ErrBadFlags, ErrUnknownType, ErrFrameTooLarge, ErrChecksum,
+// ErrTruncated, ErrBadPayload) so harnesses can assert the exact failure
+// shape, and the decoder never allocates more than MaxPayload bytes no
+// matter what length a hostile header declares.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strings"
+)
+
+// Magic opens every frame: "SJW1" in stream order.
+const Magic uint32 = 0x31574A53 // 'S' 'J' 'W' '1' little-endian
+
+// Version is the protocol version this package speaks. Frames carrying any
+// other version are rejected with ErrVersion.
+const Version = 1
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 24
+
+// MaxPayload bounds a frame's payload. The decoder rejects larger declared
+// lengths before allocating, so arbitrary input can never force an
+// over-allocation.
+const MaxPayload = 1 << 20
+
+// Frame types. Requests flow client → server; responses carry the high bit.
+const (
+	// TypePing is an empty liveness request; the server answers TypePong.
+	TypePing uint8 = 0x01
+	// TypeSelect carries a SelectRequest payload.
+	TypeSelect uint8 = 0x02
+	// TypeJoin carries a JoinRequest payload.
+	TypeJoin uint8 = 0x03
+
+	// TypePong is the empty answer to TypePing.
+	TypePong uint8 = 0x81
+	// TypeMatches is one streamed batch of (R, S) match pairs of a JOIN.
+	TypeMatches uint8 = 0x82
+	// TypeIDs is one streamed batch of object IDs of a SELECT.
+	TypeIDs uint8 = 0x83
+	// TypeDone terminates a query's response: typed status, result count,
+	// and the query's measured work (see Done).
+	TypeDone uint8 = 0x84
+)
+
+// Flags.
+const (
+	// FlagShed marks a Done frame for a query (or connection, with request
+	// ID 0) the server rejected before executing anything: admission
+	// control shed it (SERVER_BUSY) or the server is draining
+	// (SHUTTING_DOWN). A shed query did zero engine work.
+	FlagShed uint16 = 1 << 0
+
+	// flagsDefined masks the flag bits this version defines; any other set
+	// bit fails decoding with ErrBadFlags.
+	flagsDefined = FlagShed
+)
+
+// Status is the typed verdict of a Done frame.
+type Status uint8
+
+// Status codes.
+const (
+	// StatusOK: the query ran to completion; the streamed results are the
+	// exact canonical answer.
+	StatusOK Status = 0
+	// StatusDegraded: permanent index loss forced the engine down to the
+	// scan strategy (Stats.Downgrades > 0) — the streamed results are
+	// still the exact canonical answer, only the cost changed.
+	StatusDegraded Status = 1
+	// StatusTimeout: the query's deadline (Config.QueryTimeout or the
+	// session's context) expired mid-descent; no trustworthy results.
+	StatusTimeout Status = 2
+	// StatusServerBusy: admission control shed the query (or connection)
+	// without executing it.
+	StatusServerBusy Status = 3
+	// StatusShuttingDown: the server is draining and takes no new work.
+	StatusShuttingDown Status = 4
+	// StatusBadRequest: the request payload did not decode or named an
+	// unknown operator or strategy.
+	StatusBadRequest Status = 5
+	// StatusNotFound: the request named a collection (or required join
+	// index) the server does not have.
+	StatusNotFound Status = 6
+	// StatusInternal: a typed storage fault degradation could not route
+	// around, or any other engine failure.
+	StatusInternal Status = 7
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusDegraded:
+		return "DEGRADED"
+	case StatusTimeout:
+		return "TIMEOUT"
+	case StatusServerBusy:
+		return "SERVER_BUSY"
+	case StatusShuttingDown:
+		return "SHUTTING_DOWN"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusInternal:
+		return "INTERNAL"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Label renders the status as a lowercase metrics label value, matching
+// the engine's outcome-label convention (ok, degraded, timeout, ...).
+func (s Status) Label() string {
+	return strings.ToLower(s.String())
+}
+
+// Typed decode errors. Harnesses assert with errors.Is; every failure of
+// ReadFrame and the message decoders wraps exactly one of these.
+var (
+	// ErrBadMagic: the stream's next four bytes are not the frame magic —
+	// the connection is out of sync and must be closed.
+	ErrBadMagic = errors.New("wire: bad frame magic")
+	// ErrVersion: the frame carries a protocol version this package does
+	// not speak.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrBadFlags: the frame sets flag bits this version does not define.
+	ErrBadFlags = errors.New("wire: undefined flag bits")
+	// ErrUnknownType: the frame type byte is not one this version defines.
+	ErrUnknownType = errors.New("wire: unknown frame type")
+	// ErrFrameTooLarge: the header declares a payload beyond MaxPayload;
+	// rejected before any allocation.
+	ErrFrameTooLarge = errors.New("wire: declared payload exceeds limit")
+	// ErrChecksum: the CRC-32C over header and payload does not verify —
+	// the frame was torn or corrupted in flight.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrTruncated: the stream ended inside a frame.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrBadPayload: a frame's payload does not decode as the message its
+	// type promises.
+	ErrBadPayload = errors.New("wire: malformed message payload")
+)
+
+// castagnoli is the CRC-32C table every frame checksum uses — the same
+// polynomial the storage layer's page checksums use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// validType reports whether t is a frame type this version defines.
+func validType(t uint8) bool {
+	switch t {
+	case TypePing, TypeSelect, TypeJoin, TypePong, TypeMatches, TypeIDs, TypeDone:
+		return true
+	}
+	return false
+}
+
+// StatusError is the error shape the client surfaces for a non-OK,
+// non-DEGRADED Done frame: the typed status plus the server's diagnostic
+// message.
+type StatusError struct {
+	Status  Status
+	Message string
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("wire: server returned %v", e.Status)
+	}
+	return fmt.Sprintf("wire: server returned %v: %s", e.Status, e.Message)
+}
