@@ -8,17 +8,30 @@
 //	floateq        no raw ==/!= on float geometry values
 //	errdrop        storage/pool errors must be checked
 //	ctxpool        parallel.Run/RunChunks errors must be checked
+//	pinunpin       successful BufferPool.Pin reaches Unpin on every path
+//	lockbalance    manual Lock/Unlock balance; no double-lock
+//	spanclose      obs spans are ended on every outcome
+//	semrelease     admission tokens are released on every path
+//
+// (and more; see -list for the full suite.)
 //
 // Findings can be suppressed with a trailing or preceding line comment:
 //
 //	//sjlint:ignore analyzer[,analyzer] reason...
+//
+// The reason is required in spirit: a directive without one still
+// suppresses, but sjlint prints a warning for each bare directive.
+//
+// With -tests, each package's _test.go files are analyzed too (both
+// in-package and external foo_test files); analyzers marked as
+// production-only disciplines skip test files automatically.
 //
 // Exit codes are machine-readable: 0 = clean, 1 = findings reported,
 // 2 = usage, load, or type-check failure.
 //
 // Usage:
 //
-//	go run ./cmd/sjlint [-list] [-run names] [-json] [packages...]
+//	go run ./cmd/sjlint [-list] [-run names] [-tests] [-json] [packages...]
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"spatialjoin/internal/analysis"
 )
@@ -46,12 +60,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("sjlint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	var (
-		list    = flags.Bool("list", false, "list available analyzers and exit")
-		runOnly = flags.String("run", "", "comma-separated subset of analyzers to run (default: all)")
-		asJSON  = flags.Bool("json", false, "emit diagnostics as a JSON array")
+		list     = flags.Bool("list", false, "list available analyzers and exit")
+		runOnly  = flags.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+		asJSON   = flags.Bool("json", false, "emit a JSON report (diagnostics, suppression counts, warnings)")
+		withTest = flags.Bool("tests", false, "also analyze _test.go files")
 	)
 	flags.Usage = func() {
-		fmt.Fprintln(stderr, "usage: sjlint [-list] [-run names] [-json] [packages...]")
+		fmt.Fprintln(stderr, "usage: sjlint [-list] [-run names] [-tests] [-json] [packages...]")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
@@ -84,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sjlint: %v\n", err)
 		return exitError
 	}
+	loader.IncludeTests = *withTest
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "sjlint: %v\n", err)
@@ -92,8 +108,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cwd, _ := os.Getwd()
 	var all []analysis.Diagnostic
+	suppressed := make(map[string]int)
+	var bare []string
 	for _, pkg := range pkgs {
-		all = append(all, analysis.Run(pkg, analyzers)...)
+		res := analysis.RunAll(pkg, analyzers)
+		all = append(all, res.Diagnostics...)
+		for name, n := range res.Suppressed {
+			suppressed[name] += n
+		}
+		for _, pos := range res.BareDirectives {
+			bare = append(bare, fmt.Sprintf("%s:%d", relPath(cwd, pos.Filename), pos.Line))
+		}
+	}
+	sort.Strings(bare)
+	warnings := make([]string, 0, len(bare))
+	for _, at := range bare {
+		warnings = append(warnings, fmt.Sprintf("%s: //sjlint:ignore without a justification; add a reason after the analyzer list", at))
 	}
 
 	if *asJSON {
@@ -104,9 +134,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Analyzer string `json:"analyzer"`
 			Message  string `json:"message"`
 		}
-		out := make([]jsonDiag, 0, len(all))
+		type report struct {
+			Diagnostics []jsonDiag     `json:"diagnostics"`
+			Suppressed  map[string]int `json:"suppressed"`
+			Warnings    []string       `json:"warnings"`
+		}
+		rep := report{
+			Diagnostics: make([]jsonDiag, 0, len(all)),
+			Suppressed:  suppressed,
+			Warnings:    warnings,
+		}
 		for _, d := range all {
-			out = append(out, jsonDiag{
+			rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
 				File:     relPath(cwd, d.Pos.Filename),
 				Line:     d.Pos.Line,
 				Column:   d.Pos.Column,
@@ -116,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(stderr, "sjlint: %v\n", err)
 			return exitError
 		}
@@ -125,6 +164,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n",
 				relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 		}
+	}
+	// Warnings are advisory: they go to stderr and do not affect the exit
+	// code, so a justified-but-terse tree still gates on findings alone.
+	for _, w := range warnings {
+		fmt.Fprintf(stderr, "sjlint: warning: %s\n", w)
 	}
 
 	if len(all) > 0 {

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -38,23 +40,107 @@ func TestExitCodeContract(t *testing.T) {
 	}
 }
 
+// jsonReport mirrors the -json output shape.
+type jsonReport struct {
+	Diagnostics []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	} `json:"diagnostics"`
+	Suppressed map[string]int `json:"suppressed"`
+	Warnings   []string       `json:"warnings"`
+}
+
 func TestJSONOutput(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-json", "./internal/analysis/testdata/src/errdrop"}, &out, &errb)
 	if code != exitFindings {
 		t.Fatalf("exit %d, want %d\nstderr:\n%s", code, exitFindings, errb.String())
 	}
-	var diags []struct {
-		File     string `json:"file"`
-		Line     int    `json:"line"`
-		Analyzer string `json:"analyzer"`
-		Message  string `json:"message"`
-	}
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
 	}
-	if len(diags) == 0 || diags[0].Analyzer != "errdrop" || diags[0].Line == 0 {
-		t.Fatalf("unexpected JSON diagnostics: %+v", diags)
+	if len(rep.Diagnostics) == 0 || rep.Diagnostics[0].Analyzer != "errdrop" || rep.Diagnostics[0].Line == 0 {
+		t.Fatalf("unexpected JSON diagnostics: %+v", rep.Diagnostics)
+	}
+	// The errdrop fixture carries a justified suppression; the report must
+	// account for it per analyzer.
+	if rep.Suppressed["errdrop"] == 0 {
+		t.Fatalf("suppressed count missing from report: %+v", rep.Suppressed)
+	}
+}
+
+// TestTestsFlag verifies -tests extends analysis to _test.go files: the
+// production tree stays clean even with them included (every finding fixed
+// or justified), and the suppression accounting shows test-file directives
+// were honored.
+func TestTestsFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-tests", "-json", "./..."}, &out, &errb)
+	if code != exitClean {
+		t.Fatalf("sjlint -tests ./... = exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, exitClean, out.String(), errb.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Suppressed["pinunpin"] == 0 {
+		t.Fatalf("expected pinunpin suppressions from storage tests, got %+v", rep.Suppressed)
+	}
+	if len(rep.Warnings) != 0 {
+		t.Fatalf("tree has unjustified ignore directives:\n%s", strings.Join(rep.Warnings, "\n"))
+	}
+}
+
+// TestBareDirectiveWarning verifies an //sjlint:ignore with no written
+// justification still suppresses but is warned about on stderr and in the
+// JSON report.
+func TestBareDirectiveWarning(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+import "sync"
+
+func f(mu *sync.Mutex, bad bool) {
+	//sjlint:ignore lockbalance
+	mu.Lock()
+	if bad {
+		return
+	}
+	mu.Unlock()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gomod := "module scratch\n\ngo 1.21\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "lockbalance", "."}, &out, &errb)
+	if code != exitClean {
+		t.Fatalf("bare directive must still suppress; exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "without a justification") {
+		t.Fatalf("no warning for bare directive on stderr:\n%s", errb.String())
 	}
 }
 

@@ -32,6 +32,11 @@ type Analyzer struct {
 	// Run inspects the package in pass and reports findings via
 	// pass.Reportf. It must not retain pass after returning.
 	Run func(pass *Pass)
+	// SkipTests drops this analyzer's findings in _test.go files when a
+	// package is loaded with tests: the invariant it enforces is a
+	// production-code discipline that test code legitimately violates
+	// (raw device I/O in storage tests, exact float goldens, ...).
+	SkipTests bool
 }
 
 // Pass carries one package's parsed and type-checked state to an analyzer.
@@ -86,6 +91,10 @@ func All() []*Analyzer {
 		StatsReset,
 		ThetaPair,
 		JoinAlloc,
+		PinUnpin,
+		LockBalance,
+		SpanClose,
+		SemRelease,
 	}
 }
 
@@ -111,11 +120,32 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// RunResult is the full outcome of analyzing one package: the surviving
+// diagnostics plus the suppression accounting the driver exposes.
+type RunResult struct {
+	// Diagnostics are the findings that survived //sjlint:ignore
+	// filtering, sorted by position.
+	Diagnostics []Diagnostic
+	// Suppressed counts the findings each analyzer produced that an
+	// ignore directive swallowed.
+	Suppressed map[string]int
+	// BareDirectives locate //sjlint:ignore comments carrying no written
+	// justification after the analyzer list — a driver warning.
+	BareDirectives []token.Position
+}
+
 // Run executes the given analyzers over one loaded package concurrently and
 // returns the surviving diagnostics sorted by position. Findings suppressed
 // by an //sjlint:ignore comment on the same or the preceding line are
 // dropped.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAll(pkg, analyzers).Diagnostics
+}
+
+// RunAll is Run with the suppression accounting: surviving diagnostics,
+// per-analyzer suppressed counts, and the positions of justification-less
+// ignore directives.
+func RunAll(pkg *Package, analyzers []*Analyzer) RunResult {
 	var (
 		mu    sync.Mutex
 		diags []Diagnostic
@@ -138,12 +168,22 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	}
 	wg.Wait()
 
+	skipTests := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		skipTests[a.Name] = a.SkipTests
+	}
 	ig := collectIgnores(pkg)
+	res := RunResult{Suppressed: make(map[string]int)}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !ig.suppresses(d) {
-			kept = append(kept, d)
+		if skipTests[d.Analyzer] && strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
 		}
+		if ig.suppresses(d) {
+			res.Suppressed[d.Analyzer]++
+			continue
+		}
+		kept = append(kept, d)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -158,7 +198,9 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	res.Diagnostics = kept
+	res.BareDirectives = ig.bare
+	return res
 }
 
 // ignoreKey locates one //sjlint:ignore directive.
@@ -167,16 +209,23 @@ type ignoreKey struct {
 	line int
 }
 
-// ignores maps directive locations to the analyzer names they suppress.
-type ignores map[ignoreKey]map[string]bool
+// ignores maps directive locations to the analyzer names they suppress,
+// and records directives missing their written justification.
+type ignores struct {
+	at   map[ignoreKey]map[string]bool
+	bare []token.Position
+}
 
 // collectIgnores scans every comment in the package for
-// //sjlint:ignore name[,name...] directives. A directive suppresses
-// matching diagnostics on its own line and on the line directly below it
-// (so it can sit at end-of-line or on its own line above the finding).
+// //sjlint:ignore name[,name...] reason... directives. A directive
+// suppresses matching diagnostics on its own line and on the line directly
+// below it (so it can sit at end-of-line or on its own line above the
+// finding). The free-form justification after the analyzer list is
+// required: a bare directive still suppresses — silencing a finding must
+// never depend on prose — but is reported for the driver to warn about.
 func collectIgnores(pkg *Package) ignores {
 	const prefix = "//sjlint:ignore"
-	ig := make(ignores)
+	ig := ignores{at: make(map[ignoreKey]map[string]bool)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -191,11 +240,14 @@ func collectIgnores(pkg *Package) ignores {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == 1 {
+					ig.bare = append(ig.bare, pos)
+				}
 				key := ignoreKey{file: pos.Filename, line: pos.Line}
-				set := ig[key]
+				set := ig.at[key]
 				if set == nil {
 					set = make(map[string]bool)
-					ig[key] = set
+					ig.at[key] = set
 				}
 				for _, name := range strings.Split(fields[0], ",") {
 					set[strings.TrimSpace(name)] = true
@@ -203,6 +255,13 @@ func collectIgnores(pkg *Package) ignores {
 			}
 		}
 	}
+	sort.Slice(ig.bare, func(i, j int) bool {
+		a, b := ig.bare[i], ig.bare[j]
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
 	return ig
 }
 
@@ -210,7 +269,7 @@ func collectIgnores(pkg *Package) ignores {
 // line above.
 func (ig ignores) suppresses(d Diagnostic) bool {
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if set, ok := ig[ignoreKey{file: d.Pos.Filename, line: line}]; ok && set[d.Analyzer] {
+		if set, ok := ig.at[ignoreKey{file: d.Pos.Filename, line: line}]; ok && set[d.Analyzer] {
 			return true
 		}
 	}

@@ -75,11 +75,11 @@ func TestIgnoreDirectiveParsing(t *testing.T) {
 		t.Fatalf("loading fixture: %v", err)
 	}
 	ig := collectIgnores(pkg)
-	if len(ig) == 0 {
+	if len(ig.at) == 0 {
 		t.Fatal("no ignore directives collected from fixture")
 	}
 	found := false
-	for key, set := range ig {
+	for key, set := range ig.at {
 		if set["floateq"] {
 			found = true
 			// The directive must suppress on its own line and the next.

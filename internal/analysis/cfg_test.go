@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses src (the body of `package p`) and lowers the function
+// named f. The builder is purely syntactic, so the snippets never need to
+// type-check.
+func buildTestCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parsing snippet: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" && fd.Body != nil {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("snippet declares no function f")
+	return nil
+}
+
+// TestBuildCFG pins the exact block/edge structure the builder produces for
+// each control shape the paired-resource solver depends on. The golden form
+// is DebugString: one line per block in creation order, successors in edge
+// order, /T and /F marking condition polarity, /return and /panic marking
+// exit kinds.
+func TestBuildCFG(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "straight line",
+			src: `func f() int {
+	x := 1
+	x++
+	return x
+}`,
+			want: `
+b0[3]: exit/return
+exit[0]:`,
+		},
+		{
+			name: "if else join",
+			src: `func f(v int) int {
+	if v > 0 {
+		v--
+	} else {
+		v++
+	}
+	return v
+}`,
+			want: `
+b0[0]: b1/T b3/F
+b1[1]: b2
+b2[1]: exit/return
+b3[1]: b2
+exit[0]:`,
+		},
+		{
+			name: "nested range loops",
+			src: `func f(xs [][]int) int {
+	s := 0
+	for _, row := range xs {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}`,
+			want: `
+b0[1]: b1
+b1[1]: b3 b2
+b2[1]: exit/return
+b3[0]: b4
+b4[1]: b6 b5
+b5[0]: b1
+b6[1]: b4
+exit[0]:`,
+		},
+		{
+			name: "labeled break from inner loop",
+			src: `func f(xs []int) {
+outer:
+	for _, x := range xs {
+		for _, y := range xs {
+			if x == y {
+				break outer
+			}
+		}
+	}
+}`,
+			want: `
+b0[0]: b1
+b1[0]: b2
+b2[1]: b4 b3
+b3[0]: exit/return
+b4[0]: b5
+b5[1]: b7 b6
+b6[0]: b2
+b7[0]: b8/T b9/F
+b8[0]: b3
+b9[0]: b5
+exit[0]:`,
+		},
+		{
+			name: "three clause for with break and continue",
+			src: `func f(xs []int) int {
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < 0 {
+			continue
+		}
+		if xs[i] == 0 {
+			break
+		}
+		s += xs[i]
+	}
+	return s
+}`,
+			want: `
+b0[2]: b1
+b1[0]: b3/T b2/F
+b2[1]: exit/return
+b3[0]: b5/T b6/F
+b4[1]: b1
+b5[0]: b4
+b6[0]: b7/T b8/F
+b7[0]: b2
+b8[1]: b4
+exit[0]:`,
+		},
+		{
+			name: "defer in loop stays in its block",
+			src: `func f(n int) {
+	for i := 0; i < n; i++ {
+		defer done(i)
+	}
+}`,
+			want: `
+b0[1]: b1
+b1[0]: b3/T b2/F
+b2[0]: exit/return
+b3[1]: b4
+b4[1]: b1
+exit[0]:`,
+		},
+		{
+			name: "panic only exits",
+			src: `func f(v int) {
+	if v < 0 {
+		panic("negative")
+	}
+	panic("always")
+}`,
+			want: `
+b0[0]: b1/T b2/F
+b1[1]: exit/panic
+b2[1]: exit/panic
+exit[0]:`,
+		},
+		{
+			name: "fatalf terminates like return",
+			src: `func f(ok bool, tt reporter) {
+	if !ok {
+		tt.Fatalf("nope")
+	}
+	tt.Log("fine")
+}`,
+			want: `
+b0[0]: b1/T b2/F
+b1[1]: exit/return
+b2[1]: exit/return
+exit[0]:`,
+		},
+		{
+			name: "switch with fallthrough and no default",
+			src: `func f(n int) {
+	switch n {
+	case 0:
+		n++
+		fallthrough
+	case 1:
+		n--
+	}
+}`,
+			want: `
+b0[1]: b2 b3 b1
+b1[0]: exit/return
+b2[1]: b3
+b3[1]: b1
+exit[0]:`,
+		},
+		{
+			name: "select with default has a non-blocking path",
+			src: `func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}`,
+			want: `
+b0[0]: b2 b3
+b1[0]: exit/return
+b2[2]: exit/return
+b3[1]: exit/return
+exit[0]:`,
+		},
+		{
+			name: "select without default blocks until a case fires",
+			src: `func f(ch chan int, done chan struct{}) {
+	select {
+	case ch <- 1:
+	case <-done:
+	}
+}`,
+			want: `
+b0[0]: b2 b3
+b1[0]: exit/return
+b2[1]: b1
+b3[1]: b1
+exit[0]:`,
+		},
+		{
+			name: "goto back edge",
+			src: `func f(n int) {
+again:
+	n--
+	if n > 0 {
+		goto again
+	}
+}`,
+			want: `
+b0[0]: b1
+b1[1]: b2/T b3/F
+b2[0]: b1
+b3[0]: exit/return
+exit[0]:`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := buildTestCFG(t, tc.src)
+			got := strings.TrimSpace(cfg.DebugString())
+			want := strings.TrimSpace(tc.want)
+			if got != want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestCFGEveryExitReachesExitBlock asserts the structural invariant the
+// solver relies on: every terminal edge targets the synthetic exit block
+// and carries a non-flow kind.
+func TestCFGEveryExitReachesExitBlock(t *testing.T) {
+	cfg := buildTestCFG(t, `func f(v int) int {
+	if v < 0 {
+		panic("no")
+	}
+	for v > 10 {
+		v /= 2
+	}
+	return v
+}`)
+	terminal := 0
+	for _, blk := range cfg.Blocks {
+		for _, e := range blk.Succs {
+			if e.Kind != EdgeFlow {
+				terminal++
+				if e.To != cfg.Exit {
+					t.Errorf("%s edge from b%d does not target the exit block", e.Kind, blk.Index)
+				}
+			}
+			if e.To == cfg.Exit && e.Kind == EdgeFlow {
+				t.Errorf("flow edge from b%d targets the exit block", blk.Index)
+			}
+		}
+	}
+	if terminal != 2 {
+		t.Errorf("expected 2 terminal edges (one panic, one return), found %d", terminal)
+	}
+	if cfg.Exit.Index != len(cfg.Blocks)-1 || cfg.Blocks[cfg.Exit.Index] != cfg.Exit {
+		t.Error("exit block is not the last block")
+	}
+}

@@ -118,6 +118,10 @@ func TestCtxPoolGolden(t *testing.T)       { runGolden(t, CtxPool) }
 func TestStatsResetGolden(t *testing.T)    { runGolden(t, StatsReset) }
 func TestThetaPairGolden(t *testing.T)     { runGolden(t, ThetaPair) }
 func TestJoinAllocGolden(t *testing.T)     { runGolden(t, JoinAlloc) }
+func TestPinUnpinGolden(t *testing.T)      { runGolden(t, PinUnpin) }
+func TestLockBalanceGolden(t *testing.T)   { runGolden(t, LockBalance) }
+func TestSpanCloseGolden(t *testing.T)     { runGolden(t, SpanClose) }
+func TestSemReleaseGolden(t *testing.T)    { runGolden(t, SemRelease) }
 
 // TestRepoIsClean is the self-hosting gate: the entire module must pass
 // every analyzer with zero findings, so a regression anywhere in the tree
@@ -138,6 +142,41 @@ func TestRepoIsClean(t *testing.T) {
 		for _, d := range Run(pkg, All()) {
 			t.Errorf("%s", d)
 		}
+	}
+}
+
+// TestRepoIsCleanWithTests extends the self-hosting gate to test code: with
+// IncludeTests set the loader augments every package with its _test.go
+// files (and surfaces external _test packages), and the suite must still
+// come back clean — every real finding in test code is fixed or carries a
+// justified suppression.
+func TestRepoIsCleanWithTests(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.IncludeTests = true
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module with tests: %v", err)
+	}
+	sawTestFile := false
+	for _, pkg := range pkgs {
+		res := RunAll(pkg, All())
+		for _, d := range res.Diagnostics {
+			t.Errorf("%s", d)
+		}
+		for _, pos := range res.BareDirectives {
+			t.Errorf("%s:%d: ignore directive without a justification", pos.Filename, pos.Line)
+		}
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				sawTestFile = true
+			}
+		}
+	}
+	if !sawTestFile {
+		t.Fatal("IncludeTests loaded no test files; the gate is vacuous")
 	}
 }
 

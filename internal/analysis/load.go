@@ -28,7 +28,9 @@ type Package struct {
 // Loader parses and type-checks packages of a single module using only the
 // standard library: module-internal imports are resolved recursively from
 // source, standard-library imports through go/importer's source importer.
-// Test files (*_test.go) are not loaded; sjlint checks production code.
+// By default test files (*_test.go) are not loaded — sjlint checks
+// production code; setting IncludeTests extends Load and LoadDir to test
+// code as well.
 //
 // A Loader memoizes every package it loads, so shared dependencies are
 // type-checked once. It is not safe for concurrent use.
@@ -36,10 +38,21 @@ type Loader struct {
 	ModuleRoot string // absolute path of the directory containing go.mod
 	ModulePath string // module path declared in go.mod
 
+	// IncludeTests makes Load and LoadDir type-check each package's
+	// in-package _test.go files alongside its sources, and Load surface a
+	// directory's external test package (package foo_test) as an extra
+	// Package whose Path carries the `_test` suffix. Dependency resolution
+	// through Import always loads production sources only, so an analyzed
+	// package never sees another package's test code.
+	IncludeTests bool
+
 	fset    *token.FileSet
 	std     types.Importer
 	pkgs    map[string]*Package
 	loading map[string]bool
+	// tested memoizes each directory's test-inclusive view: the augmented
+	// package plus, when present, the external _test package.
+	tested map[string][]*Package
 }
 
 // NewLoader locates the enclosing module of dir (walking up to the go.mod)
@@ -72,6 +85,7 @@ func NewLoader(dir string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
+		tested:     make(map[string][]*Package),
 	}, nil
 }
 
@@ -134,6 +148,14 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	var pkgs []*Package
 	for _, dir := range dirs {
+		if l.IncludeTests {
+			tested, err := l.loadTestedDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, tested...)
+			continue
+		}
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
 			return nil, err
@@ -209,21 +231,120 @@ func sourceFiles(dir string) ([]string, error) {
 	return files, nil
 }
 
-// LoadDir parses and type-checks the package in the given directory.
+// LoadDir parses and type-checks the package in the given directory. With
+// IncludeTests set, the returned package also carries the directory's
+// in-package test files (external _test packages surface through Load).
 func (l *Loader) LoadDir(dir string) (*Package, error) {
-	abs, err := filepath.Abs(dir)
+	path, abs, err := l.dirPath(dir)
 	if err != nil {
 		return nil, err
 	}
+	if l.IncludeTests {
+		tested, err := l.loadTested(path, abs)
+		if err != nil {
+			return nil, err
+		}
+		return tested[0], nil
+	}
+	return l.loadPath(path, abs)
+}
+
+// dirPath resolves a directory to its absolute form and module import path.
+func (l *Loader) dirPath(dir string) (path, abs string, err error) {
+	abs, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
 	rel, err := filepath.Rel(l.ModuleRoot, abs)
 	if err != nil || strings.HasPrefix(rel, "..") {
-		return nil, fmt.Errorf("sjlint: %s is outside module %s", dir, l.ModuleRoot)
+		return "", "", fmt.Errorf("sjlint: %s is outside module %s", dir, l.ModuleRoot)
 	}
-	path := l.ModulePath
+	path = l.ModulePath
 	if rel != "." {
 		path = l.ModulePath + "/" + filepath.ToSlash(rel)
 	}
-	return l.loadPath(path, abs)
+	return path, abs, nil
+}
+
+// loadTestedDir is loadTested keyed by directory.
+func (l *Loader) loadTestedDir(dir string) ([]*Package, error) {
+	path, abs, err := l.dirPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadTested(path, abs)
+}
+
+// loadTested returns the directory's test-inclusive package list: the
+// production package augmented with its in-package _test.go files, plus the
+// external `package foo_test` package (Path suffixed `_test`) when one
+// exists. The production package itself is loaded — and memoized — first,
+// so imports of this path from elsewhere keep resolving to clean production
+// sources.
+func (l *Loader) loadTested(path, dir string) ([]*Package, error) {
+	if pkgs, ok := l.tested[path]; ok {
+		return pkgs, nil
+	}
+	prod, err := l.loadPath(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := testGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var inPkg, external []*ast.File
+	for _, f := range testFiles {
+		file, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(file.Name.Name, "_test") {
+			external = append(external, file)
+		} else {
+			inPkg = append(inPkg, file)
+		}
+	}
+	pkgs := []*Package{prod}
+	if len(inPkg) > 0 {
+		// Re-check production and in-package test files together: the test
+		// files see unexported identifiers, and analyzers see both. The
+		// production ASTs are shared; type information is rebuilt into a
+		// fresh Info so the clean package's view is untouched.
+		aug, err := l.check(path, dir, append(append([]*ast.File{}, prod.Files...), inPkg...))
+		if err != nil {
+			return nil, err
+		}
+		pkgs[0] = aug
+	}
+	if len(external) > 0 {
+		ext, err := l.check(path+"_test", dir, external)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, ext)
+	}
+	l.tested[path] = pkgs
+	return pkgs, nil
+}
+
+// testGoFiles lists the _test.go files of dir in sorted order.
+func testGoFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
 }
 
 // loadPath loads the package with the given import path from dir,
@@ -253,7 +374,17 @@ func (l *Loader) loadPath(path, dir string) (*Package, error) {
 		}
 		parsed = append(parsed, file)
 	}
+	pkg, err := l.check(path, dir, parsed)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
 
+// check type-checks a parsed file set as the package at the given import
+// path and wraps the result.
+func (l *Loader) check(path, dir string, parsed []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -272,16 +403,14 @@ func (l *Loader) loadPath(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sjlint: checking %s: %w", path, err)
 	}
-	pkg := &Package{
+	return &Package{
 		Path:  path,
 		Dir:   dir,
 		Fset:  l.fset,
 		Files: parsed,
 		Types: tpkg,
 		Info:  info,
-	}
-	l.pkgs[path] = pkg
-	return pkg, nil
+	}, nil
 }
 
 // joinErrs renders a short, newline-separated error list.

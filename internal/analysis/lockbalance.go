@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockBalance checks manual sync.Mutex / sync.RWMutex usage where the
+// `defer mu.Unlock()` idiom is not used: every Lock (RLock) must reach its
+// Unlock (RUnlock) on every path out of the function, a second Lock of a
+// mutex already held on the path is a self-deadlock, and an Unlock on a
+// path that never locked is an unlock-of-unlocked panic waiting for its
+// schedule. Deferred unlocks are modeled as exit-edge actions, so the
+// mixed form — manual unlock on the fast path, defer for the rest — is
+// analyzed faithfully rather than exempted.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "manual Lock/Unlock must balance on every path; no double-lock",
+	Run:  runLockBalance,
+}
+
+// lockKey builds the resource key of one mutex operation: the receiver's
+// canonical text, with a read-lock marker so RLock/RUnlock pair
+// independently of Lock/Unlock on the same RWMutex.
+func lockKey(recv ast.Expr, read bool) ResKey {
+	k := exprText(recv)
+	if read {
+		k += "|R"
+	}
+	return ResKey{Text: k}
+}
+
+// mutexCall matches a call to one of sync's lock-discipline methods and
+// classifies it.
+func mutexCall(pass *Pass, n ast.Node) (recv ast.Expr, name string, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return nil, "", false
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	if !isMethodOf(fn, "sync", "Mutex", fn.Name()) && !isMethodOf(fn, "sync", "RWMutex", fn.Name()) {
+		return nil, "", false
+	}
+	recv = callRecv(call)
+	if recv == nil {
+		return nil, "", false
+	}
+	return recv, fn.Name(), true
+}
+
+func runLockBalance(pass *Pass) {
+	spec := &PairSpec{
+		ReportDoubleAcquire:    true,
+		ReportUnmatchedRelease: true,
+		Acquires: func(pass *Pass, stmt ast.Stmt) []AcqOp {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				return nil
+			}
+			recv, name, ok := mutexCall(pass, ast.Unparen(es.X))
+			if !ok || !strings.HasSuffix(name, "Lock") || strings.Contains(name, "Unlock") {
+				return nil
+			}
+			return []AcqOp{{
+				Key:  lockKey(recv, name == "RLock"),
+				Pos:  es.Pos(),
+				Desc: fmt.Sprintf("%s.%s()", exprText(recv), name),
+			}}
+		},
+		Releases: func(pass *Pass, n ast.Node) []RelOp {
+			recv, name, ok := mutexCall(pass, n)
+			if !ok || !strings.Contains(name, "Unlock") {
+				return nil
+			}
+			return []RelOp{{Key: lockKey(recv, name == "RUnlock"), Pos: n.Pos()}}
+		},
+		Leakf: func(a AcqOp, kind EdgeKind, exit token.Position) string {
+			return fmt.Sprintf("%s is not released on the path %s at %s",
+				a.Desc, exitPhrase(kind), shortPos(exit))
+		},
+		Doublef: func(a AcqOp) string {
+			return fmt.Sprintf("%s while the mutex is already held on this path (self-deadlock)", a.Desc)
+		},
+		Unmatchedf: func(r RelOp) string {
+			txt, unlock, lock := r.Key.Text, "Unlock", "Lock"
+			if rest, ok := strings.CutSuffix(txt, "|R"); ok {
+				txt, unlock, lock = rest, "RUnlock", "RLock"
+			}
+			return fmt.Sprintf("%s.%s() without a matching %s on any path through this function",
+				txt, unlock, lock)
+		},
+	}
+	runPaired(pass, spec)
+}

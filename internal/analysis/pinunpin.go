@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinUnpin enforces the buffer pool's pin discipline flow-sensitively:
+// every successful BufferPool.Pin must reach a matching Unpin on every
+// path out of the function — error returns, early breaks, and panics
+// included. The WAL's no-steal rule and eviction both trust exact pin
+// counts, so a leaked pin permanently wedges a frame in memory and can
+// starve the pool into "all frames pinned" failures. A pin whose page
+// handle is returned transfers ownership to the caller; a pin checked via
+// `if err != nil` is only considered held on the success path.
+var PinUnpin = &Analyzer{
+	Name: "pinunpin",
+	Doc:  "every successful BufferPool.Pin must reach Unpin on all paths",
+	Run:  runPinUnpin,
+}
+
+func runPinUnpin(pass *Pass) {
+	spec := &PairSpec{
+		Reentrant: true, // pins count; nested pin/unpin of one page is legal
+		Acquires: func(pass *Pass, stmt ast.Stmt) []AcqOp {
+			call, lhs := stmtCall(stmt)
+			if call == nil {
+				return nil
+			}
+			fn := calleeFunc(pass, call)
+			if !isMethodOf(fn, storagePkgPath, "BufferPool", "Pin") || len(call.Args) != 1 {
+				return nil
+			}
+			recv := callRecv(call)
+			if recv == nil {
+				return nil
+			}
+			a := AcqOp{
+				Key:  ResKey{Text: exprText(recv) + "|" + exprText(call.Args[0])},
+				Pos:  call.Pos(),
+				Desc: fmt.Sprintf("%s.Pin(%s)", exprText(recv), exprText(call.Args[0])),
+			}
+			if len(lhs) == 2 {
+				a.ValueObj = identObj(pass, lhs[0])
+				a.ErrObj = identObj(pass, lhs[1])
+			}
+			return []AcqOp{a}
+		},
+		Releases: func(pass *Pass, n ast.Node) []RelOp {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return nil
+			}
+			fn := calleeFunc(pass, call)
+			if !isMethodOf(fn, storagePkgPath, "BufferPool", "Unpin") || len(call.Args) != 1 {
+				return nil
+			}
+			recv := callRecv(call)
+			if recv == nil {
+				return nil
+			}
+			return []RelOp{{
+				Key: ResKey{Text: exprText(recv) + "|" + exprText(call.Args[0])},
+				Pos: call.Pos(),
+			}}
+		},
+		ValueEscapes: func(pass *Pass, id *ast.Ident, stack []ast.Node) bool {
+			if enclosedByFreeLit(stack) {
+				return true
+			}
+			if len(stack) == 0 {
+				return true
+			}
+			switch p := stack[len(stack)-1].(type) {
+			case *ast.SelectorExpr, *ast.BinaryExpr, *ast.ParenExpr, *ast.StarExpr:
+				// Method calls, field reads, and comparisons on the page
+				// handle do not move ownership.
+				return false
+			case *ast.AssignStmt:
+				// `_ = p` keeps ownership; a real assignment aliases it away.
+				for _, l := range p.Lhs {
+					if !isBlank(l) {
+						return true
+					}
+				}
+				return false
+			case *ast.ReturnStmt:
+				// Handled path-sensitively: returning the handle transfers
+				// the pin to the caller on that exit only.
+				return false
+			}
+			return true
+		},
+		Leakf: func(a AcqOp, kind EdgeKind, exit token.Position) string {
+			return fmt.Sprintf("%s is not matched by Unpin on the path %s at %s",
+				a.Desc, exitPhrase(kind), shortPos(exit))
+		},
+	}
+	runPaired(pass, spec)
+}
+
+// stmtCall extracts the single call of an expression or assignment
+// statement, with the assignment's left-hand sides when present.
+func stmtCall(stmt ast.Stmt) (*ast.CallExpr, []ast.Expr) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ := ast.Unparen(s.X).(*ast.CallExpr)
+		return call, nil
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return nil, nil
+		}
+		call, _ := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		return call, s.Lhs
+	}
+	return nil, nil
+}
+
+// identObj resolves an assignment target identifier to its object; blank
+// and non-identifier targets yield nil.
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+// callRecv returns the receiver expression of a selector call.
+func callRecv(call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel.X
+}
+
+// isMethodOf reports whether fn is the named method on the named type
+// (through any pointers) of the given package.
+func isMethodOf(fn *types.Func, pkgPath, typeName, method string) bool {
+	if fn == nil || fn.Name() != method || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == typeName
+}
+
+// exprText renders an expression to its canonical source-ish text, the
+// textual identity the paired analyzers key resources by.
+func exprText(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SemRelease enforces the server's admission-control discipline
+// flow-sensitively: a token acquired by sending on an admission semaphore
+// (a channel field or variable named `admit`, as in internal/server) must
+// be released — received back — on every path, or shedding deadlocks
+// under load as slots leak. Acquires inside select cases count only on
+// the branch that fired. A token handed to a spawned query goroutine is
+// released there, but only a receive under a defer survives a panic in
+// the goroutine; a bare receive is reported as panic-unsafe.
+var SemRelease = &Analyzer{
+	Name: "semrelease",
+	Doc:  "admission-semaphore tokens must be released on every path, panics included",
+	Run:  runSemRelease,
+}
+
+// admissionChan matches an expression naming an admission semaphore: a
+// channel-typed identifier or field whose name is `admit`.
+func admissionChan(pass *Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	var name string
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return "", false
+	}
+	if name != "admit" {
+		return "", false
+	}
+	t := pass.TypeOf(e)
+	if t == nil {
+		return "", false
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return "", false
+	}
+	return exprText(e), true
+}
+
+func runSemRelease(pass *Pass) {
+	spec := &PairSpec{
+		Reentrant:          true, // a session may hold several tokens
+		GoReleases:         true,
+		GoReleaseMustDefer: true,
+		Acquires: func(pass *Pass, stmt ast.Stmt) []AcqOp {
+			send, ok := stmt.(*ast.SendStmt)
+			if !ok {
+				return nil
+			}
+			key, ok := admissionChan(pass, send.Chan)
+			if !ok {
+				return nil
+			}
+			return []AcqOp{{
+				Key:  ResKey{Text: key},
+				Pos:  send.Pos(),
+				Desc: fmt.Sprintf("admission token (%s <- ...)", key),
+			}}
+		},
+		Releases: func(pass *Pass, n ast.Node) []RelOp {
+			un, ok := n.(*ast.UnaryExpr)
+			if !ok || un.Op != token.ARROW {
+				return nil
+			}
+			key, ok := admissionChan(pass, un.X)
+			if !ok {
+				return nil
+			}
+			return []RelOp{{Key: ResKey{Text: key}, Pos: un.Pos()}}
+		},
+		Leakf: func(a AcqOp, kind EdgeKind, exit token.Position) string {
+			return fmt.Sprintf("%s is not released on the path %s at %s",
+				a.Desc, exitPhrase(kind), shortPos(exit))
+		},
+		GoNoDeferf: func(r RelOp) string {
+			return fmt.Sprintf("admission token received from %s outside a defer: a panic in this goroutine leaks the slot",
+				r.Key.Text)
+		},
+	}
+	runPaired(pass, spec)
+}

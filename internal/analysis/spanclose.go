@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// SpanClose enforces the tracer's documented contract flow-sensitively:
+// every span started with (*obs.Trace).Begin must be ended with End on
+// every outcome — success, error return, and panic alike — because an
+// abandoned span never acquires an end time and poisons the per-level
+// read-sum identity the EXPLAIN path asserts. The analyzer tracks spans
+// bound to local variables; a span that is returned transfers the closing
+// obligation to the caller on that path, and a span handed to another
+// function or captured by a closure the analyzer cannot see run is left
+// to that owner. A Begin whose result is discarded outright can never be
+// ended and is reported at every exit.
+var SpanClose = &Analyzer{
+	Name: "spanclose",
+	Doc:  "every started obs span must be ended on all outcomes",
+	Run:  runSpanClose,
+}
+
+func runSpanClose(pass *Pass) {
+	spec := &PairSpec{
+		Acquires: func(pass *Pass, stmt ast.Stmt) []AcqOp {
+			call, lhs := stmtCall(stmt)
+			if call == nil {
+				return nil
+			}
+			fn := calleeFunc(pass, call)
+			if !isMethodOf(fn, obsPkgPath, "Trace", "Begin") || len(call.Args) != 2 {
+				return nil
+			}
+			desc := "span"
+			if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if name, err := strconv.Unquote(lit.Value); err == nil {
+					desc = fmt.Sprintf("span %q", name)
+				}
+			}
+			a := AcqOp{Pos: call.Pos(), Desc: desc}
+			if len(lhs) == 1 {
+				if obj := identObj(pass, lhs[0]); obj != nil {
+					// Span bound to a local (or package) variable: key by
+					// object identity so End(span) pairs precisely.
+					a.Key = ResKey{Obj: obj}
+					a.ValueObj = obj
+					return []AcqOp{a}
+				}
+				if id, ok := ast.Unparen(lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+					// Unresolvable target — stay silent.
+					return nil
+				}
+				if _, ok := ast.Unparen(lhs[0]).(*ast.Ident); !ok {
+					// Field or index target (q.span = ...): lifetime is
+					// object-bound, beyond an intra-procedural view.
+					return nil
+				}
+			}
+			// Discarded result (`trace.Begin(...)` / `_ = ...`): no End
+			// can ever reference it — an unreleasable key leaks at every
+			// exit.
+			a.Key = ResKey{Text: fmt.Sprintf("span@%d", call.Pos())}
+			a.Desc += " (result discarded)"
+			return []AcqOp{a}
+		},
+		Releases: func(pass *Pass, n ast.Node) []RelOp {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return nil
+			}
+			fn := calleeFunc(pass, call)
+			if !isMethodOf(fn, obsPkgPath, "Trace", "End") {
+				return nil
+			}
+			id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return nil
+			}
+			return []RelOp{{Key: ResKey{Obj: obj}, Pos: call.Pos()}}
+		},
+		ValueEscapes: func(pass *Pass, id *ast.Ident, stack []ast.Node) bool {
+			if enclosedByFreeLit(stack) {
+				// Captured by a closure whose execution the solver cannot
+				// place (stored, returned): that owner must End it.
+				return true
+			}
+			if len(stack) == 0 {
+				return true
+			}
+			switch p := stack[len(stack)-1].(type) {
+			case *ast.BinaryExpr, *ast.ParenExpr:
+				return false // comparisons (span != 0) move nothing
+			case *ast.ReturnStmt:
+				return false // path-sensitive transfer to the caller
+			case *ast.CallExpr:
+				// Passing the span within the obs API — as End/Event/
+				// Annotate target, as the parent of a nested Begin, or
+				// into ContextWithSpan — keeps the obligation local.
+				// Any other callee takes over the obligation.
+				fn := calleeFunc(pass, p)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				return fn.Pkg().Path() != obsPkgPath
+			}
+			return true
+		},
+		Leakf: func(a AcqOp, kind EdgeKind, exit token.Position) string {
+			return fmt.Sprintf("%s started here is not ended on the path %s at %s",
+				a.Desc, exitPhrase(kind), shortPos(exit))
+		},
+	}
+	runPaired(pass, spec)
+}

@@ -1,0 +1,97 @@
+// Package lockbalance is the golden fixture for the lockbalance analyzer:
+// locks leaked on early returns and labeled breaks, double-locks, and
+// unlocks of an unlocked mutex are flagged; deferred and branch-balanced
+// manual forms stay silent, and read locks pair independently of write
+// locks on the same RWMutex.
+package lockbalance
+
+import (
+	"errors"
+	"sync"
+)
+
+// leakOnEarlyReturn forgets the unlock on the error path.
+func leakOnEarlyReturn(mu *sync.Mutex, bad bool) error {
+	mu.Lock() // want "is not released on the path"
+	if bad {
+		return errors.New("bad")
+	}
+	mu.Unlock()
+	return nil
+}
+
+// leakOnLabeledBreak jumps two loops out with the lock still held.
+func leakOnLabeledBreak(mu *sync.Mutex, xs []int) {
+outer:
+	for _, x := range xs {
+		for _, y := range xs {
+			mu.Lock() // want "is not released on the path"
+			if x == y {
+				break outer
+			}
+			mu.Unlock()
+		}
+	}
+}
+
+// doubleLock re-locks a mutex already held on the same path.
+func doubleLock(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Lock() // want "self-deadlock"
+	mu.Unlock()
+}
+
+// leakReadLock loses the read lock on the early return.
+func leakReadLock(mu *sync.RWMutex, bad bool) int {
+	mu.RLock() // want "is not released on the path"
+	if bad {
+		return 0
+	}
+	mu.RUnlock()
+	return 1
+}
+
+// unlockWithoutLock releases a mutex no path ever locked.
+func unlockWithoutLock(mu *sync.Mutex, ready bool) {
+	if ready {
+		mu.Unlock() // want "without a matching Lock"
+	}
+}
+
+// cleanDefer is the canonical form.
+func cleanDefer(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// cleanManual balances the fast path and the slow path by hand.
+func cleanManual(mu *sync.Mutex, fast bool) {
+	mu.Lock()
+	if fast {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// cleanLoop locks and unlocks within each iteration.
+func cleanLoop(mu *sync.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		mu.Unlock()
+	}
+}
+
+// cleanRW pairs the read lock and the write lock independently.
+func cleanRW(mu *sync.RWMutex) {
+	mu.RLock()
+	mu.RUnlock()
+	mu.Lock()
+	mu.Unlock()
+}
+
+// suppressed documents a deliberate lock handoff with its justification.
+func suppressed(mu *sync.Mutex) {
+	//sjlint:ignore lockbalance lock is handed to the caller and released by its cleanup hook
+	mu.Lock()
+}

@@ -1,0 +1,105 @@
+// Package pinunpin is the golden fixture for the pinunpin analyzer: pins
+// leaked on error returns, breaks, and panics are flagged; defer-based and
+// branch-balanced forms, returned handles, and nested pin counting stay
+// silent.
+package pinunpin
+
+import "spatialjoin/internal/storage"
+
+// leakOnEarlyReturn forgets the unpin on the shortcut path.
+func leakOnEarlyReturn(bp *storage.BufferPool, id storage.PageID, shortcut bool) error {
+	p, err := bp.Pin(id) // want "is not matched by Unpin"
+	if err != nil {
+		return err
+	}
+	if shortcut {
+		return nil
+	}
+	_ = p.Bytes()
+	return bp.Unpin(id)
+}
+
+// leakOnBreak exits the scan loop with the current page still pinned.
+func leakOnBreak(bp *storage.BufferPool, ids []storage.PageID) error {
+	for _, id := range ids {
+		p, err := bp.Pin(id) // want "is not matched by Unpin"
+		if err != nil {
+			return err
+		}
+		if p.Bytes()[0] == 0 {
+			break
+		}
+		if err := bp.Unpin(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leakOnPanic holds the pin across a statement that can only panic out.
+func leakOnPanic(bp *storage.BufferPool, id storage.PageID, n int) {
+	p, err := bp.Pin(id) // want "is not matched by Unpin"
+	if err != nil {
+		return
+	}
+	if n < 0 {
+		panic("negative fanout")
+	}
+	_ = p
+	_ = bp.Unpin(id)
+}
+
+// leakDoubled pins twice but unpins once: the count must drain to zero.
+func leakDoubled(bp *storage.BufferPool, id storage.PageID) {
+	bp.Pin(id) // want "is not matched by Unpin"
+	bp.Pin(id)
+	_ = bp.Unpin(id)
+}
+
+// cleanDefer is the approved shape: unpin registered before any branching.
+func cleanDefer(bp *storage.BufferPool, id storage.PageID) (byte, error) {
+	p, err := bp.Pin(id)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = bp.Unpin(id) }()
+	return p.Bytes()[0], nil
+}
+
+// cleanBranches unpins manually on every outcome.
+func cleanBranches(bp *storage.BufferPool, id storage.PageID, fast bool) error {
+	p, err := bp.Pin(id)
+	if err != nil {
+		return err
+	}
+	if fast {
+		_ = p
+		return bp.Unpin(id)
+	}
+	_ = p.Bytes()
+	return bp.Unpin(id)
+}
+
+// cleanTransfer hands the pinned page to the caller, who owns the unpin.
+func cleanTransfer(bp *storage.BufferPool, id storage.PageID) (*storage.Page, error) {
+	p, err := bp.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// cleanDoubled drains a double pin with a matching pair of unpins.
+func cleanDoubled(bp *storage.BufferPool, id storage.PageID) {
+	bp.Pin(id)
+	bp.Pin(id)
+	_ = bp.Unpin(id)
+	_ = bp.Unpin(id)
+}
+
+// suppressed documents a deliberate wedge with the required justification.
+func suppressed(bp *storage.BufferPool, id storage.PageID) error {
+	//sjlint:ignore pinunpin pin is held on purpose to wedge the frame for eviction coverage
+	_, err := bp.Pin(id)
+	return err
+}

@@ -1,0 +1,86 @@
+// Package semrelease is the golden fixture for the semrelease analyzer:
+// admission tokens leaked on early returns after a select acquire are
+// flagged, as is a goroutine that releases its token outside a defer;
+// branch-balanced releases, shed-on-timeout selects, and defer-released
+// goroutine handoffs stay silent.
+package semrelease
+
+type server struct {
+	admit chan struct{}
+}
+
+func work() {}
+
+// leakPlain takes a token and returns without releasing on one path.
+func (s *server) leakPlain(n int) {
+	s.admit <- struct{}{} // want "is not released on the path"
+	if n > 0 {
+		return
+	}
+	<-s.admit
+}
+
+// leakOnShed acquires in a select case, then forgets the release on the
+// rejection path.
+func (s *server) leakOnShed(ok bool) {
+	select {
+	case s.admit <- struct{}{}: // want "is not released on the path"
+	default:
+		return
+	}
+	if !ok {
+		return
+	}
+	<-s.admit
+}
+
+// unsafeHandoff releases in the spawned goroutine, but not under a defer:
+// a panic in work leaks the slot.
+func (s *server) unsafeHandoff() {
+	s.admit <- struct{}{}
+	go func() {
+		work()
+		<-s.admit // want "outside a defer"
+	}()
+}
+
+// cleanBalanced releases the token on both outcomes.
+func (s *server) cleanBalanced(ok bool) {
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		return
+	}
+	if !ok {
+		<-s.admit
+		return
+	}
+	<-s.admit
+}
+
+// cleanShedOnTimeout only owes a release on the branch that acquired.
+func (s *server) cleanShedOnTimeout(timeout <-chan struct{}) bool {
+	select {
+	case s.admit <- struct{}{}:
+	case <-timeout:
+		return false
+	}
+	<-s.admit
+	return true
+}
+
+// cleanHandoff hands the token to the query goroutine, which releases it
+// under a defer — panic-safe.
+func (s *server) cleanHandoff() {
+	s.admit <- struct{}{}
+	go func() {
+		defer func() { <-s.admit }()
+		work()
+	}()
+}
+
+// suppressed documents a deliberate long-held token with a justification.
+func (s *server) suppressed() {
+	//sjlint:ignore semrelease slot is pinned for the session lifetime, released on Close
+	s.admit <- struct{}{}
+}

@@ -1,0 +1,84 @@
+// Package spanclose is the golden fixture for the spanclose analyzer:
+// spans abandoned on error returns, merges, and panics are flagged, as is
+// a Begin whose result is discarded; defer-closed spans, branch-balanced
+// ends, returned spans, and spans delegated to helpers stay silent.
+package spanclose
+
+import (
+	"errors"
+	"spatialjoin/internal/obs"
+)
+
+var errTooDeep = errors.New("too deep")
+
+// leakOnError forgets to end the span on the error path.
+func leakOnError(tr *obs.Trace, parent obs.SpanID, fail bool) error {
+	span := tr.Begin(parent, "probe") // want "is not ended on the path"
+	if fail {
+		return errTooDeep
+	}
+	tr.End(span)
+	return nil
+}
+
+// leakOnPanic abandons the span when the depth check panics.
+func leakOnPanic(tr *obs.Trace, parent obs.SpanID, depth int) {
+	span := tr.Begin(parent, "descend") // want "is not ended on the path"
+	if depth > 64 {
+		panic(errTooDeep)
+	}
+	tr.End(span)
+}
+
+// leakNested ends the inner span on only one side of the branch.
+func leakNested(tr *obs.Trace, parent obs.SpanID, ok bool) {
+	outer := tr.Begin(parent, "outer")
+	inner := tr.Begin(outer, "inner") // want "is not ended on the path"
+	if ok {
+		tr.End(inner)
+	}
+	tr.End(outer)
+}
+
+// leakDiscarded drops the span id outright: no End can ever reach it.
+func leakDiscarded(tr *obs.Trace, parent obs.SpanID) {
+	tr.Begin(parent, "orphan") // want "result discarded"
+}
+
+// cleanDefer ends the span in a deferred closure on every outcome.
+func cleanDefer(tr *obs.Trace, parent obs.SpanID, work func() error) error {
+	span := tr.Begin(parent, "step")
+	defer func() { tr.End(span) }()
+	return work()
+}
+
+// cleanBranches ends the span manually on each outcome with attributes.
+func cleanBranches(tr *obs.Trace, parent obs.SpanID, n int) int {
+	span := tr.Begin(parent, "clamp")
+	if n < 0 {
+		tr.End(span, obs.Str("outcome", "clamped"))
+		return 0
+	}
+	tr.End(span, obs.Int("n", int64(n)))
+	return n
+}
+
+// cleanTransfer returns the open span: the caller owns ending it.
+func cleanTransfer(tr *obs.Trace, parent obs.SpanID) obs.SpanID {
+	span := tr.Begin(parent, "handed")
+	return span
+}
+
+// cleanDelegated hands the span to a helper that owns ending it.
+func cleanDelegated(tr *obs.Trace, parent obs.SpanID) {
+	span := tr.Begin(parent, "delegated")
+	finish(tr, span)
+}
+
+func finish(tr *obs.Trace, span obs.SpanID) { tr.End(span) }
+
+// suppressed documents a span deliberately left open with a justification.
+func suppressed(tr *obs.Trace, parent obs.SpanID) {
+	//sjlint:ignore spanclose root span stays open for the process lifetime by design
+	tr.Begin(parent, "root")
+}

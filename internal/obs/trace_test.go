@@ -107,6 +107,7 @@ func TestTraceContextPlumbing(t *testing.T) {
 		t.Fatal("fresh context has no current span")
 	}
 	id := tr.Begin(0, "root")
+	defer tr.End(id)
 	ctx2 := ContextWithSpan(ctx, id)
 	if SpanFromContext(ctx2) != id {
 		t.Fatal("ContextWithSpan lost the span")
