@@ -1,0 +1,195 @@
+package spatialjoin
+
+// Root-level checkpoint tests: bounded recovery skips work the checkpoint
+// proved durable, truncation reclaims the log without changing observable
+// state, the manifest lets clean reopens load persisted indices instead of
+// rebuilding them, and a fuzzy checkpoint runs safely alongside a writer.
+
+import (
+	"sync"
+	"testing"
+)
+
+// runSteps drives a workload prefix against db, failing the test on any
+// step error, and returns the final model.
+func runSteps(t *testing.T, db *Database, steps []crashStep) crashModel {
+	t.Helper()
+	for _, st := range steps {
+		if err := st.run(db); err != nil {
+			t.Fatalf("step %s: %v", st.name, err)
+		}
+	}
+	return steps[len(steps)-1].model
+}
+
+// mustMatch asserts db's observable state equals the model across all four
+// strategies.
+func mustMatch(t *testing.T, db *Database, m crashModel, label string) {
+	t.Helper()
+	ok, err := stateMatches(db, m)
+	if err != nil {
+		t.Fatalf("%s: verifying state: %v", label, err)
+	}
+	if !ok {
+		t.Fatalf("%s: state does not match the committed workload", label)
+	}
+}
+
+// TestCheckpointBoundsReopen checkpoints mid-workload (non-truncating, so
+// every record stays scannable) and checks the subsequent recovery skips
+// exactly the work the checkpoint made durable while still reconstructing
+// the full committed state.
+func TestCheckpointBoundsReopen(t *testing.T) {
+	cfg := crashConfig(1, 1)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := crashSteps()
+	mid := len(steps) / 2
+	runSteps(t, db, steps[:mid])
+	cs, err := db.checkpoint(false)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if cs.EndLSN <= cs.BeginLSN {
+		t.Fatalf("checkpoint LSNs out of order: %+v", cs)
+	}
+	if cs.PagesFlushed == 0 {
+		t.Error("mid-workload checkpoint flushed no dirty frames")
+	}
+	final := runSteps(t, db, steps[mid:])
+
+	rdb, stats, err := Reopen(cfg, db.Device())
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if stats.CheckpointLSN != cs.BeginLSN {
+		t.Errorf("recovery bounded by checkpoint %d, want %d", stats.CheckpointLSN, cs.BeginLSN)
+	}
+	if stats.RecordsSkipped == 0 {
+		t.Error("recovery skipped nothing despite a covering checkpoint")
+	}
+	if stats.RecordsReplayed == 0 {
+		t.Error("recovery replayed nothing despite post-checkpoint commits")
+	}
+	mustMatch(t, rdb, final, "bounded recovery")
+}
+
+// TestCheckpointTruncatesLog checkpoints after the full workload and checks
+// truncation reclaims log pages, recovery starts above LSN 0, replays
+// nothing, and loads both collections' R-trees from the persisted index
+// files named in the manifest.
+func TestCheckpointTruncatesLog(t *testing.T) {
+	cfg := crashConfig(1, 1)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := runSteps(t, db, crashSteps())
+	cs, err := db.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if cs.PagesTruncated == 0 {
+		t.Error("truncating checkpoint reclaimed no log pages")
+	}
+	if tot := db.CheckpointTotals(); tot.Checkpoints != 1 || tot.LastFloor != cs.RedoFloor {
+		t.Errorf("CheckpointTotals = %+v, want 1 checkpoint at floor %d", tot, cs.RedoFloor)
+	}
+
+	rdb, stats, err := Reopen(cfg, db.Device())
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if stats.BaseLSN == 0 {
+		t.Error("recovery scanned from LSN 0 after truncation")
+	}
+	if stats.RecordsReplayed != 0 {
+		t.Errorf("recovery replayed %d records after a quiescent checkpoint", stats.RecordsReplayed)
+	}
+	if stats.IndexRebuildsSkipped != 2 {
+		t.Errorf("IndexRebuildsSkipped = %d, want 2 (both collections trusted)", stats.IndexRebuildsSkipped)
+	}
+	if rdb.RecoveryInfo() != stats {
+		t.Error("RecoveryInfo does not echo the Reopen stats")
+	}
+	mustMatch(t, rdb, final, "post-truncation recovery")
+}
+
+// TestReopenRebuildsOnlyTouchedIndices inserts into one collection after
+// the checkpoint: replay touches that collection's files, so its R-tree is
+// rebuilt from the heap, while the untouched collection still fast-loads
+// from its persisted index file.
+func TestReopenRebuildsOnlyTouchedIndices(t *testing.T) {
+	cfg := crashConfig(1, 1)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := crashSteps()
+	final := runSteps(t, db, steps)
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	r, _ := db.Collection("r")
+	if _, err := r.Insert(crashRect(9), "r9"); err != nil {
+		t.Fatalf("post-checkpoint insert: %v", err)
+	}
+	final.rectsR = append(append([]Rect(nil), final.rectsR...), crashRect(9))
+
+	rdb, stats, err := Reopen(cfg, db.Device())
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if stats.RecordsReplayed == 0 {
+		t.Error("post-checkpoint insert was not replayed")
+	}
+	if stats.IndexRebuildsSkipped != 1 {
+		t.Errorf("IndexRebuildsSkipped = %d, want 1 (r touched, s trusted)", stats.IndexRebuildsSkipped)
+	}
+	mustMatch(t, rdb, final, "partial-trust recovery")
+}
+
+// TestCheckpointConcurrentWithWriters runs the workload from one goroutine
+// while another loops truncating checkpoints, then verifies both the live
+// database and a recovered one. Run under -race this also proves the
+// protocol's locking story.
+func TestCheckpointConcurrentWithWriters(t *testing.T) {
+	cfg := crashConfig(2, 1)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := crashSteps()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := db.Checkpoint(); err != nil {
+				t.Errorf("concurrent checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	final := runSteps(t, db, steps)
+	close(done)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	mustMatch(t, db, final, "live database")
+
+	rdb, _, err := Reopen(cfg, db.Device())
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	mustMatch(t, rdb, final, "recovery after concurrent checkpoints")
+}

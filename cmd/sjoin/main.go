@@ -68,12 +68,19 @@ func main() {
 		walGroup    = flag.Int("wal-group", 1, "WAL group-commit size (<=1 syncs on every commit)")
 		crashAt     = flag.Int64("crash-at", 0, "with -wal: crash the device after this many physical page writes, then recover (0 = no crash)")
 		doRecover   = flag.Bool("recover", false, "with -wal: run recovery and print its ledger even without a crash")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "with -wal: take a truncating fuzzy checkpoint after every N inserts (0 = never)")
+		exportSnap  = flag.String("export-snapshot", "", "with -wal: write a snapshot of the final state to this file")
+		seedFrom    = flag.String("seed-from", "", "with -wal: seed the database from a snapshot file instead of loading the workload")
 	)
 	flag.Parse()
 
 	if *useWAL {
-		if err := runWAL(os.Stdout, *k, *height, *opSpec, *strategy, *buffer, *seed,
-			*faultSeed, *walGroup, *crashAt, *doRecover); err != nil {
+		if err := runWAL(os.Stdout, walOptions{
+			k: *k, height: *height, op: *opSpec, strategy: *strategy,
+			buffer: *buffer, seed: *seed, faultSeed: *faultSeed, group: *walGroup,
+			crashAt: *crashAt, doRecover: *doRecover,
+			ckptEvery: *ckptEvery, exportPath: *exportSnap, seedPath: *seedFrom,
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "sjoin:", err)
 			os.Exit(1)
 		}
@@ -81,6 +88,10 @@ func main() {
 	}
 	if *crashAt != 0 || *doRecover {
 		fmt.Fprintln(os.Stderr, "sjoin: -crash-at and -recover require -wal")
+		os.Exit(1)
+	}
+	if *ckptEvery != 0 || *exportSnap != "" || *seedFrom != "" {
+		fmt.Fprintln(os.Stderr, "sjoin: -checkpoint-every, -export-snapshot, and -seed-from require -wal")
 		os.Exit(1)
 	}
 	o := options{

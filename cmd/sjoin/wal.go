@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"text/tabwriter"
 
 	spatialjoin "spatialjoin"
@@ -35,87 +36,145 @@ func walRects(seed int64, k, height int) []geom.Rect {
 	return rects
 }
 
-// runWAL executes the join workload on a WAL-enabled Database, optionally
-// crashing it mid-load (-crash-at) and recovering (-recover or after a
-// crash), then reports per-strategy results plus the WAL and recovery
-// ledgers.
-func runWAL(out io.Writer, k, height int, opSpec, strategy string, buffer int, seed int64,
-	faultSeed int64, group int, crashAt int64, doRecover bool) (err error) {
+// walOptions bundles the -wal path's flag values.
+type walOptions struct {
+	k, height    int
+	op, strategy string
+	buffer       int
+	seed         int64
+	faultSeed    int64
+	group        int
+	crashAt      int64
+	doRecover    bool
+	// ckptEvery takes a truncating fuzzy checkpoint after every N inserts
+	// (0 = never).
+	ckptEvery int
+	// exportPath writes a snapshot of the final state to this file.
+	exportPath string
+	// seedPath seeds the database from a snapshot file instead of running
+	// the generated workload.
+	seedPath string
+}
 
-	op, err := parseOp(opSpec)
+// runWAL executes the join workload on a WAL-enabled Database — or seeds
+// one from a snapshot — optionally checkpointing during the load, crashing
+// it mid-load (-crash-at) and recovering (-recover or after a crash), then
+// reports per-strategy results plus the WAL, checkpoint, and recovery
+// ledgers, and optionally exports a snapshot of the final state.
+func runWAL(out io.Writer, o walOptions) (err error) {
+	op, err := parseOp(o.op)
 	if err != nil {
 		return err
 	}
-	want := func(name string) bool { return strategy == "all" || strategy == name }
+	want := func(name string) bool { return o.strategy == "all" || o.strategy == name }
 	if !want("tree") && !want("scan") && !want("index") {
-		return fmt.Errorf("unknown strategy %q", strategy)
+		return fmt.Errorf("unknown strategy %q", o.strategy)
 	}
 
 	cfg := spatialjoin.DefaultConfig()
-	cfg.BufferPages = buffer
+	cfg.BufferPages = o.buffer
 	cfg.Workers = 1
 	cfg.WAL = true
-	cfg.WALGroupCommit = group
-	cfg.Fault = &fault.Options{Seed: faultSeed}
+	cfg.WALGroupCommit = o.group
+	cfg.Fault = &fault.Options{Seed: o.faultSeed}
 
-	db, err := spatialjoin.Open(cfg)
-	if err != nil {
-		return err
+	var db *spatialjoin.Database
+	if o.seedPath != "" {
+		f, err := os.Open(o.seedPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sdb, info, err := spatialjoin.SeedFromSnapshot(cfg, f)
+		if err != nil {
+			return fmt.Errorf("seeding from %s: %w", o.seedPath, err)
+		}
+		fmt.Fprintf(out, "seeded: %s (%d pages, checkpoint LSN %d, log durable to %d)\n",
+			o.seedPath, info.Pages, info.CheckpointLSN, info.WALDurable)
+		db = sdb
+	} else {
+		db, err = spatialjoin.Open(cfg)
+		if err != nil {
+			return err
+		}
 	}
-	rectsR := walRects(seed, k, height)
-	rectsS := walRects(seed+1, k, height)
+	rectsR := walRects(o.seed, o.k, o.height)
+	rectsS := walRects(o.seed+1, o.k, o.height)
 
-	if crashAt > 0 {
-		db.FaultDisk().SetCrashAfterWrites(crashAt)
+	if o.crashAt > 0 {
+		db.FaultDisk().SetCrashAfterWrites(o.crashAt)
 	}
-	inserted := 0
-	crashed := func() (crashed bool) {
-		defer func() {
-			if v := recover(); v != nil {
-				c, ok := fault.AsCrash(v)
-				if !ok {
-					panic(v)
+	inserted, checkpoints := 0, 0
+	crashed := false
+	if o.seedPath == "" {
+		crashed = func() (crashed bool) {
+			defer func() {
+				if v := recover(); v != nil {
+					c, ok := fault.AsCrash(v)
+					if !ok {
+						panic(v)
+					}
+					fmt.Fprintf(out, "crash: %v\n", c)
+					crashed = true
 				}
-				fmt.Fprintf(out, "crash: %v\n", c)
-				crashed = true
+			}()
+			r, err2 := db.CreateCollection("R")
+			if err2 != nil {
+				err = err2
+				return false
 			}
+			s, err2 := db.CreateCollection("S")
+			if err2 != nil {
+				err = err2
+				return false
+			}
+			maybeCheckpoint := func() {
+				if o.ckptEvery > 0 && inserted%o.ckptEvery == 0 {
+					if _, err2 := db.Checkpoint(); err2 != nil {
+						err = err2
+						return
+					}
+					checkpoints++
+				}
+			}
+			for i, rc := range rectsR {
+				if _, err2 := r.Insert(rc, fmt.Sprintf("r%d", i)); err2 != nil {
+					err = err2
+					return false
+				}
+				inserted++
+				if maybeCheckpoint(); err != nil {
+					return false
+				}
+			}
+			for i, sc := range rectsS {
+				if _, err2 := s.Insert(sc, fmt.Sprintf("s%d", i)); err2 != nil {
+					err = err2
+					return false
+				}
+				inserted++
+				if maybeCheckpoint(); err != nil {
+					return false
+				}
+			}
+			return false
 		}()
-		r, err2 := db.CreateCollection("R")
-		if err2 != nil {
-			err = err2
-			return false
+		if err != nil {
+			return err
 		}
-		s, err2 := db.CreateCollection("S")
-		if err2 != nil {
-			err = err2
-			return false
-		}
-		for i, rc := range rectsR {
-			if _, err2 := r.Insert(rc, fmt.Sprintf("r%d", i)); err2 != nil {
-				err = err2
-				return false
-			}
-			inserted++
-		}
-		for i, sc := range rectsS {
-			if _, err2 := s.Insert(sc, fmt.Sprintf("s%d", i)); err2 != nil {
-				err = err2
-				return false
-			}
-			inserted++
-		}
-		return false
-	}()
-	if err != nil {
-		return err
 	}
 	ws := db.WALStats()
 	fmt.Fprintf(out, "workload: two %d-ary trees of height %d (%d+%d tuples), WAL on (group commit %d), M=%d pages, op=%s\n",
-		k, height, len(rectsR), len(rectsS), group, buffer, op.Name())
+		o.k, o.height, len(rectsR), len(rectsS), o.group, o.buffer, op.Name())
 	fmt.Fprintf(out, "wal: %d records, %d commits, %d syncs, %d log page writes, %d bytes logged (%d padding)\n",
 		ws.Records, ws.Commits, ws.Syncs, ws.PageWrites, ws.BytesLogged, ws.PaddingBytes)
+	if checkpoints > 0 {
+		tot := db.CheckpointTotals()
+		fmt.Fprintf(out, "checkpoints: %d taken, %d pages flushed, %d log pages truncated, redo floor %d\n",
+			tot.Checkpoints, tot.PagesFlushed, tot.PagesTruncated, tot.LastFloor)
+	}
 
-	if crashed || doRecover {
+	if crashed || o.doRecover {
 		if fd := db.FaultDisk(); fd.Crashed() {
 			fd.Reboot()
 		}
@@ -123,9 +182,11 @@ func runWAL(out io.Writer, k, height int, opSpec, strategy string, buffer int, s
 		if rerr != nil {
 			return fmt.Errorf("recovering: %w", rerr)
 		}
-		fmt.Fprintf(out, "recovery: %d records scanned, %d replayed onto %d pages, %d txns committed, %d discarded, %d torn tail bytes (%d torn pages)\n",
+		fmt.Fprintf(out, "recovery: %d records scanned, %d replayed onto %d pages, %d skipped below checkpoint %d, %d txns committed, %d discarded, %d torn tail bytes (%d torn pages), %d index rebuilds skipped\n",
 			stats.RecordsScanned, stats.RecordsReplayed, stats.PagesRestored,
-			stats.TxnsCommitted, stats.TxnsDiscarded, stats.TornTailBytes, stats.TornPages)
+			stats.RecordsSkipped, stats.CheckpointLSN,
+			stats.TxnsCommitted, stats.TxnsDiscarded, stats.TornTailBytes, stats.TornPages,
+			stats.IndexRebuildsSkipped)
 		db = rdb
 	} else if inserted > 0 {
 		if err := db.Flush(); err != nil {
@@ -140,6 +201,31 @@ func runWAL(out io.Writer, k, height int, opSpec, strategy string, buffer int, s
 		return nil
 	}
 	fmt.Fprintf(out, "collections: |R|=%d |S|=%d\n", r.Len(), s.Len())
+
+	// Build the join index before any export so the snapshot ships it and
+	// the seeded replica's IndexStrategy works without a rebuild. A seeded
+	// snapshot (or a recovered log) may already carry it.
+	if want("index") && !db.HasJoinIndex(r, s, op) {
+		if _, _, err := db.BuildJoinIndex(r, s, op); err != nil {
+			return err
+		}
+	}
+
+	if o.exportPath != "" {
+		f, err := os.Create(o.exportPath)
+		if err != nil {
+			return err
+		}
+		info, err := db.ExportSnapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("exporting snapshot: %w", err)
+		}
+		fmt.Fprintf(out, "snapshot: wrote %s (%d pages, checkpoint LSN %d)\n",
+			o.exportPath, info.Pages, info.CheckpointLSN)
+	}
 
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
 	defer func() {
@@ -168,9 +254,6 @@ func runWAL(out io.Writer, k, height int, opSpec, strategy string, buffer int, s
 		report("tree", len(ms), st)
 	}
 	if want("index") {
-		if _, _, err := db.BuildJoinIndex(r, s, op); err != nil {
-			return err
-		}
 		ms, st, err := db.Join(r, s, op, spatialjoin.IndexStrategy)
 		if err != nil {
 			return err

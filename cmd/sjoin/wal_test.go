@@ -1,14 +1,24 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// sjoinWALOpts is the shared small-workload configuration of these tests.
+func sjoinWALOpts(strategy string, group int, crashAt int64, doRecover bool) walOptions {
+	return walOptions{
+		k: 3, height: 2, op: "overlaps", strategy: strategy,
+		buffer: 32, seed: 1, faultSeed: 1, group: group,
+		crashAt: crashAt, doRecover: doRecover,
+	}
+}
+
 func runSjoinWAL(t *testing.T, strategy string, group int, crashAt int64, doRecover bool) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := runWAL(&sb, 3, 2, "overlaps", strategy, 32, 1, 1, group, crashAt, doRecover); err != nil {
+	if err := runWAL(&sb, sjoinWALOpts(strategy, group, crashAt, doRecover)); err != nil {
 		t.Fatal(err)
 	}
 	return sb.String()
@@ -88,13 +98,76 @@ func TestRunWALCrashVeryEarly(t *testing.T) {
 
 func TestRunWALErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := runWAL(&sb, 3, 2, "bogus", "all", 32, 1, 1, 1, 0, false); err == nil {
+	bad := sjoinWALOpts("all", 1, 0, false)
+	bad.op = "bogus"
+	if err := runWAL(&sb, bad); err == nil {
 		t.Error("bad operator must fail")
 	}
-	if err := runWAL(&sb, 3, 2, "overlaps", "warp", 32, 1, 1, 1, 0, false); err == nil {
+	if err := runWAL(&sb, sjoinWALOpts("warp", 1, 0, false)); err == nil {
 		t.Error("bad strategy must fail")
 	}
-	if err := runWAL(&sb, 3, 2, "overlaps", "all", 0, 1, 1, 1, 0, false); err == nil {
+	zero := sjoinWALOpts("all", 1, 0, false)
+	zero.buffer = 0
+	if err := runWAL(&sb, zero); err == nil {
 		t.Error("zero buffer must fail")
+	}
+	missing := sjoinWALOpts("all", 1, 0, false)
+	missing.seedPath = "/nonexistent/snapshot.bin"
+	if err := runWAL(&sb, missing); err == nil {
+		t.Error("missing snapshot file must fail")
+	}
+}
+
+// strategyTable extracts the per-strategy result rows from a run's output.
+func strategyTable(out string) []string {
+	var rows []string
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 7 && (f[0] == "scan" || f[0] == "tree" || f[0] == "index") {
+			rows = append(rows, strings.Join(f, " "))
+		}
+	}
+	return rows
+}
+
+// TestRunWALSnapshotRoundTrip checkpoints during the load, exports a
+// snapshot, seeds a second run from it, and requires the replica's
+// strategy table — results and measured I/O — to be identical.
+func TestRunWALSnapshotRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "snap.bin")
+	src := sjoinWALOpts("all", 1, 0, false)
+	src.ckptEvery = 7
+	src.exportPath = snap
+	var sb strings.Builder
+	if err := runWAL(&sb, src); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"checkpoints: ", "pages flushed", "log pages truncated",
+		"snapshot: wrote " + snap} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("source run output missing %q:\n%s", want, out)
+		}
+	}
+
+	replica := sjoinWALOpts("all", 1, 0, false)
+	replica.seedPath = snap
+	var rb strings.Builder
+	if err := runWAL(&rb, replica); err != nil {
+		t.Fatal(err)
+	}
+	rout := rb.String()
+	if !strings.Contains(rout, "seeded: "+snap) {
+		t.Fatalf("replica run did not report seeding:\n%s", rout)
+	}
+	srcRows, repRows := strategyTable(out), strategyTable(rout)
+	if len(srcRows) != 3 || len(repRows) != 3 {
+		t.Fatalf("expected 3 strategy rows each, got %d and %d\nsource:\n%s\nreplica:\n%s",
+			len(srcRows), len(repRows), out, rout)
+	}
+	for i := range srcRows {
+		if srcRows[i] != repRows[i] {
+			t.Errorf("strategy row diverges:\nsource:  %s\nreplica: %s", srcRows[i], repRows[i])
+		}
 	}
 }

@@ -11,19 +11,31 @@
 // SIGINT/SIGTERM begins a graceful drain: in-flight queries finish and
 // stream their results, new work is refused with typed SHUTTING_DOWN
 // verdicts, and the process exits once every session unwinds (or the
-// -drain-timeout forces it).
+// -drain-timeout forces it), closing the database so the last
+// group-commit buffer is durable.
+//
+// With -wal, -checkpoint-every runs a periodic truncating fuzzy
+// checkpoint, and SIGUSR1 exports a replica-seeding snapshot to
+// -snapshot-path (written atomically: temp file, then rename). A fresh
+// daemon boots from such a file with -seed-from instead of generating
+// the workload; the startup banner's "dataset fingerprint" line is
+// identical between a source and its seeded replicas.
 package main
 
 import (
 	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
@@ -64,6 +76,12 @@ func run() error {
 	faultSeed := flag.Int64("fault-seed", 0, "enable the fault-injecting device with this seed (0 = healthy disk)")
 	faultReadRate := flag.Float64("fault-read-rate", 0, "with -fault-seed: transient read fault probability")
 	readLatency := flag.Duration("read-latency", 0, "with -fault-seed: injected device read latency")
+
+	useWAL := flag.Bool("wal", false, "run on a write-ahead-logged database (required for checkpoints and snapshots)")
+	walGroup := flag.Int("wal-group", 64, "with -wal: group-commit size")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "with -wal: take a truncating fuzzy checkpoint this often (0 = never)")
+	snapPath := flag.String("snapshot-path", "", "with -wal: write a replica-seeding snapshot to this file on SIGUSR1")
+	seedFrom := flag.String("seed-from", "", "seed the dataset from a snapshot file instead of generating it (implies -wal)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -72,6 +90,8 @@ func run() error {
 	cfg.BufferPages = *bufferPages
 	cfg.QueryTimeout = *queryTimeout
 	cfg.Metrics = reg
+	cfg.WAL = *useWAL || *seedFrom != ""
+	cfg.WALGroupCommit = *walGroup
 	if *faultSeed != 0 {
 		cfg.Fault = &fault.Options{
 			Seed:              *faultSeed,
@@ -80,30 +100,115 @@ func run() error {
 		}
 		cfg.Retry = &storage.RetryPolicy{MaxAttempts: 10, Seed: *faultSeed}
 	}
-	db, err := spatialjoin.Open(cfg)
-	if err != nil {
-		return err
+	if (*ckptEvery != 0 || *snapPath != "") && !cfg.WAL {
+		return fmt.Errorf("-checkpoint-every and -snapshot-path require -wal")
 	}
 
-	// The dataset is loaded and indexed before serving starts: the
-	// server's read paths are lock-free precisely because nothing mutates
-	// the database once Serve begins.
+	// The dataset is loaded (or seeded) and indexed before serving starts:
+	// the server's read paths are lock-free precisely because nothing
+	// mutates the database once Serve begins — the checkpointer and
+	// snapshot exporter only flush and read.
 	start := time.Now()
-	w := geom.NewRect(0, 0, *world, *world)
-	rng := rand.New(rand.NewSource(*seed))
-	r, err := load(db, "r", datagen.UniformRects(rng, *rects, w, 2, w.MaxX/100))
+	var db *spatialjoin.Database
+	var r, s *spatialjoin.Collection
+	if *seedFrom != "" {
+		f, err := os.Open(*seedFrom)
+		if err != nil {
+			return err
+		}
+		sdb, info, err := spatialjoin.SeedFromSnapshot(cfg, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("seeding from %s: %w", *seedFrom, err)
+		}
+		db = sdb
+		var ok bool
+		if r, ok = db.Collection("r"); !ok {
+			return fmt.Errorf("snapshot %s has no collection r", *seedFrom)
+		}
+		if s, ok = db.Collection("s"); !ok {
+			return fmt.Errorf("snapshot %s has no collection s", *seedFrom)
+		}
+		fmt.Printf("sjoind: seeded from %s (%d pages, checkpoint LSN %d) in %v\n",
+			*seedFrom, info.Pages, info.CheckpointLSN, time.Since(start).Round(time.Millisecond))
+	} else {
+		var err error
+		db, err = spatialjoin.Open(cfg)
+		if err != nil {
+			return err
+		}
+		w := geom.NewRect(0, 0, *world, *world)
+		rng := rand.New(rand.NewSource(*seed))
+		r, err = load(db, "r", datagen.UniformRects(rng, *rects, w, 2, w.MaxX/100))
+		if err != nil {
+			return err
+		}
+		s, err = load(db, "s", datagen.ClusteredRects(rng, *rects, 16, w, w.MaxX/8, w.MaxX/150))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sjoind: loaded collections r and s (%d rects each) in %v\n",
+			*rects, time.Since(start).Round(time.Millisecond))
+	}
+	if !db.HasJoinIndex(r, s, spatialjoin.Overlaps()) {
+		if _, _, err := db.BuildJoinIndex(r, s, spatialjoin.Overlaps()); err != nil {
+			return err
+		}
+	}
+	fp, err := fingerprint(r, s)
 	if err != nil {
 		return err
 	}
-	s, err := load(db, "s", datagen.ClusteredRects(rng, *rects, 16, w, w.MaxX/8, w.MaxX/150))
-	if err != nil {
-		return err
+	fmt.Printf("sjoind: dataset fingerprint %016x\n", fp)
+
+	// snapMu serializes the periodic checkpointer against SIGUSR1 snapshot
+	// exports, so an image is never cut while a concurrent checkpoint is
+	// moving the redo floor.
+	var snapMu sync.Mutex
+	stop := make(chan struct{})
+	defer close(stop)
+	if cfg.WAL && *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				snapMu.Lock()
+				cs, err := db.Checkpoint()
+				snapMu.Unlock()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "sjoind: checkpoint:", err)
+					return
+				}
+				fmt.Printf("sjoind: checkpoint at LSN %d: %d pages flushed, %d log pages truncated in %v\n",
+					cs.BeginLSN, cs.PagesFlushed, cs.PagesTruncated, cs.Duration.Round(time.Microsecond))
+			}
+		}()
 	}
-	if _, _, err := db.BuildJoinIndex(r, s, spatialjoin.Overlaps()); err != nil {
-		return err
+	if cfg.WAL && *snapPath != "" {
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-usr1:
+				}
+				snapMu.Lock()
+				err := exportSnapshotFile(db, *snapPath)
+				snapMu.Unlock()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "sjoind: snapshot:", err)
+				}
+			}
+		}()
+		fmt.Printf("sjoind: SIGUSR1 writes a snapshot to %s\n", *snapPath)
 	}
-	fmt.Printf("sjoind: loaded collections r and s (%d rects each), join index built in %v\n",
-		*rects, time.Since(start).Round(time.Millisecond))
 
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
@@ -151,6 +256,11 @@ func run() error {
 		if err := <-serveErr; err != nil && err != server.ErrServerClosed {
 			return err
 		}
+		// An orderly close forces the last group-commit buffer durable and
+		// writes back every committed page.
+		if err := db.Close(); err != nil {
+			return fmt.Errorf("closing database: %w", err)
+		}
 		fmt.Println("sjoind: drained, bye")
 		return nil
 	}
@@ -168,4 +278,52 @@ func load(db *spatialjoin.Database, name string, rects []geom.Rect) (*spatialjoi
 		}
 	}
 	return col, nil
+}
+
+// fingerprint hashes both collections' geometry in id order, so a seeded
+// replica can be checked for byte-identity against its source from the
+// startup banner alone.
+func fingerprint(cols ...*spatialjoin.Collection) (uint64, error) {
+	h := fnv.New64a()
+	var buf [32]byte
+	for _, c := range cols {
+		for id := 0; id < c.Len(); id++ {
+			shape, _, err := c.Get(id)
+			if err != nil {
+				return 0, err
+			}
+			b := shape.Bounds()
+			binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(b.MinX))
+			binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(b.MinY))
+			binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(b.MaxX))
+			binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(b.MaxY))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// exportSnapshotFile atomically writes a snapshot: to a temp file first,
+// renamed into place only once the stream — including its integrity
+// trailer — is fully on disk.
+func exportSnapshotFile(db *spatialjoin.Database, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	info, err := db.ExportSnapshot(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	fmt.Printf("sjoind: snapshot written to %s (%d pages, checkpoint LSN %d)\n",
+		path, info.Pages, info.CheckpointLSN)
+	return nil
 }

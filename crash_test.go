@@ -12,6 +12,7 @@ package spatialjoin
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"testing"
 
@@ -149,6 +150,66 @@ func crashSteps() []crashStep {
 	return steps
 }
 
+// checkpointCrashSteps is the workload with fuzzy checkpoints and a
+// snapshot export woven through it: a non-truncating checkpoint between the
+// two insert batches (so a from-LSN-0 recovery can still see the whole
+// log), another after the index build, and a truncating snapshot export at
+// the end. The checkpoints add no observable state — every step keeps the
+// model of the step before it — but they move the redo floor, so crashes
+// after them exercise bounded recovery's skip logic.
+func checkpointCrashSteps() []crashStep {
+	base := crashSteps()
+	ckpt := func(name string) crashStep {
+		return crashStep{name: name, run: func(db *Database) error {
+			_, err := db.checkpoint(false)
+			return err
+		}}
+	}
+	var steps []crashStep
+	for _, st := range base {
+		steps = append(steps, st)
+		switch st.name {
+		case "insert-s3", "build-joinindex":
+			c := ckpt("checkpoint-after-" + st.name)
+			c.model = st.model
+			steps = append(steps, c)
+		}
+	}
+	export := crashStep{name: "export-snapshot", run: func(db *Database) error {
+		_, err := db.ExportSnapshot(io.Discard)
+		return err
+	}}
+	export.model = steps[len(steps)-1].model
+	steps = append(steps, export)
+	return steps
+}
+
+// stepsWithCheckpointEvery inserts a non-truncating fuzzy checkpoint after
+// every k-th workload step; k <= 0 returns the plain workload. The fuzzer
+// sweeps k to move the checkpoint boundary across every step transition.
+func stepsWithCheckpointEvery(k int) []crashStep {
+	base := crashSteps()
+	if k <= 0 {
+		return base
+	}
+	var steps []crashStep
+	for i, st := range base {
+		steps = append(steps, st)
+		if (i+1)%k == 0 {
+			c := crashStep{
+				name: fmt.Sprintf("checkpoint-%d", i),
+				run: func(db *Database) error {
+					_, err := db.checkpoint(false)
+					return err
+				},
+				model: st.model,
+			}
+			steps = append(steps, c)
+		}
+	}
+	return steps
+}
+
 // collectionRects reads every stored shape of a recovered collection in ID
 // order.
 func collectionRects(c *Collection) ([]Rect, error) {
@@ -234,11 +295,14 @@ func stateMatches(db *Database, m crashModel) (bool, error) {
 
 // runCrashCase opens a fresh database, arms the given schedule, runs the
 // workload catching the injected crash, reboots and reopens, and asserts
-// the recovered state equals an admissible committed prefix. It returns
-// the recovery stats for callers that assert on accounting.
-func runCrashCase(t *testing.T, cfg Config, label string, arm func(fd *fault.Disk)) RecoveryStats {
+// the recovered state equals an admissible committed prefix. When the
+// bounded recovery reports an untruncated log (BaseLSN 0), the same device
+// is recovered a second time with checkpoints ignored — a full replay from
+// LSN 0 — and must reconstruct the identical state: the checkpoint's skip
+// decisions may never change the outcome, only the work. It returns the
+// bounded recovery's stats for callers that assert on accounting.
+func runCrashCase(t *testing.T, cfg Config, steps []crashStep, label string, arm func(fd *fault.Disk)) RecoveryStats {
 	t.Helper()
-	steps := crashSteps()
 	db, err := Open(cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", label, err)
@@ -301,6 +365,25 @@ func runCrashCase(t *testing.T, cfg Config, label string, arm func(fd *fault.Dis
 				label, steps[completed].name, err)
 		}
 		if ok {
+			if stats.BaseLSN == 0 {
+				// Nothing was truncated away: a full from-LSN-0 replay must
+				// land on the same committed prefix the bounded pass chose.
+				fdb, fstats, err := reopenWith(cfg, db.Device(), true)
+				if err != nil {
+					t.Fatalf("%s: full (checkpoint-ignoring) recovery: %v", label, err)
+				}
+				if fstats.RecordsSkipped != 0 {
+					t.Fatalf("%s: full recovery skipped %d records", label, fstats.RecordsSkipped)
+				}
+				fok, err := stateMatches(fdb, m)
+				if err != nil {
+					t.Fatalf("%s: verifying full-recovery state: %v", label, err)
+				}
+				if !fok {
+					t.Fatalf("%s: bounded and full recovery disagree (crash in step %s, stats %+v vs %+v)",
+						label, steps[completed].name, stats, fstats)
+				}
+			}
 			return stats
 		}
 	}
@@ -319,13 +402,13 @@ func runCrashCase(t *testing.T, cfg Config, label string, arm func(fd *fault.Dis
 
 // dryRunWrites runs the workload uncrashed and returns the total physical
 // write count — the number of injectable write ordinals.
-func dryRunWrites(t *testing.T, cfg Config) int64 {
+func dryRunWrites(t *testing.T, cfg Config, steps []crashStep) int64 {
 	t.Helper()
 	db, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, st := range crashSteps() {
+	for _, st := range steps {
 		if err := st.run(db); err != nil {
 			t.Fatalf("dry run step %s: %v", st.name, err)
 		}
@@ -340,17 +423,42 @@ func TestCrashSweepWriteCounts(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			cfg := crashConfig(workers, 1)
-			writes := dryRunWrites(t, cfg)
+			writes := dryRunWrites(t, cfg, crashSteps())
 			if writes < 20 {
 				t.Fatalf("workload only performs %d writes; the sweep is vacuous", writes)
 			}
 			for n := int64(1); n <= writes; n++ {
 				n := n
-				runCrashCase(t, cfg, fmt.Sprintf("write=%d", n), func(fd *fault.Disk) {
+				runCrashCase(t, cfg, crashSteps(), fmt.Sprintf("write=%d", n), func(fd *fault.Disk) {
 					fd.SetCrashAfterWrites(n)
 				})
 			}
 		})
+	}
+}
+
+// TestCrashSweepCheckpointWriteCounts kills the checkpointing workload at
+// every physical write ordinal: crashes land before, inside, and after the
+// fuzzy checkpoints and the snapshot export, and every recovery — bounded
+// by the checkpoint and, where the log survives whole, a second full replay
+// from LSN 0 — must land on the same admissible committed prefix.
+func TestCrashSweepCheckpointWriteCounts(t *testing.T) {
+	cfg := crashConfig(1, 1)
+	writes := dryRunWrites(t, cfg, checkpointCrashSteps())
+	if writes < 20 {
+		t.Fatalf("workload only performs %d writes; the sweep is vacuous", writes)
+	}
+	skipped := int64(0)
+	for n := int64(1); n <= writes; n++ {
+		n := n
+		stats := runCrashCase(t, cfg, checkpointCrashSteps(), fmt.Sprintf("ckpt-write=%d", n),
+			func(fd *fault.Disk) { fd.SetCrashAfterWrites(n) })
+		skipped += stats.RecordsSkipped
+	}
+	// Late crashes recover through the checkpoint; redo bounding must have
+	// provably saved work somewhere in the sweep.
+	if skipped == 0 {
+		t.Error("no sweep case skipped a record: checkpoint bounding never engaged")
 	}
 }
 
@@ -386,9 +494,46 @@ func TestCrashSweepNamedPoints(t *testing.T) {
 		for _, point := range points {
 			for k := 1; k <= counts[point]; k++ {
 				point, k := point, k
-				runCrashCase(t, wcfg, fmt.Sprintf("workers=%d/%s#%d", workers, point, k),
+				runCrashCase(t, wcfg, crashSteps(), fmt.Sprintf("workers=%d/%s#%d", workers, point, k),
 					func(*fault.Disk) { fault.ArmCrashPoint(point, k) })
 			}
+		}
+	}
+}
+
+// TestCrashSweepCheckpointNamedPoints kills the checkpointing workload at
+// every occurrence of every named crash point — which now includes the
+// checkpoint protocol's begin/flush/end markers and the snapshot export —
+// and requires recovery to an admissible committed prefix every time.
+func TestCrashSweepCheckpointNamedPoints(t *testing.T) {
+	cfg := crashConfig(1, 1)
+	fault.StartCrashPointRecording()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range checkpointCrashSteps() {
+		if err := st.run(db); err != nil {
+			t.Fatalf("recording run step %s: %v", st.name, err)
+		}
+	}
+	counts := fault.RecordedCrashPoints()
+	fault.DisarmCrashPoints()
+	for _, want := range []string{"checkpoint.begin", "checkpoint.flush-page", "checkpoint.end", "snapshot.export"} {
+		if counts[want] == 0 {
+			t.Fatalf("checkpoint workload never reached crash point %q (recorded: %v)", want, counts)
+		}
+	}
+	points := make([]string, 0, len(counts))
+	for p := range counts {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	for _, point := range points {
+		for k := 1; k <= counts[point]; k++ {
+			point, k := point, k
+			runCrashCase(t, cfg, checkpointCrashSteps(), fmt.Sprintf("ckpt/%s#%d", point, k),
+				func(*fault.Disk) { fault.ArmCrashPoint(point, k) })
 		}
 	}
 }
@@ -399,7 +544,7 @@ func TestCrashSweepNamedPoints(t *testing.T) {
 // state.
 func TestCrashGroupCommitPrefix(t *testing.T) {
 	cfg := crashConfig(1, 4)
-	writes := dryRunWrites(t, cfg)
+	writes := dryRunWrites(t, cfg, crashSteps())
 	steps := crashSteps()
 	for n := int64(1); n <= writes; n += 3 {
 		label := fmt.Sprintf("group-commit write=%d", n)

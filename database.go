@@ -3,8 +3,8 @@ package spatialjoin
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 	"runtime"
+	"sync"
 	"time"
 
 	"spatialjoin/internal/fault"
@@ -98,6 +98,21 @@ type Database struct {
 	joinIndices map[string]*JoinIndex
 	nextTxn     uint64
 	poisoned    error // set when a WAL transaction died mid-flight
+	closed      bool
+
+	// mu guards the transaction bookkeeping a fuzzy checkpoint must see
+	// atomically: nextTxn, activeTxns, the catalog maps' membership, and
+	// each object's lastLSN stamp. Queries and in-transaction page work
+	// never hold it.
+	mu sync.Mutex
+	// activeTxns maps every in-flight transaction to its begin LSN, from
+	// before its begin record is appended until after its frames learn
+	// their commit LSN (see runTxn).
+	activeTxns map[uint64]wal.LSN
+
+	ckptMu     sync.Mutex
+	ckptTotals CheckpointTotals
+	recovered  RecoveryStats // stats of the Reopen that produced this db
 }
 
 // Open creates an empty database.
@@ -151,6 +166,7 @@ func Open(cfg Config) (*Database, error) {
 		collections: make(map[string]*Collection),
 		joinIndices: make(map[string]*JoinIndex),
 		nextTxn:     1,
+		activeTxns:  make(map[uint64]wal.LSN),
 	}
 	db.registerMetrics()
 	return db, nil
@@ -173,6 +189,10 @@ type Collection struct {
 	table     join.Table
 	index     *rtree.Tree
 	indexFile *storage.HeapFile
+	// lastLSN is the commit LSN of the newest transaction that touched the
+	// collection's files; checkpoints record it in the manifest. Guarded by
+	// db.mu.
+	lastLSN wal.LSN
 }
 
 // collectionSchema is the fixed schema of every collection: an arbitrary
@@ -195,7 +215,7 @@ func (db *Database) CreateCollection(name string) (*Collection, error) {
 		return nil, fmt.Errorf("spatialjoin: collection %q already exists", name)
 	}
 	var c *Collection
-	err := db.runTxn(func(txn uint64) error {
+	lsn, err := db.runTxn(func(txn uint64) error {
 		sch, err := collectionSchema()
 		if err != nil {
 			return err
@@ -231,7 +251,10 @@ func (db *Database) CreateCollection(name string) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.mu.Lock()
+	c.lastLSN = lsn
 	db.collections[name] = c
+	db.mu.Unlock()
 	return c, nil
 }
 
@@ -279,6 +302,33 @@ func (db *Database) Flush() error {
 	return db.pool.Flush()
 }
 
+// Close shuts the database down cleanly: the log's group-commit buffer is
+// forced durable (even when no dirty frame would otherwise demand a sync),
+// every committed dirty page is written back, and all later calls are
+// refused. Closing a poisoned database syncs the log — earlier committed
+// transactions may still sit in the group-commit buffer — but leaves the
+// half-mutated pages for recovery, and reports the poisoning error.
+// Closing twice is a no-op.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	poisoned := db.poisoned
+	db.mu.Unlock()
+	if poisoned != nil {
+		if db.wal != nil {
+			if err := db.wal.Close(); err != nil {
+				return err
+			}
+		}
+		return poisoned
+	}
+	return db.pool.Close()
+}
+
 // WALStats returns the write-ahead log's counters; zero when WAL is off.
 func (db *Database) WALStats() wal.Stats {
 	if db.wal == nil {
@@ -304,17 +354,16 @@ func (c *Collection) IndexHeight() int { return c.index.Height() }
 // the R-tree. Chaos tests target these pages to simulate index loss.
 func (c *Collection) IndexFileID() storage.FileID { return c.indexFile.File() }
 
-// appendIndexEntry persists one R-tree entry (tuple id + MBR) to the
-// collection's backing index file.
+// appendIndexEntry persists one R-tree entry (tuple id + exact geometry) to
+// the collection's backing index file. Storing the full shape — not just
+// the MBR — lets a checkpoint-bounded recovery rebuild the R-tree from this
+// file alone, without re-scanning the heap: the tree's leaves feed exact
+// predicate evaluation, so an MBR-only entry would not be enough.
 func (c *Collection) appendIndexEntry(id int, shape Spatial) error {
-	b := shape.Bounds()
-	var rec [40]byte
-	binary.LittleEndian.PutUint64(rec[0:], uint64(id))
-	binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(b.MinX))
-	binary.LittleEndian.PutUint64(rec[16:], math.Float64bits(b.MinY))
-	binary.LittleEndian.PutUint64(rec[24:], math.Float64bits(b.MaxX))
-	binary.LittleEndian.PutUint64(rec[32:], math.Float64bits(b.MaxY))
-	_, err := c.indexFile.Append(rec[:])
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[0:], uint64(id))
+	rec := relation.EncodeGeometry(idb[:], shape)
+	_, err := c.indexFile.Append(rec)
 	return err
 }
 
@@ -329,7 +378,7 @@ func (c *Collection) Insert(shape Spatial, payload string) (int, error) {
 		return 0, fmt.Errorf("spatialjoin: nil shape")
 	}
 	var id int
-	err := c.db.runTxn(func(uint64) error {
+	lsn, err := c.db.runTxn(func(uint64) error {
 		var err error
 		id, err = c.rel.Insert(relation.Tuple{payload, shape})
 		if err != nil {
@@ -344,6 +393,15 @@ func (c *Collection) Insert(shape Spatial, payload string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	db := c.db
+	db.mu.Lock()
+	c.lastLSN = lsn
+	for _, ji := range db.joinIndices {
+		if ji.r == c || ji.s == c {
+			ji.lastLSN = lsn
+		}
+	}
+	db.mu.Unlock()
 	return id, nil
 }
 

@@ -1,6 +1,8 @@
 package spatialjoin
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"spatialjoin/internal/fault"
@@ -16,76 +18,130 @@ import (
 // RecoveryStats summarizes what Reopen replayed and discarded.
 type RecoveryStats = wal.RecoveryStats
 
-// runTxn executes one atomic update. Without a WAL it just runs f. With
-// one, it wraps f in begin/commit records: after f mutates pages in the
-// buffer pool (where the no-steal discipline holds them back from the
-// device), the write set's after-images and the commit record are appended
-// to the log, the log is forced durable per the group-commit policy, and
-// only then are the frames released for write-back. A crash at any point
-// therefore leaves the device in either the pre- or the post-transaction
-// committed state. An error from f poisons the database — in-memory
-// structures may hold half a transaction — and every later call is refused
-// until the device is reopened through recovery.
-func (db *Database) runTxn(f func(txn uint64) error) error {
+// errClosed refuses work after an orderly Close.
+var errClosed = errors.New("spatialjoin: database is closed")
+
+// runTxn executes one atomic update and returns the commit LSN (0 without
+// a WAL). Without a WAL it just runs f. With one, it wraps f in
+// begin/commit records: after f mutates pages in the buffer pool (where
+// the no-steal discipline holds them back from the device), the write
+// set's after-images and the commit record are appended to the log, the
+// log is forced durable per the group-commit policy, and only then are the
+// frames released for write-back. A crash at any point therefore leaves
+// the device in either the pre- or the post-transaction committed state.
+// An error from f aborts the transaction in the log and poisons the
+// database — in-memory structures may hold half a transaction — and every
+// later call is refused until the device is reopened through recovery.
+//
+// The transaction is registered in the active-transaction table from
+// before its begin record until after its frames learn their covering LSN,
+// under the same lock a checkpoint snapshots the table with: a fuzzy
+// checkpoint therefore always either sees the transaction as active or
+// sees its pages' redo floors, never neither.
+func (db *Database) runTxn(f func(txn uint64) error) (wal.LSN, error) {
 	if db.poisoned != nil {
-		return db.poisoned
+		return 0, db.poisoned
+	}
+	if db.closed {
+		return 0, errClosed
 	}
 	if db.wal == nil {
-		return f(0)
+		return 0, f(0)
 	}
+	fault.CrashPoint("txn.begin")
+	db.mu.Lock()
 	txn := db.nextTxn
 	db.nextTxn++
-	fault.CrashPoint("txn.begin")
-	db.wal.Begin(txn)
+	beginLSN := db.wal.Begin(txn)
+	db.activeTxns[txn] = beginLSN
+	db.mu.Unlock()
+	finish := func() {
+		db.mu.Lock()
+		delete(db.activeTxns, txn)
+		db.mu.Unlock()
+	}
 	if err := f(txn); err != nil {
-		return db.poison(err)
+		db.wal.Abort(txn)
+		finish()
+		return 0, db.poison(err)
 	}
 	fault.CrashPoint("txn.mutated")
 	dirty := db.pool.UnloggedDirtyPages()
 	for _, id := range dirty {
 		img, err := db.pool.SnapshotPage(id)
 		if err != nil {
-			return db.poison(err)
+			db.wal.Abort(txn)
+			finish()
+			return 0, db.poison(err)
 		}
 		db.wal.AppendImage(txn, id, img)
 	}
 	fault.CrashPoint("txn.images-logged")
 	lsn, err := db.wal.Commit(txn)
 	if err != nil {
-		return db.poison(err)
+		// The commit record is appended even when the sync behind it
+		// failed; the transaction may be durable, so it must not be
+		// aborted — recovery decides.
+		finish()
+		return 0, db.poison(err)
 	}
 	// Only now, with the commit record (at least) appended, may the frames
 	// learn their covering LSN: releasing them earlier would let an
-	// eviction persist pages of a transaction that never commits.
+	// eviction persist pages of a transaction that never commits. The
+	// begin LSN rides along as the redo floor the dirty-page table reports.
 	for _, id := range dirty {
-		if err := db.pool.SetPageLSN(id, lsn); err != nil {
-			return db.poison(err)
+		if err := db.pool.SetPageLSN(id, lsn, beginLSN); err != nil {
+			finish()
+			return 0, db.poison(err)
 		}
 	}
+	finish()
 	fault.CrashPoint("txn.committed")
-	return nil
+	return lsn, nil
 }
 
 // poison marks the database as needing recovery after a failed WAL
 // transaction. It returns err unchanged so callers report the root cause.
 func (db *Database) poison(err error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.wal != nil && db.poisoned == nil {
 		db.poisoned = fmt.Errorf("spatialjoin: database needs recovery after a failed update: %w", err)
 	}
 	return err
 }
 
-// checkUsable refuses queries on a poisoned database.
-func (db *Database) checkUsable() error { return db.poisoned }
+// checkUsable refuses queries on a poisoned or closed database.
+func (db *Database) checkUsable() error {
+	if db.poisoned != nil {
+		return db.poisoned
+	}
+	if db.closed {
+		return errClosed
+	}
+	return nil
+}
 
 // Reopen recovers a database from a device that survived a crash: it scans
 // the write-ahead log, discards the torn tail and every uncommitted
-// transaction, replays the page images of committed transactions, and
-// rebuilds the in-memory catalog (collections, R-trees, join indices) from
-// the recovered pages. cfg must have WAL set and should otherwise match the
-// crashed instance's configuration. The device is used as-is — pass the
-// crashed database's Device() after rebooting any fault wrapper.
+// transaction, replays the page images of committed transactions — bounded
+// below by the last fuzzy checkpoint, whose dirty-page and
+// active-transaction tables prove which older images are already on the
+// device — and rebuilds the in-memory catalog (collections, R-trees, join
+// indices). Collections the checkpoint manifest vouches for, whose files
+// replay did not touch, load their R-trees straight from the persisted
+// index file instead of re-scanning the heap; Stats.IndexRebuildsSkipped
+// counts them. cfg must have WAL set and should otherwise match the crashed
+// instance's configuration. The device is used as-is — pass the crashed
+// database's Device() after rebooting any fault wrapper.
 func Reopen(cfg Config, device storage.Device) (*Database, RecoveryStats, error) {
+	return reopenWith(cfg, device, false)
+}
+
+// reopenWith is Reopen with the checkpoint switch exposed: crash harnesses
+// recover the same device twice — once bounded, once from LSN 0 — and
+// assert both paths reconstruct identical state.
+func reopenWith(cfg Config, device storage.Device, ignoreCheckpoints bool) (*Database, RecoveryStats, error) {
 	var stats RecoveryStats
 	if !cfg.WAL {
 		return nil, stats, fmt.Errorf("spatialjoin: Reopen requires Config.WAL")
@@ -105,7 +161,13 @@ func Reopen(cfg Config, device storage.Device) (*Database, RecoveryStats, error)
 	}
 	// Replay runs on the raw device before the pool exists, so the pool
 	// never caches pre-replay bytes.
-	lg, catalog, stats, err := wal.Recover(device, cfg.WALGroupCommit)
+	res, err := wal.RecoverWith(device, wal.Options{
+		GroupCommit:       cfg.WALGroupCommit,
+		IgnoreCheckpoints: ignoreCheckpoints,
+	})
+	if res != nil {
+		stats = res.Stats
+	}
 	if err != nil {
 		return nil, stats, err
 	}
@@ -116,25 +178,44 @@ func Reopen(cfg Config, device storage.Device) (*Database, RecoveryStats, error)
 	if cfg.Retry != nil {
 		pool.SetRetryPolicy(*cfg.Retry)
 	}
-	pool.SetWAL(lg)
+	pool.SetWAL(res.Log)
 	fd, _ := device.(*fault.Disk)
 	db := &Database{
 		cfg:         cfg,
 		pool:        pool,
 		faultDisk:   fd,
-		wal:         lg,
+		wal:         res.Log,
 		collections: make(map[string]*Collection),
 		joinIndices: make(map[string]*JoinIndex),
 		nextTxn:     stats.NextTxn,
+		activeTxns:  make(map[uint64]wal.LSN),
 	}
-	for _, rec := range catalog {
+	// The manifest registers pre-checkpoint objects first — truncation may
+	// have destroyed their catalog records — then the scanned records add
+	// post-checkpoint objects. Both reopen helpers skip names already
+	// registered, so a surviving record for a manifest object is a no-op.
+	if cp := res.Checkpoint; cp != nil {
+		for _, mc := range cp.Manifest.Collections {
+			if err := db.reopenCollection(mc.NewCollection, mc.CoveringLSN,
+				!res.TouchedFiles[mc.HeapFile] && !res.TouchedFiles[mc.IndexFile], &stats); err != nil {
+				return nil, stats, fmt.Errorf("spatialjoin: recovering collection %q: %w", mc.Name, err)
+			}
+		}
+		for _, mj := range cp.Manifest.JoinIndices {
+			if err := db.reopenJoinIndex(mj.NewJoinIndex, mj.CoveringLSN); err != nil {
+				return nil, stats, fmt.Errorf("spatialjoin: recovering join index %s ⋈ %s on %s: %w",
+					mj.R, mj.S, mj.Operator, err)
+			}
+		}
+	}
+	for _, rec := range res.Catalog {
 		switch rec.Type {
 		case wal.RecNewCollection:
 			nc, err := wal.DecodeNewCollection(rec.Data)
 			if err != nil {
 				return nil, stats, err
 			}
-			if err := db.reopenCollection(nc); err != nil {
+			if err := db.reopenCollection(nc, rec.LSN, false, &stats); err != nil {
 				return nil, stats, fmt.Errorf("spatialjoin: recovering collection %q: %w", nc.Name, err)
 			}
 		case wal.RecNewJoinIndex:
@@ -142,20 +223,28 @@ func Reopen(cfg Config, device storage.Device) (*Database, RecoveryStats, error)
 			if err != nil {
 				return nil, stats, err
 			}
-			if err := db.reopenJoinIndex(nj); err != nil {
+			if err := db.reopenJoinIndex(nj, rec.LSN); err != nil {
 				return nil, stats, fmt.Errorf("spatialjoin: recovering join index %s ⋈ %s on %s: %w",
 					nj.R, nj.S, nj.Operator, err)
 			}
 		}
 	}
+	db.recovered = stats
+	db.registerMetrics()
 	return db, stats, nil
 }
 
-// reopenCollection rebuilds one collection from its recovered files: tuple
-// IDs come back in heap order (equal to insertion order for sequentially
-// grown collections), and the R-tree is rebuilt from the exact stored
-// shapes rather than the MBR-only entries of the persisted index file.
-func (db *Database) reopenCollection(nc wal.NewCollection) error {
+// reopenCollection rebuilds one collection from its recovered files. When
+// trusted is set — the checkpoint manifest vouches for the collection and
+// replay wrote into neither of its files — the R-tree loads straight from
+// the persisted index file, whose entries carry the exact geometry in
+// insertion order; otherwise it is rebuilt from a heap scan (tuple IDs come
+// back in heap order, equal to insertion order for sequentially grown
+// collections). Both paths produce the identical tree.
+func (db *Database) reopenCollection(nc wal.NewCollection, lsn wal.LSN, trusted bool, stats *RecoveryStats) error {
+	if _, dup := db.collections[nc.Name]; dup {
+		return nil
+	}
 	sch, err := collectionSchema()
 	if err != nil {
 		return err
@@ -172,7 +261,16 @@ func (db *Database) reopenCollection(nc wal.NewCollection) error {
 	if err != nil {
 		return err
 	}
-	if err := rel.Scan(func(id int, t relation.Tuple) (bool, error) {
+	indexFile, err := storage.OpenHeapFile(db.pool, nc.IndexFile, db.cfg.FillFactor)
+	if err != nil {
+		return err
+	}
+	if trusted {
+		if err := loadIndexEntries(indexFile, index); err != nil {
+			return err
+		}
+		stats.IndexRebuildsSkipped++
+	} else if err := rel.Scan(func(id int, t relation.Tuple) (bool, error) {
 		shape, err := rel.Schema().SpatialValue(t, 1)
 		if err != nil {
 			return false, err
@@ -182,20 +280,44 @@ func (db *Database) reopenCollection(nc wal.NewCollection) error {
 	}); err != nil {
 		return err
 	}
-	indexFile, err := storage.OpenHeapFile(db.pool, nc.IndexFile, db.cfg.FillFactor)
-	if err != nil {
-		return err
-	}
 	db.collections[nc.Name] = &Collection{
 		db: db, name: nc.Name, rel: rel, table: table, index: index, indexFile: indexFile,
+		lastLSN: lsn,
 	}
 	return nil
+}
+
+// loadIndexEntries replays a persisted index file — [u64 id][geometry]
+// records in insertion order — into a fresh R-tree.
+func loadIndexEntries(indexFile *storage.HeapFile, index *rtree.Tree) error {
+	var scanErr error
+	if err := indexFile.Scan(func(_ storage.RID, rec []byte) bool {
+		if len(rec) < 8 {
+			scanErr = fmt.Errorf("spatialjoin: index entry of %d bytes, want >= 8", len(rec))
+			return false
+		}
+		id := int(binary.LittleEndian.Uint64(rec[0:]))
+		shape, n, err := relation.DecodeGeometry(rec[8:])
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if 8+n != len(rec) {
+			scanErr = fmt.Errorf("spatialjoin: index entry has %d trailing bytes", len(rec)-8-n)
+			return false
+		}
+		index.Insert(shape, id)
+		return true
+	}); err != nil {
+		return err
+	}
+	return scanErr
 }
 
 // reopenJoinIndex rebuilds one join index by replaying its recovered pair
 // file into a fresh B+-tree (Add de-duplicates, so the file needs no
 // compaction discipline).
-func (db *Database) reopenJoinIndex(nj wal.NewJoinIndex) error {
+func (db *Database) reopenJoinIndex(nj wal.NewJoinIndex, lsn wal.LSN) error {
 	r, ok := db.collections[nj.R]
 	if !ok {
 		return fmt.Errorf("collection %q not recovered", nj.R)
@@ -207,6 +329,9 @@ func (db *Database) reopenJoinIndex(nj wal.NewJoinIndex) error {
 	op, err := pred.ParseName(nj.Operator)
 	if err != nil {
 		return err
+	}
+	if _, dup := db.joinIndices[joinIndexKey(r, s, op)]; dup {
+		return nil
 	}
 	ix, err := joinindex.New(db.cfg.JoinIndexOrder)
 	if err != nil {
@@ -234,6 +359,8 @@ func (db *Database) reopenJoinIndex(nj wal.NewJoinIndex) error {
 	if addErr != nil {
 		return addErr
 	}
-	db.joinIndices[joinIndexKey(r, s, op)] = &JoinIndex{r: r, s: s, op: op, ix: ix, file: file}
+	db.joinIndices[joinIndexKey(r, s, op)] = &JoinIndex{
+		r: r, s: s, op: op, ix: ix, file: file, lastLSN: lsn,
+	}
 	return nil
 }

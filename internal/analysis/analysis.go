@@ -95,6 +95,7 @@ func All() []*Analyzer {
 		LockBalance,
 		SpanClose,
 		SemRelease,
+		TxnAtomic,
 	}
 }
 

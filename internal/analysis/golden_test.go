@@ -122,6 +122,7 @@ func TestPinUnpinGolden(t *testing.T)      { runGolden(t, PinUnpin) }
 func TestLockBalanceGolden(t *testing.T)   { runGolden(t, LockBalance) }
 func TestSpanCloseGolden(t *testing.T)     { runGolden(t, SpanClose) }
 func TestSemReleaseGolden(t *testing.T)    { runGolden(t, SemRelease) }
+func TestTxnAtomicGolden(t *testing.T)     { runGolden(t, TxnAtomic) }
 
 // TestRepoIsClean is the self-hosting gate: the entire module must pass
 // every analyzer with zero findings, so a regression anywhere in the tree

@@ -1,0 +1,99 @@
+// Package txnatomic is the golden fixture for the txnatomic analyzer:
+// transactions begun but not committed or aborted on some path are
+// flagged; branch-balanced commit/abort forms and abort-on-error shapes
+// stay silent.
+package txnatomic
+
+import "spatialjoin/internal/wal"
+
+// leakOnEarlyReturn forgets to close the transaction on the shortcut path.
+func leakOnEarlyReturn(lg *wal.Log, txn uint64, shortcut bool) error {
+	lg.Begin(txn) // want "is not closed by Commit or Abort"
+	if shortcut {
+		return nil
+	}
+	_, err := lg.Commit(txn)
+	return err
+}
+
+// leakOnError begins, then bails on the mutation error without aborting —
+// the begin record dangles and recovery discards the transaction silently.
+func leakOnError(lg *wal.Log, txn uint64, mutate func() error) error {
+	lg.Begin(txn) // want "is not closed by Commit or Abort"
+	if err := mutate(); err != nil {
+		return err
+	}
+	_, err := lg.Commit(txn)
+	return err
+}
+
+// leakOnBreak exits the batch loop with the current transaction open.
+func leakOnBreak(lg *wal.Log, txns []uint64, stop func(uint64) bool) error {
+	for _, txn := range txns {
+		lg.Begin(txn) // want "is not closed by Commit or Abort"
+		if stop(txn) {
+			break
+		}
+		if _, err := lg.Commit(txn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leakOnPanic holds the open transaction across a statement that can only
+// panic out.
+func leakOnPanic(lg *wal.Log, txn uint64, n int) {
+	lg.Begin(txn) // want "is not closed by Commit or Abort"
+	if n < 0 {
+		panic("negative batch size")
+	}
+	_, _ = lg.Commit(txn)
+}
+
+// leakWrongTxn closes a different transaction than it began.
+func leakWrongTxn(lg *wal.Log, txn, other uint64) {
+	lg.Begin(txn) // want "is not closed by Commit or Abort"
+	_, _ = lg.Commit(other)
+}
+
+// cleanCommitOrAbort is the approved shape: every outcome closes the
+// transaction — abort on the mutation error, commit on success.
+func cleanCommitOrAbort(lg *wal.Log, txn uint64, mutate func() error) error {
+	lg.Begin(txn)
+	if err := mutate(); err != nil {
+		lg.Abort(txn)
+		return err
+	}
+	_, err := lg.Commit(txn)
+	return err
+}
+
+// cleanBranches closes the transaction manually on every branch.
+func cleanBranches(lg *wal.Log, txn uint64, fast bool) error {
+	lg.Begin(txn)
+	if fast {
+		lg.Abort(txn)
+		return nil
+	}
+	_, err := lg.Commit(txn)
+	return err
+}
+
+// cleanLoop commits every iteration's transaction before the next begin.
+func cleanLoop(lg *wal.Log, txns []uint64) error {
+	for _, txn := range txns {
+		lg.Begin(txn)
+		if _, err := lg.Commit(txn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suppressed documents a deliberately dangling begin with the required
+// justification.
+func suppressed(lg *wal.Log, txn uint64) {
+	//sjlint:ignore txnatomic recovery-harness fixture leaves the txn open to exercise discard counting
+	lg.Begin(txn)
+}

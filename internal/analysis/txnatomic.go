@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// TxnAtomic enforces the WAL's transaction-closure discipline
+// flow-sensitively: every wal.Log.Begin must reach a Commit or an Abort of
+// the same transaction on every path out of the function — error returns,
+// early breaks, and panics included. A begin record with no durable close
+// is classified as a discarded transaction by recovery, so a leaked begin
+// silently turns every mutation it covered into work a crash throws away;
+// worse, an active-transaction table holding a never-finished transaction
+// pins the checkpoint redo floor forever and stops log truncation dead.
+var TxnAtomic = &Analyzer{
+	Name: "txnatomic",
+	Doc:  "every wal.Log.Begin must reach Commit or Abort on all paths",
+	Run:  runTxnAtomic,
+}
+
+func runTxnAtomic(pass *Pass) {
+	spec := &PairSpec{
+		Acquires: func(pass *Pass, stmt ast.Stmt) []AcqOp {
+			call, _ := stmtCall(stmt)
+			if call == nil {
+				return nil
+			}
+			fn := calleeFunc(pass, call)
+			if !isMethodOf(fn, walPkgPath, "Log", "Begin") || len(call.Args) != 1 {
+				return nil
+			}
+			recv := callRecv(call)
+			if recv == nil {
+				return nil
+			}
+			return []AcqOp{{
+				Key:  ResKey{Text: exprText(recv) + "|" + exprText(call.Args[0])},
+				Pos:  call.Pos(),
+				Desc: fmt.Sprintf("%s.Begin(%s)", exprText(recv), exprText(call.Args[0])),
+			}}
+		},
+		Releases: func(pass *Pass, n ast.Node) []RelOp {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return nil
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || len(call.Args) != 1 {
+				return nil
+			}
+			if !isMethodOf(fn, walPkgPath, "Log", "Commit") &&
+				!isMethodOf(fn, walPkgPath, "Log", "Abort") {
+				return nil
+			}
+			recv := callRecv(call)
+			if recv == nil {
+				return nil
+			}
+			return []RelOp{{
+				Key: ResKey{Text: exprText(recv) + "|" + exprText(call.Args[0])},
+				Pos: call.Pos(),
+			}}
+		},
+		Leakf: func(a AcqOp, kind EdgeKind, exit token.Position) string {
+			return fmt.Sprintf("%s is not closed by Commit or Abort on the path %s at %s",
+				a.Desc, exitPhrase(kind), shortPos(exit))
+		},
+	}
+	runPaired(pass, spec)
+}

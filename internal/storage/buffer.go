@@ -79,13 +79,20 @@ type WAL interface {
 // commit record covering the frame's latest image.
 const lsnUnlogged = int64(-1)
 
-// frame is one cached page.
+// frame is one cached page. recLSN gates durability (write-back waits until
+// the log is durable past it); redoLSN is the recovery floor — the begin
+// LSN of the earliest transaction whose committed images this frame still
+// holds back from the device. Recovery starting redo at min(redoLSN) over
+// all dirty frames is guaranteed to see every image the device is missing,
+// because a transaction's images always carry LSNs at or above its begin
+// record.
 type frame struct {
-	id     PageID
-	page   *Page
-	pins   int
-	dirty  bool
-	recLSN int64
+	id      PageID
+	page    *Page
+	pins    int
+	dirty   bool
+	recLSN  int64
+	redoLSN int64
 }
 
 // NewBufferPool returns a pool of capacity pages over disk, with the
@@ -249,6 +256,7 @@ func (bp *BufferPool) evictIfFullLocked() error {
 			}
 			f.dirty = false
 			f.recLSN = 0
+			f.redoLSN = 0
 		}
 		bp.lru.Remove(el)
 		delete(bp.frames, f.id)
@@ -303,10 +311,16 @@ func (bp *BufferPool) MarkDirty(id PageID) error {
 		return fmt.Errorf("storage: MarkDirty of non-resident page %v", id)
 	}
 	f := el.Value.(*frame)
-	f.dirty = true
 	if bp.wal != nil {
+		if !f.dirty {
+			// First dirtying since the last write-back: no committed image
+			// is pending yet, so the frame has no redo floor until the
+			// covering transaction reports one via SetPageLSN.
+			f.redoLSN = lsnUnlogged
+		}
 		f.recLSN = lsnUnlogged
 	}
+	f.dirty = true
 	return nil
 }
 
@@ -344,16 +358,105 @@ func (bp *BufferPool) SnapshotPage(id PageID) ([]byte, error) {
 }
 
 // SetPageLSN records that the log covers the frame's current content up to
-// lsn, making it eligible for write-back once the log is durable past lsn.
-func (bp *BufferPool) SetPageLSN(id PageID, lsn int64) error {
+// commitLSN, making it eligible for write-back once the log is durable past
+// it. redoLSN is the begin LSN of the covering transaction: replaying the
+// log from there reconstructs everything the frame holds back from the
+// device. A frame dirtied across several transactions keeps the earliest
+// redo floor until a write-back cleans it, so the checkpoint's dirty-page
+// table never under-reports how far back recovery must start.
+func (bp *BufferPool) SetPageLSN(id PageID, commitLSN, redoLSN int64) error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	el, ok := bp.frames[id]
 	if !ok {
 		return fmt.Errorf("storage: SetPageLSN of non-resident page %v", id)
 	}
-	el.Value.(*frame).recLSN = lsn
+	f := el.Value.(*frame)
+	f.recLSN = commitLSN
+	if f.redoLSN <= 0 || redoLSN < f.redoLSN {
+		f.redoLSN = redoLSN
+	}
 	return nil
+}
+
+// DirtyPage is one entry of the pool's dirty-page table: a resident page
+// whose committed content has not reached the device, with the redo floor
+// recovery must start at to reconstruct it.
+type DirtyPage struct {
+	ID      PageID
+	RedoLSN int64
+}
+
+// DirtyPageTable snapshots the frames holding committed images back from
+// the device, in ascending PageID order — the DPT a fuzzy checkpoint
+// persists. Frames dirtied only by a still-open transaction are excluded:
+// no committed image of theirs exists yet, and the checkpoint's active-
+// transaction table covers them through the transaction's begin LSN.
+func (bp *BufferPool) DirtyPageTable() []DirtyPage {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var dpt []DirtyPage
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.dirty && f.redoLSN > 0 {
+			dpt = append(dpt, DirtyPage{ID: f.id, RedoLSN: f.redoLSN})
+		}
+	}
+	sort.Slice(dpt, func(i, j int) bool { return pageIDLess(dpt[i].ID, dpt[j].ID) })
+	return dpt
+}
+
+// FlushOneDirty writes back the lowest-PageID committed-dirty frame above
+// prev and returns its id, releasing the frame lock between calls so the
+// checkpointer can interleave with concurrent readers and writers instead
+// of stalling them behind one long stop-the-world flush. Frames held by an
+// open transaction are skipped (no-steal: their bytes may not touch the
+// device), as are frames re-dirtied behind the cursor — the dirty-page
+// table snapshot taken after the incremental pass accounts for both. ok is
+// false when no eligible frame remains above prev.
+func (bp *BufferPool) FlushOneDirty(prev PageID) (id PageID, ok bool, err error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var victim *frame
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if !f.dirty || f.recLSN == lsnUnlogged || !pageIDLess(prev, f.id) {
+			continue
+		}
+		if victim == nil || pageIDLess(f.id, victim.id) {
+			victim = f
+		}
+	}
+	if victim == nil {
+		return PageID{}, false, nil
+	}
+	if err := bp.ensureLoggedLocked(victim); err != nil {
+		return victim.id, true, err
+	}
+	if err := bp.writePage(victim.id, victim.page.Bytes()); err != nil {
+		return victim.id, true, err
+	}
+	victim.dirty = false
+	victim.recLSN = 0
+	victim.redoLSN = 0
+	return victim.id, true, nil
+}
+
+// Close makes every committed change durable and is the orderly-shutdown
+// counterpart of crash recovery: it forces the log durable even when no
+// dirty frame would have demanded it — commits buffered by the group-commit
+// policy would otherwise be silently dropped on a clean shutdown — and then
+// writes back all committed dirty frames. The pool stays usable; Close is
+// idempotent.
+func (bp *BufferPool) Close() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.wal != nil {
+		if err := bp.wal.Sync(); err != nil {
+			return fmt.Errorf("storage: final WAL sync on close: %w", err)
+		}
+	}
+	return bp.flushLocked()
 }
 
 // Flush writes every dirty frame back to disk in ascending PageID order,
@@ -395,6 +498,7 @@ func (bp *BufferPool) flushLocked() error {
 		}
 		f.dirty = false
 		f.recLSN = 0
+		f.redoLSN = 0
 	}
 	return firstErr
 }

@@ -140,6 +140,15 @@ func NewDisk(pageSize int) *Disk {
 // PageSize returns the disk's page size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
 
+// Files returns the number of files on the disk. File IDs are dense, so
+// the files are exactly 0..Files()-1 — the enumeration a snapshot export
+// walks to stream every page.
+func (d *Disk) Files() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int(d.nextFile)
+}
+
 // CreateFile allocates a new empty file and returns its id.
 func (d *Disk) CreateFile() FileID {
 	d.mu.Lock()

@@ -141,7 +141,7 @@ func TestUnloggedDirtyBlocksFlushAndEviction(t *testing.T) {
 
 	// Commit: cover the frame with an LSN the WAL will report durable.
 	w.syncTo = 100
-	if err := bp.SetPageLSN(ids[0], 100); err != nil {
+	if err := bp.SetPageLSN(ids[0], 100, 40); err != nil {
 		t.Fatal(err)
 	}
 	if err := bp.Flush(); err != nil {
@@ -179,7 +179,7 @@ func TestFlushSkipsWALSyncWhenAlreadyDurable(t *testing.T) {
 	if err := bp.MarkDirty(id); err != nil {
 		t.Fatal(err)
 	}
-	if err := bp.SetPageLSN(id, 400); err != nil {
+	if err := bp.SetPageLSN(id, 400, 350); err != nil {
 		t.Fatal(err)
 	}
 	if err := bp.Flush(); err != nil {
@@ -187,6 +187,130 @@ func TestFlushSkipsWALSyncWhenAlreadyDurable(t *testing.T) {
 	}
 	if w.syncs != 0 {
 		t.Errorf("flush forced %d WAL syncs for an already-durable LSN", w.syncs)
+	}
+}
+
+// TestCloseSyncsGroupCommitBuffer is the regression test for a clean-
+// shutdown durability hole: with a group-commit policy batching several
+// commits per sync, a Close that only flushed dirty frames could find none
+// (all already written back) and never force the log, silently dropping
+// the buffered tail of committed transactions. Close must sync the WAL
+// unconditionally.
+func TestCloseSyncsGroupCommitBuffer(t *testing.T) {
+	dev := NewDisk(64)
+	bp, err := NewBufferPool(dev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &fakeWAL{syncTo: 700}
+	bp.SetWAL(w)
+	// No dirty frame anywhere: the only thing Close has to do is force the
+	// log's buffered commits durable.
+	if err := bp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.syncs != 1 {
+		t.Fatalf("Close forced %d WAL syncs with no dirty frames, want 1", w.syncs)
+	}
+	if w.DurableLSN() != 700 {
+		t.Fatalf("durable LSN after Close = %d, want 700", w.DurableLSN())
+	}
+	// Idempotent: a second Close syncs again harmlessly and still succeeds.
+	if err := bp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirtyPageTable checks the DPT reports exactly the committed-dirty
+// frames, with their redo floors, in ascending PageID order — and that a
+// frame re-dirtied across transactions keeps the earliest floor.
+func TestDirtyPageTable(t *testing.T) {
+	dev := NewDisk(64)
+	bp, err := NewBufferPool(dev, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &fakeWAL{durable: 1 << 30}
+	bp.SetWAL(w)
+	ids := dirtyPages(t, bp, dev, []int{2, 0, 1, 3})
+	// Pages 0..2 committed with distinct floors; page 3 stays unlogged
+	// (open transaction) and must not appear.
+	if err := bp.SetPageLSN(ids[0], 100, 90); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.SetPageLSN(ids[1], 200, 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.SetPageLSN(ids[2], 300, 250); err != nil {
+		t.Fatal(err)
+	}
+	dpt := bp.DirtyPageTable()
+	if len(dpt) != 3 {
+		t.Fatalf("DPT has %d entries, want 3: %v", len(dpt), dpt)
+	}
+	wantFloor := []int64{90, 150, 250}
+	for i, d := range dpt {
+		if d.ID != ids[i] || d.RedoLSN != wantFloor[i] {
+			t.Errorf("DPT[%d] = {%v %d}, want {%v %d}", i, d.ID, d.RedoLSN, ids[i], wantFloor[i])
+		}
+	}
+	// Re-dirty page 0 under a later transaction: the floor must not rise.
+	if err := bp.MarkDirty(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.SetPageLSN(ids[0], 900, 850); err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.DirtyPageTable()[0].RedoLSN; got != 90 {
+		t.Errorf("re-dirtied frame's redo floor = %d, want the original 90", got)
+	}
+}
+
+// TestFlushOneDirty checks the incremental checkpoint flush: ascending
+// PageID order one frame per call, unlogged frames skipped and left dirty,
+// and termination once nothing above the cursor remains.
+func TestFlushOneDirty(t *testing.T) {
+	dev := &orderDevice{Device: NewDisk(64)}
+	bp, err := NewBufferPool(dev, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &fakeWAL{durable: 1 << 30}
+	bp.SetWAL(w)
+	ids := dirtyPages(t, bp, dev, []int{4, 1, 3, 0, 2})
+	for i, id := range ids {
+		if i == 2 {
+			continue // left unlogged: an open transaction holds it
+		}
+		if err := bp.SetPageLSN(id, int64(1000+i), int64(500+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := PageID{File: -1, Page: -1}
+	var flushed []PageID
+	for {
+		id, ok, err := bp.FlushOneDirty(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		flushed = append(flushed, id)
+		prev = id
+	}
+	if len(flushed) != 4 {
+		t.Fatalf("flushed %d frames, want 4 (unlogged frame must be skipped): %v", len(flushed), flushed)
+	}
+	if !sort.SliceIsSorted(flushed, func(i, j int) bool { return pageIDLess(flushed[i], flushed[j]) }) {
+		t.Errorf("incremental flush order not ascending: %v", flushed)
+	}
+	dpt := bp.DirtyPageTable()
+	if len(dpt) != 0 {
+		t.Errorf("DPT after incremental flush = %v, want empty (open-txn frame has no committed image)", dpt)
+	}
+	if got := bp.UnloggedDirtyPages(); len(got) != 1 || got[0] != ids[2] {
+		t.Errorf("UnloggedDirtyPages after flush = %v, want [%v]", got, ids[2])
 	}
 }
 

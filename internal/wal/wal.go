@@ -58,6 +58,19 @@ const (
 	// RecNewJoinIndex registers a precomputed join index: the two
 	// collection names, the operator name, and the backing pair file.
 	RecNewJoinIndex
+	// RecAbort closes a transaction without committing it: its preceding
+	// records are never redo-eligible. Recovery would discard them anyway
+	// (no commit record), but the explicit abort lets the checkpoint's
+	// active-transaction table stay exact and gives the transaction layer
+	// a release point static analysis can verify.
+	RecAbort
+	// RecCheckpointBegin marks the LSN a fuzzy checkpoint started at.
+	RecCheckpointBegin
+	// RecCheckpointEnd carries the checkpoint payload: dirty-page table,
+	// active-transaction table, and the catalog/index manifest (see
+	// EncodeCheckpoint). A checkpoint counts only when its end record is
+	// durable.
+	RecCheckpointEnd
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +88,12 @@ func (t RecordType) String() string {
 		return "newcollection"
 	case RecNewJoinIndex:
 		return "newjoinindex"
+	case RecAbort:
+		return "abort"
+	case RecCheckpointBegin:
+		return "checkpoint-begin"
+	case RecCheckpointEnd:
+		return "checkpoint-end"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -93,11 +112,21 @@ type Record struct {
 	Data []byte         // page image or catalog payload
 }
 
-// Page layout: [u32 used][u64 startLSN][payload ...]. used is the number of
-// payload bytes; startLSN is the logical stream offset of the first payload
-// byte. A page with used == 0 is an unwritten allocation and contributes
-// nothing to the stream.
-const pageHeader = 12
+// Page layout: [u32 used][u64 startLSN][u32 firstRec][payload ...]. used is
+// the number of payload bytes; startLSN is the logical stream offset of the
+// first payload byte; firstRec is the payload offset of the first record
+// that *begins* in this page (noFirstRec when every byte continues a record
+// started earlier). A page with used == 0 is an unwritten allocation and
+// contributes nothing to the stream.
+//
+// firstRec exists for log truncation: a checkpoint zeroes whole pages below
+// the redo floor, and the first surviving page may open mid-record — its
+// head lost with the truncated pages. The scanner re-synchronizes at
+// startLSN+firstRec, the first byte that starts a parseable record.
+const (
+	pageHeader = 16
+	noFirstRec = ^uint32(0)
+)
 
 // Record layout within the stream:
 // [u64 lsn][u8 type][u64 txn][i32 file][i32 page][u32 dataLen][data][u32 crc]
@@ -118,10 +147,15 @@ const (
 type Stats struct {
 	Records      int64
 	Commits      int64
+	Aborts       int64
 	Syncs        int64
 	PageWrites   int64
 	BytesLogged  int64
 	PaddingBytes int64
+	// Checkpoints counts durable checkpoint end records;
+	// TruncatedPages counts log pages zeroed below the redo floor.
+	Checkpoints    int64
+	TruncatedPages int64
 }
 
 // Log is the append-only write-ahead log. It is safe for concurrent use:
@@ -137,6 +171,8 @@ type Log struct {
 	tailStart LSN    // stream offset of tail[0]
 	durable   LSN    // everything below this offset is on the device
 	pending   int    // commits appended since the last sync
+	bounds    []LSN  // start LSNs of buffered records, for page firstRec
+	truncFrom int32  // first log page the next TruncateBelow examines
 
 	stats    Stats
 	observer func(batchCommits, pagesWritten int)
@@ -211,6 +247,7 @@ func (l *Log) append(rec Record) LSN {
 	body := append(hdr[:], rec.Data...)
 	var crc [recTrailer]byte
 	binary.LittleEndian.PutUint32(crc[:], storage.PageChecksum(body))
+	l.bounds = append(l.bounds, lsn)
 	l.tail = append(l.tail, body...)
 	l.tail = append(l.tail, crc[:]...)
 	l.stats.Records++
@@ -263,6 +300,22 @@ func (l *Log) Commit(txn uint64) (LSN, error) {
 	return lsn, nil
 }
 
+// Abort appends an abort record for txn, closing it without committing:
+// none of its records will ever be redo-eligible. The transaction layer
+// calls it on every failed update path so a checkpoint's active-transaction
+// table holds only transactions that may still commit.
+func (l *Log) Abort(txn uint64) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Aborts++
+	return l.append(Record{Type: RecAbort, Txn: txn})
+}
+
+// Close forces every appended record durable — the orderly-shutdown sync
+// that keeps group-commit-buffered transactions from being dropped. The
+// log stays usable; Close is idempotent.
+func (l *Log) Close() error { return l.Sync() }
+
 // Sync forces every appended record onto the device. It implements the
 // storage.WAL hook the buffer pool calls before writing back a dirty frame.
 func (l *Log) Sync() error {
@@ -294,15 +347,31 @@ func (l *Log) syncLocked() error {
 		if err != nil {
 			return fmt.Errorf("wal: extending log: %w", err)
 		}
+		// The first buffered record boundary inside this page's payload
+		// window, so a scanner can re-synchronize here after truncation.
+		// Boundaries are consumed only after the page write succeeds: a
+		// failed write is retried onto a fresh page, which must carry the
+		// same boundary.
+		first := noFirstRec
+		consumed := 0
+		chunkEnd := l.tailStart + LSN(n)
+		for consumed < len(l.bounds) && l.bounds[consumed] < chunkEnd {
+			if first == noFirstRec {
+				first = uint32(l.bounds[consumed] - l.tailStart)
+			}
+			consumed++
+		}
 		buf := make([]byte, l.pageSize)
 		binary.LittleEndian.PutUint32(buf[0:], uint32(n))
 		binary.LittleEndian.PutUint64(buf[4:], uint64(l.tailStart))
+		binary.LittleEndian.PutUint32(buf[12:], first)
 		copy(buf[pageHeader:], l.tail[:n])
 		if err := l.dev.WritePage(id, buf); err != nil {
 			// The failed page stays allocated with used == 0; the scanner
 			// skips it and a retried sync allocates a fresh successor.
 			return fmt.Errorf("wal: log append: %w", err)
 		}
+		l.bounds = l.bounds[consumed:]
 		l.stats.PageWrites++
 		pages++
 		fault.CrashPoint("wal.sync.page")

@@ -100,6 +100,28 @@ func (db *Database) registerMetrics() {
 			batch.Observe(float64(batchCommits))
 			pages.Observe(float64(pagesWritten))
 		})
+		count("spatialjoin_wal_aborts_total", "Transactions aborted through the log.",
+			func() int64 { return w.Stats().Aborts })
+		count("spatialjoin_wal_truncated_pages_total", "Log pages reclaimed by checkpoint truncation.",
+			func() int64 { return w.Stats().TruncatedPages })
+		count("spatialjoin_checkpoints_total", "Fuzzy checkpoints completed.",
+			func() int64 { return w.Stats().Checkpoints })
+		count("spatialjoin_checkpoint_pages_flushed_total", "Dirty frames written back by checkpoint sweeps.",
+			func() int64 { return db.CheckpointTotals().PagesFlushed })
+		m.GaugeFunc("spatialjoin_checkpoint_redo_floor", "Redo floor LSN of the last checkpoint.",
+			func() float64 { return float64(db.CheckpointTotals().LastFloor) })
+		m.GaugeFunc("spatialjoin_checkpoint_last_seconds", "Duration of the last checkpoint.",
+			func() float64 { return db.CheckpointTotals().LastDuration.Seconds() })
+
+		// Recovery gauges are constants for the life of the database: the
+		// stats of the pass that produced it (all zero after a plain Open).
+		rec := db.recovered
+		m.GaugeFunc("spatialjoin_recovery_records_replayed", "Committed images replayed by the recovery that produced this database.",
+			func() float64 { return float64(rec.RecordsReplayed) })
+		m.GaugeFunc("spatialjoin_recovery_records_skipped", "Committed images the checkpoint proved already durable.",
+			func() float64 { return float64(rec.RecordsSkipped) })
+		m.GaugeFunc("spatialjoin_recovery_index_rebuilds_skipped", "Persisted indices loaded from the manifest instead of rebuilt.",
+			func() float64 { return float64(rec.IndexRebuildsSkipped) })
 	}
 
 	parallel.EnableMetrics()

@@ -267,6 +267,9 @@ type JoinIndex struct {
 	op   Operator
 	ix   *joinindex.Index
 	file *storage.HeapFile
+	// lastLSN is the commit LSN of the newest transaction that touched the
+	// pair file; checkpoints record it in the manifest. Guarded by db.mu.
+	lastLSN wal.LSN
 }
 
 // Pairs returns the number of precomputed matching pairs |J|.
@@ -304,6 +307,16 @@ func (db *Database) joinIndexFor(r, s *Collection, op Operator) (*JoinIndex, boo
 	return ji, ok
 }
 
+// HasJoinIndex reports whether a join index for r ⋈θ s is registered —
+// e.g. because it rode in with a recovered log or a seeded snapshot.
+func (db *Database) HasJoinIndex(r, s *Collection, op Operator) bool {
+	if r == nil || s == nil || op == nil {
+		return false
+	}
+	_, ok := db.joinIndexFor(r, s, op)
+	return ok
+}
+
 // BuildJoinIndex precomputes the join index for r ⋈θ s (strategy III's
 // setup step) and registers it for IndexStrategy joins and incremental
 // maintenance. The returned stats show the exhaustive build cost.
@@ -321,7 +334,7 @@ func (db *Database) BuildJoinIndex(r, s *Collection, op Operator) (*JoinIndex, S
 		return nil, stats, err
 	}
 	var ji *JoinIndex
-	err = db.runTxn(func(txn uint64) error {
+	lsn, err := db.runTxn(func(txn uint64) error {
 		file, err := storage.NewHeapFile(db.pool, db.cfg.FillFactor)
 		if err != nil {
 			return err
@@ -347,7 +360,10 @@ func (db *Database) BuildJoinIndex(r, s *Collection, op Operator) (*JoinIndex, S
 	if err != nil {
 		return nil, stats, err
 	}
+	db.mu.Lock()
+	ji.lastLSN = lsn
 	db.joinIndices[key] = ji
+	db.mu.Unlock()
 	return ji, stats, nil
 }
 
