@@ -44,6 +44,7 @@ import (
 	"spatialjoin/internal/fault"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/obs"
+	"spatialjoin/internal/repl"
 	"spatialjoin/internal/server"
 	"spatialjoin/internal/storage"
 )
@@ -82,6 +83,10 @@ func run() error {
 	ckptEvery := flag.Duration("checkpoint-every", 0, "with -wal: take a truncating fuzzy checkpoint this often (0 = never)")
 	snapPath := flag.String("snapshot-path", "", "with -wal: write a replica-seeding snapshot to this file on SIGUSR1")
 	seedFrom := flag.String("seed-from", "", "seed the dataset from a snapshot file instead of generating it (implies -wal)")
+
+	replicateFrom := flag.String("replicate-from", "", "run as a continuously replicating read-only replica of the primary at this address (implies -wal)")
+	maxLag := flag.Duration("max-lag", 0, "with -replicate-from: answer STALE when nothing has been heard from the primary for this long (0 = never)")
+	maxLagBytes := flag.Int64("max-lag-bytes", 0, "with -replicate-from: answer STALE when trailing the primary by more than this many log bytes (0 = never)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -90,7 +95,7 @@ func run() error {
 	cfg.BufferPages = *bufferPages
 	cfg.QueryTimeout = *queryTimeout
 	cfg.Metrics = reg
-	cfg.WAL = *useWAL || *seedFrom != ""
+	cfg.WAL = *useWAL || *seedFrom != "" || *replicateFrom != ""
 	cfg.WALGroupCommit = *walGroup
 	if *faultSeed != 0 {
 		cfg.Fault = &fault.Options{
@@ -102,6 +107,20 @@ func run() error {
 	}
 	if (*ckptEvery != 0 || *snapPath != "") && !cfg.WAL {
 		return fmt.Errorf("-checkpoint-every and -snapshot-path require -wal")
+	}
+	if *replicateFrom != "" {
+		switch {
+		case cfg.Fault != nil:
+			return fmt.Errorf("-replicate-from cannot run with fault injection (delta application patches the raw disk)")
+		case *seedFrom != "":
+			return fmt.Errorf("-replicate-from seeds itself over the wire; drop -seed-from")
+		case *snapPath != "" || *ckptEvery != 0:
+			return fmt.Errorf("-replicate-from owns the database lifecycle; drop -snapshot-path and -checkpoint-every")
+		}
+		return runReplica(reg, cfg, *replicateFrom, *maxLag, *maxLagBytes, *addr, *metricsAddr, serveOpts{
+			maxConns: *maxConns, maxQueries: *maxQueries, admitWait: *admitWait,
+			batch: *batch, drainTimeout: *drainTimeout,
+		})
 	}
 
 	// The dataset is loaded (or seeded) and indexed before serving starts:
@@ -162,11 +181,32 @@ func run() error {
 	fmt.Printf("sjoind: dataset fingerprint %016x\n", fp)
 
 	// snapMu serializes the periodic checkpointer against SIGUSR1 snapshot
-	// exports, so an image is never cut while a concurrent checkpoint is
-	// moving the redo floor.
+	// exports and replication snapshot cuts, so an image is never cut while
+	// a concurrent checkpoint is moving the redo floor.
 	var snapMu sync.Mutex
 	stop := make(chan struct{})
 	defer close(stop)
+
+	// A WAL-backed primary serves replication streams: WAL tails plus
+	// incremental snapshot deltas, with snapshot cuts checkpointing through
+	// snapMu like every other image.
+	var src *repl.Source
+	if cfg.WAL {
+		src, err = repl.NewSource(db, repl.SourceOptions{
+			Checkpoint: func() error {
+				snapMu.Lock()
+				defer snapMu.Unlock()
+				_, err := db.Checkpoint()
+				return err
+			},
+			Metrics: reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		fmt.Println("sjoind: serving replication (WAL tail + snapshot deltas)")
+	}
 	if cfg.WAL && *ckptEvery > 0 {
 		go func() {
 			tick := time.NewTicker(*ckptEvery)
@@ -178,6 +218,12 @@ func run() error {
 				case <-tick.C:
 				}
 				snapMu.Lock()
+				// Advance the replication retention pin first: the log then
+				// truncates up to what the delta tracker has seen, and a
+				// replica left further behind resyncs from a delta.
+				if aerr := src.Advance(); aerr != nil {
+					fmt.Fprintln(os.Stderr, "sjoind: repl advance:", aerr)
+				}
 				cs, err := db.Checkpoint()
 				snapMu.Unlock()
 				if err != nil {
@@ -210,29 +256,141 @@ func run() error {
 		fmt.Printf("sjoind: SIGUSR1 writes a snapshot to %s\n", *snapPath)
 	}
 
-	if *metricsAddr != "" {
-		mln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("sjoind: metrics on http://%s/metrics\n", mln.Addr())
-		msrv := &http.Server{Handler: obs.NewMux(reg)}
-		go func() {
-			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "sjoind: metrics server:", err)
-			}
-		}()
-		defer func() { _ = msrv.Close() }()
+	stopMetrics, err := startMetrics(*metricsAddr, reg)
+	if err != nil {
+		return err
 	}
+	defer stopMetrics()
 
-	srv := server.New(db, server.Options{
+	opts := server.Options{
 		MaxConns:   *maxConns,
 		MaxQueries: *maxQueries,
 		AdmitWait:  *admitWait,
 		BatchSize:  *batch,
 		Metrics:    reg,
+	}
+	if src != nil {
+		opts.Repl = src
+	}
+	srv := server.New(db, opts)
+	return serveAndDrain(srv, *addr, *drainTimeout, func() error {
+		if src != nil {
+			src.Close()
+		}
+		// An orderly close forces the last group-commit buffer durable and
+		// writes back every committed page.
+		if err := db.Close(); err != nil {
+			return fmt.Errorf("closing database: %w", err)
+		}
+		return nil
 	})
-	ln, err := net.Listen("tcp", *addr)
+}
+
+// serveOpts carries the admission flags shared by primary and replica
+// serving.
+type serveOpts struct {
+	maxConns     int
+	maxQueries   int
+	admitWait    time.Duration
+	batch        int
+	drainTimeout time.Duration
+}
+
+// runReplica runs the daemon as a continuously replicating read-only
+// replica: a Follower seeds itself from the primary and tails its log,
+// while the server answers SELECT/JOIN from the follower's current
+// database — or with a typed STALE verdict when the lag policy says the
+// replica is too far behind to trust.
+func runReplica(reg *obs.Registry, cfg spatialjoin.Config, from string, maxLag time.Duration, maxLagBytes int64, addr, metricsAddr string, so serveOpts) error {
+	f, err := repl.NewFollower(repl.FollowerOptions{
+		Addr:        from,
+		Config:      cfg,
+		MaxLagBytes: maxLagBytes,
+		MaxLagAge:   maxLag,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	f.Start()
+	fmt.Printf("sjoind: replicating from %s, waiting for the seed\n", from)
+
+	// Block serving until the first seed lands, then banner the dataset
+	// fingerprint — identical to the primary's, which is what the chaos
+	// smoke diffs.
+	start := time.Now()
+	for {
+		db, release, aerr := f.Acquire()
+		if aerr == nil {
+			r, okR := db.Collection("r")
+			s, okS := db.Collection("s")
+			var fp uint64
+			var ferr error
+			if okR && okS {
+				fp, ferr = fingerprint(r, s)
+			}
+			release()
+			if !okR || !okS {
+				f.Close()
+				return fmt.Errorf("replica seeded without collections r and s")
+			}
+			if ferr != nil {
+				f.Close()
+				return ferr
+			}
+			fmt.Printf("sjoind: seeded from %s in %v\n", from, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("sjoind: dataset fingerprint %016x\n", fp)
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	stopMetrics, err := startMetrics(metricsAddr, reg)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	defer stopMetrics()
+
+	srv := server.New(nil, server.Options{
+		MaxConns:   so.maxConns,
+		MaxQueries: so.maxQueries,
+		AdmitWait:  so.admitWait,
+		BatchSize:  so.batch,
+		Metrics:    reg,
+		DB:         f.Acquire,
+	})
+	fmt.Println("sjoind: serving as read-only replica (writes and replication streams refused)")
+	return serveAndDrain(srv, addr, so.drainTimeout, func() error {
+		f.Close()
+		return nil
+	})
+}
+
+// startMetrics serves the obs mux on addr when set; the returned stop is
+// always safe to call.
+func startMetrics(addr string, reg *obs.Registry) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	mln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("sjoind: metrics on http://%s/metrics\n", mln.Addr())
+	msrv := &http.Server{Handler: obs.NewMux(reg)}
+	go func() {
+		if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "sjoind: metrics server:", err)
+		}
+	}()
+	return func() { _ = msrv.Close() }, nil
+}
+
+// serveAndDrain listens, serves until SIGINT/SIGTERM, drains gracefully,
+// and runs the close hook once every session has unwound.
+func serveAndDrain(srv *server.Server, addr string, drainTimeout time.Duration, closeAll func() error) error {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -247,8 +405,8 @@ func run() error {
 	case err := <-serveErr:
 		return err
 	case got := <-sig:
-		fmt.Printf("sjoind: %v: draining (up to %v)\n", got, *drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		fmt.Printf("sjoind: %v: draining (up to %v)\n", got, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "sjoind: forced exit:", err)
@@ -256,10 +414,8 @@ func run() error {
 		if err := <-serveErr; err != nil && err != server.ErrServerClosed {
 			return err
 		}
-		// An orderly close forces the last group-commit buffer durable and
-		// writes back every committed page.
-		if err := db.Close(); err != nil {
-			return fmt.Errorf("closing database: %w", err)
+		if err := closeAll(); err != nil {
+			return err
 		}
 		fmt.Println("sjoind: drained, bye")
 		return nil
@@ -304,8 +460,10 @@ func fingerprint(cols ...*spatialjoin.Collection) (uint64, error) {
 }
 
 // exportSnapshotFile atomically writes a snapshot: to a temp file first,
-// renamed into place only once the stream — including its integrity
-// trailer — is fully on disk.
+// fsynced, then renamed into place — so the published path only ever names
+// a stream whose bytes (integrity trailer included) are on stable storage.
+// Without the fsync the rename can land before the data does, and a crash
+// leaves a torn snapshot at the published path.
 func exportSnapshotFile(db *spatialjoin.Database, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -313,6 +471,9 @@ func exportSnapshotFile(db *spatialjoin.Database, path string) error {
 		return err
 	}
 	info, err := db.ExportSnapshot(f)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -321,6 +482,7 @@ func exportSnapshotFile(db *spatialjoin.Database, path string) error {
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	fmt.Printf("sjoind: snapshot written to %s (%d pages, checkpoint LSN %d)\n",

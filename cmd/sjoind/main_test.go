@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spatialjoin"
+)
+
+// testDB opens a small WAL-backed database with a few rectangles in
+// collections r and s.
+func testDB(t *testing.T) (*spatialjoin.Database, spatialjoin.Config) {
+	t.Helper()
+	cfg := spatialjoin.DefaultConfig()
+	cfg.PageSize = 512
+	cfg.BufferPages = 64
+	cfg.Workers = 1
+	cfg.WAL = true
+	cfg.WALGroupCommit = 1
+	db, err := spatialjoin.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"r", "s"} {
+		col, err := db.CreateCollection(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			x := float64(i * 40)
+			if _, err := col.Insert(spatialjoin.NewRect(x, x, x+30, x+30), ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db, cfg
+}
+
+// TestExportSnapshotFileAtomic is the regression test for the SIGUSR1
+// export path: the published path must appear atomically (temp file
+// fsynced then renamed, never a torn stream), the temp file must not
+// survive, and the published stream must seed a byte-identical replica.
+func TestExportSnapshotFileAtomic(t *testing.T) {
+	db, cfg := testDB(t)
+	defer db.Close()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+
+	if err := exportSnapshotFile(db, path); err != nil {
+		t.Fatalf("exportSnapshotFile: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file survived the rename: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	replica, info, err := spatialjoin.SeedFromSnapshot(cfg, f)
+	if err != nil {
+		t.Fatalf("published snapshot does not seed: %v", err)
+	}
+	defer replica.Close()
+	if info.Pages == 0 {
+		t.Errorf("implausible snapshot info: %+v", info)
+	}
+	srcR, _ := db.Collection("r")
+	srcS, _ := db.Collection("s")
+	repR, _ := replica.Collection("r")
+	repS, _ := replica.Collection("s")
+	want, err := fingerprint(srcR, srcS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fingerprint(repR, repS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("seeded fingerprint %016x, want %016x", got, want)
+	}
+}
+
+// TestExportSnapshotFileFailurePublishesNothing proves a failed export
+// can never leave anything — torn or otherwise — at the published path.
+func TestExportSnapshotFileFailurePublishesNothing(t *testing.T) {
+	db, _ := testDB(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+
+	// Closing the database makes the checkpoint inside ExportSnapshot fail
+	// after the temp file is already created.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := exportSnapshotFile(db, path); err == nil {
+		t.Fatal("export off a closed database succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("failed export published %s: %v", path, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("failed export left its temp file: %v", err)
+	}
+}

@@ -45,7 +45,7 @@ import (
 
 func main() {
 	what := flag.String("what", "all",
-		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, scaling, faults, wal, trace, all (scaling, faults, wal and trace are measured, not analytic, and are excluded from all)")
+		"what to print: params, fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, updates, validate, scaling, faults, wal, repl, trace, all (scaling, faults, wal, repl and trace are measured, not analytic, and are excluded from all)")
 	points := flag.Int("points", 13, "selectivity samples per figure")
 	pmin := flag.Float64("pmin", 1e-12, "smallest selectivity for join figures")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
@@ -138,6 +138,7 @@ func run(out io.Writer, prm costmodel.Params, o benchOpts) error {
 		"scaling":  func() error { return printScaling(out, o.workers) },
 		"faults":   func() error { return printFaults(out, o.faultSeed, o.faultRate, o.timeout, o.metrics) },
 		"wal":      func() error { return printWAL(out, o.faultSeed, o.walGroup, o.crashAt, o.doRecover) },
+		"repl":     func() error { return printRepl(out, o.faultSeed) },
 		"trace":    func() error { return printTraceOverhead(out) },
 	}
 	if o.what != "all" {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/costmodel"
+)
+
+func TestReplCatchUpOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, costmodel.PaperParams(), testOpts("repl")); err != nil {
+		t.Fatalf("run(repl): %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Replica catch-up cost", "seed snapshot",
+		"divergence (inserts)", "tail bytes", "delta data pages", "full pages"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("repl output missing %q:\n%s", want, out)
+		}
+	}
+	// Parse the data rows: divergence, tail bytes, delta bytes, delta data
+	// pages, delta log pages, full bytes, full pages.
+	var rows [][7]int
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 7 {
+			continue
+		}
+		var row [7]int
+		ok := true
+		for i, s := range f {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				ok = false
+				break
+			}
+			row[i] = n
+		}
+		if ok {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 data rows, parsed %d:\n%s", len(rows), out)
+	}
+	for i, r := range rows {
+		// The delta must be proportional to the divergence, not the
+		// database: its data pages are a small fraction of the device.
+		if r[3] == 0 || r[3] >= r[6] {
+			t.Errorf("row %d: delta shipped %d data pages of a %d-page device", i, r[3], r[6])
+		}
+		if i == 0 {
+			continue
+		}
+		// More divergence must cost more tail bytes and more delta pages,
+		// while the full snapshot stays the same order as the seed.
+		if r[1] <= rows[i-1][1] || r[3] <= rows[i-1][3] {
+			t.Errorf("row %d: catch-up cost not increasing with divergence: %v then %v", i, rows[i-1], r)
+		}
+	}
+}

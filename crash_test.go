@@ -368,7 +368,7 @@ func runCrashCase(t *testing.T, cfg Config, steps []crashStep, label string, arm
 			if stats.BaseLSN == 0 {
 				// Nothing was truncated away: a full from-LSN-0 replay must
 				// land on the same committed prefix the bounded pass chose.
-				fdb, fstats, err := reopenWith(cfg, db.Device(), true)
+				fdb, fstats, err := reopenWith(cfg, db.Device(), true, 0)
 				if err != nil {
 					t.Fatalf("%s: full (checkpoint-ignoring) recovery: %v", label, err)
 				}

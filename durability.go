@@ -135,13 +135,28 @@ func (db *Database) checkUsable() error {
 // instance's configuration. The device is used as-is — pass the crashed
 // database's Device() after rebooting any fault wrapper.
 func Reopen(cfg Config, device storage.Device) (*Database, RecoveryStats, error) {
-	return reopenWith(cfg, device, false)
+	return reopenWith(cfg, device, false, 0)
 }
 
-// reopenWith is Reopen with the checkpoint switch exposed: crash harnesses
-// recover the same device twice — once bounded, once from LSN 0 — and
-// assert both paths reconstruct identical state.
-func reopenWith(cfg Config, device storage.Device, ignoreCheckpoints bool) (*Database, RecoveryStats, error) {
+// ReopenAt recovers a replica device whose pages are trusted current up to
+// applied: replay skips images below that floor and replays everything at
+// or above it unconditionally, never consulting the checkpoint dirty-page
+// table (which describes the primary's flush state, not this device's).
+// Pass the NextApplyFloor from the previous recovery's stats; a floor of 1
+// replays the whole log, which is the safe choice for a freshly deltaed
+// device whose page contents may predate any straddling transaction.
+func ReopenAt(cfg Config, device storage.Device, applied wal.LSN) (*Database, RecoveryStats, error) {
+	if applied < 1 {
+		applied = 1
+	}
+	return reopenWith(cfg, device, false, applied)
+}
+
+// reopenWith is Reopen with the checkpoint switch and replay floor exposed:
+// crash harnesses recover the same device twice — once bounded, once from
+// LSN 0 — and assert both paths reconstruct identical state, and replicas
+// reopen with an explicit floor instead of the checkpoint bound.
+func reopenWith(cfg Config, device storage.Device, ignoreCheckpoints bool, applyFloor wal.LSN) (*Database, RecoveryStats, error) {
 	var stats RecoveryStats
 	if !cfg.WAL {
 		return nil, stats, fmt.Errorf("spatialjoin: Reopen requires Config.WAL")
@@ -164,6 +179,7 @@ func reopenWith(cfg Config, device storage.Device, ignoreCheckpoints bool) (*Dat
 	res, err := wal.RecoverWith(device, wal.Options{
 		GroupCommit:       cfg.WALGroupCommit,
 		IgnoreCheckpoints: ignoreCheckpoints,
+		ApplyFloor:        applyFloor,
 	})
 	if res != nil {
 		stats = res.Stats
@@ -232,6 +248,38 @@ func reopenWith(cfg Config, device storage.Device, ignoreCheckpoints bool) (*Dat
 	db.recovered = stats
 	db.registerMetrics()
 	return db, stats, nil
+}
+
+// DurableLSN reports the log's durable end — the record-boundary LSN a
+// replica resumes tailing from — or 0 when the database runs without a WAL.
+func (db *Database) DurableLSN() wal.LSN {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.DurableLSN()
+}
+
+// AppendRawWAL appends a chunk of raw log records whose stream offset is
+// from, which must equal the current durable end; the chunk is parsed and
+// CRC-verified wholesale before a byte lands. It returns the parsed records
+// so a replication follower can watch for commits and catalog changes
+// without re-reading the log. Ordinary writers never call this.
+func (db *Database) AppendRawWAL(from wal.LSN, data []byte) ([]wal.Record, error) {
+	if db.wal == nil {
+		return nil, fmt.Errorf("spatialjoin: AppendRawWAL requires Config.WAL")
+	}
+	return db.wal.AppendRaw(from, data)
+}
+
+// RetainWAL pins log truncation: checkpoints will not reclaim records at
+// or above lsn until the pin moves or clears (lsn 0). A replication source
+// holds the pin at its log reader's position so a checkpoint between two
+// delta requests cannot truncate records the reader still needs. No-op
+// without a WAL.
+func (db *Database) RetainWAL(lsn wal.LSN) {
+	if db.wal != nil {
+		db.wal.Retain(lsn)
+	}
 }
 
 // reopenCollection rebuilds one collection from its recovered files. When

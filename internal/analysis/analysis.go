@@ -96,6 +96,7 @@ func All() []*Analyzer {
 		SpanClose,
 		SemRelease,
 		TxnAtomic,
+		StreamClose,
 	}
 }
 

@@ -15,6 +15,7 @@ const (
 	parallelPkgPath = "spatialjoin/internal/parallel"
 	geomPkgPath     = "spatialjoin/internal/geom"
 	obsPkgPath      = "spatialjoin/internal/obs"
+	replPkgPath     = "spatialjoin/internal/repl"
 	atomicPkgPath   = "sync/atomic"
 )
 

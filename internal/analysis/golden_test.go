@@ -123,6 +123,7 @@ func TestLockBalanceGolden(t *testing.T)   { runGolden(t, LockBalance) }
 func TestSpanCloseGolden(t *testing.T)     { runGolden(t, SpanClose) }
 func TestSemReleaseGolden(t *testing.T)    { runGolden(t, SemRelease) }
 func TestTxnAtomicGolden(t *testing.T)     { runGolden(t, TxnAtomic) }
+func TestStreamCloseGolden(t *testing.T)   { runGolden(t, StreamClose) }
 
 // TestRepoIsClean is the self-hosting gate: the entire module must pass
 // every analyzer with zero findings, so a regression anywhere in the tree

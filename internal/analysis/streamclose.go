@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StreamClose enforces the replication source's stream contract
+// flow-sensitively: every stream opened with (*repl.Source).OpenTail or
+// OpenSnap must reach Close on every outcome — success, error return, and
+// panic alike. A leaked TailStream wedges the source's stream gauge high;
+// a leaked SnapStream additionally strands the snapshot-encoding goroutine
+// blocked on its pipe forever, pinning the checkpointed device image in
+// memory. A stream bound to a local is tracked through branches; one that
+// is returned transfers the closing obligation to the caller on that path,
+// and one handed to another function or captured by a free closure is left
+// to that owner. An open whose handle is discarded can never be closed and
+// is reported at every exit.
+var StreamClose = &Analyzer{
+	Name: "streamclose",
+	Doc:  "every opened replication stream must reach Close on all outcomes",
+	Run:  runStreamClose,
+}
+
+func runStreamClose(pass *Pass) {
+	// streamKind names the stream type an open call produces, or "".
+	streamKind := func(fn *types.Func) string {
+		switch {
+		case isMethodOf(fn, replPkgPath, "Source", "OpenTail"):
+			return "TailStream"
+		case isMethodOf(fn, replPkgPath, "Source", "OpenSnap"):
+			return "SnapStream"
+		}
+		return ""
+	}
+	spec := &PairSpec{
+		Acquires: func(pass *Pass, stmt ast.Stmt) []AcqOp {
+			call, lhs := stmtCall(stmt)
+			if call == nil {
+				return nil
+			}
+			fn := calleeFunc(pass, call)
+			kind := streamKind(fn)
+			if kind == "" || len(call.Args) != 1 {
+				return nil
+			}
+			a := AcqOp{
+				Pos:  call.Pos(),
+				Desc: fmt.Sprintf("%s opened by %s", kind, fn.Name()),
+			}
+			if len(lhs) == 2 {
+				a.ErrObj = identObj(pass, lhs[1])
+				if obj := identObj(pass, lhs[0]); obj != nil {
+					// Stream bound to a variable: key by object identity so
+					// its Close pairs precisely, held only where err is nil.
+					a.Key = ResKey{Obj: obj}
+					a.ValueObj = obj
+					return []AcqOp{a}
+				}
+				if !isBlank(lhs[0]) {
+					// Field or index target (f.tail = ...): lifetime is
+					// object-bound, beyond an intra-procedural view.
+					return nil
+				}
+			}
+			// Handle discarded (`_, err :=` or a bare call statement): no
+			// Close can ever reference it — an unreleasable key that leaks
+			// at every exit the open succeeds on.
+			a.Key = ResKey{Text: fmt.Sprintf("stream@%d", call.Pos())}
+			a.Desc += " (handle discarded)"
+			return []AcqOp{a}
+		},
+		Releases: func(pass *Pass, n ast.Node) []RelOp {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				return nil
+			}
+			fn := calleeFunc(pass, call)
+			if !isMethodOf(fn, replPkgPath, "TailStream", "Close") &&
+				!isMethodOf(fn, replPkgPath, "SnapStream", "Close") {
+				return nil
+			}
+			id, ok := ast.Unparen(callRecv(call)).(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return nil
+			}
+			return []RelOp{{Key: ResKey{Obj: obj}, Pos: call.Pos()}}
+		},
+		ValueEscapes: func(pass *Pass, id *ast.Ident, stack []ast.Node) bool {
+			if enclosedByFreeLit(stack) {
+				// Captured by a closure whose execution the solver cannot
+				// place (stored, returned): that owner must close it.
+				return true
+			}
+			if len(stack) == 0 {
+				return true
+			}
+			switch p := stack[len(stack)-1].(type) {
+			case *ast.SelectorExpr, *ast.BinaryExpr, *ast.ParenExpr, *ast.StarExpr:
+				// Method calls (Next/Close), field reads (Full), and nil
+				// comparisons on the handle move nothing.
+				return false
+			case *ast.AssignStmt:
+				// `_ = t` keeps ownership; a real assignment aliases it away.
+				for _, l := range p.Lhs {
+					if !isBlank(l) {
+						return true
+					}
+				}
+				return false
+			case *ast.ReturnStmt:
+				return false // path-sensitive transfer to the caller
+			}
+			return true
+		},
+		Leakf: func(a AcqOp, kind EdgeKind, exit token.Position) string {
+			return fmt.Sprintf("%s is not closed on the path %s at %s",
+				a.Desc, exitPhrase(kind), shortPos(exit))
+		},
+	}
+	runPaired(pass, spec)
+}

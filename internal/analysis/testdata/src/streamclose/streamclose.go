@@ -1,0 +1,111 @@
+// Package streamclose is the golden fixture for the streamclose analyzer:
+// replication streams abandoned on error returns, merges, and panics are
+// flagged, as is an open whose handle is discarded; defer-closed streams,
+// error-guarded opens, branch-balanced closes, returned streams, and
+// streams delegated to helpers stay silent.
+package streamclose
+
+import (
+	"errors"
+
+	"spatialjoin/internal/repl"
+	"spatialjoin/internal/wal"
+	"spatialjoin/internal/wire"
+)
+
+var errBudget = errors.New("chunk budget exhausted")
+
+// leakOnError forgets to close the tail stream on the budget error path.
+func leakOnError(src *repl.Source, from wal.LSN, budget int) error {
+	t, err := src.OpenTail(from) // want "is not closed on the path"
+	if err != nil {
+		return err
+	}
+	if budget == 0 {
+		return errBudget
+	}
+	_, err = t.Next(budget)
+	t.Close()
+	return err
+}
+
+// leakOnPanic abandons the snapshot stream — and its encoding goroutine —
+// when the size check panics.
+func leakOnPanic(src *repl.Source, since wal.LSN, max int) {
+	st, err := src.OpenSnap(since) // want "is not closed on the path"
+	if err != nil {
+		return
+	}
+	if max <= 0 {
+		panic(errBudget)
+	}
+	st.Close()
+}
+
+// leakBranch closes the stream on only one arm of the merge.
+func leakBranch(src *repl.Source, from wal.LSN, done bool) {
+	t, err := src.OpenTail(from) // want "is not closed on the path"
+	if err != nil {
+		return
+	}
+	if done {
+		t.Close()
+	}
+}
+
+// leakDiscarded drops the handle outright: no Close can ever reach it.
+func leakDiscarded(src *repl.Source, since wal.LSN) error {
+	_, err := src.OpenSnap(since) // want "handle discarded"
+	return err
+}
+
+// cleanDefer closes the stream on every outcome.
+func cleanDefer(src *repl.Source, from wal.LSN) (wire.WALChunk, error) {
+	t, err := src.OpenTail(from)
+	if err != nil {
+		return wire.WALChunk{}, err
+	}
+	defer t.Close()
+	return t.Next(1 << 16)
+}
+
+// cleanBranches closes the stream manually on each outcome.
+func cleanBranches(src *repl.Source, since wal.LSN) (bool, error) {
+	st, err := src.OpenSnap(since)
+	if err != nil {
+		return false, err
+	}
+	if _, err := st.Next(1 << 16); err != nil {
+		st.Close()
+		return st.Full, err
+	}
+	st.Close()
+	return st.Full, nil
+}
+
+// cleanTransfer returns the open stream: the caller owns closing it.
+func cleanTransfer(src *repl.Source, from wal.LSN) (*repl.TailStream, error) {
+	t, err := src.OpenTail(from)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// cleanDelegated hands the stream to a helper that owns closing it.
+func cleanDelegated(src *repl.Source, since wal.LSN) error {
+	st, err := src.OpenSnap(since)
+	if err != nil {
+		return err
+	}
+	return drain(st)
+}
+
+func drain(st *repl.SnapStream) error {
+	defer st.Close()
+	for {
+		if _, err := st.Next(1 << 16); err != nil {
+			return err
+		}
+	}
+}

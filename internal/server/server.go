@@ -26,6 +26,7 @@ import (
 
 	"spatialjoin"
 	"spatialjoin/internal/obs"
+	"spatialjoin/internal/wal"
 	"spatialjoin/internal/wire"
 )
 
@@ -54,6 +55,26 @@ type Options struct {
 	// All instruments are nil-safe, so a nil registry costs only the
 	// no-op calls.
 	Metrics *obs.Registry
+	// Repl, when non-nil, serves replication streams: REPL_TAIL and
+	// SNAP_DELTA frames dispatch to it. A server without one answers those
+	// frames with BAD_REQUEST.
+	Repl ReplStreamer
+	// DB, when non-nil, resolves the database for each query, with a
+	// release the server invokes when the query finishes — a replica
+	// server acquires its follower's current database this way, and a
+	// *wire.StatusError from the resolver (STALE, for a replica beyond its
+	// lag policy) becomes the query's typed verdict. Nil means every query
+	// runs against the fixed database passed to New.
+	DB func() (*spatialjoin.Database, func(), error)
+}
+
+// ReplStreamer is the primary-side replication source a server can front
+// (repl.Source implements it). StreamTail ships WAL chunks from a record
+// boundary until the context or connection ends; StreamSnap ships one
+// snapshot or delta stream to completion and reports whether it was full.
+type ReplStreamer interface {
+	StreamTail(ctx context.Context, from wal.LSN, send func(wire.WALChunk) error) error
+	StreamSnap(ctx context.Context, since wal.LSN, send func(wire.SnapChunk) error) (bool, error)
 }
 
 // Defaults for Options zero values.
@@ -72,6 +93,8 @@ type metrics struct {
 	framesOut   *obs.Counter
 	shed        *obs.Counter
 	latency     *obs.Histogram
+	replTails   *obs.Counter
+	replSnaps   *obs.Counter
 	reg         *obs.Registry
 }
 
@@ -103,6 +126,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Queries shed by admission control or during drain, without touching the engine."),
 		latency: reg.Histogram("spatialjoin_server_query_seconds",
 			"Admitted query wall time in seconds, accept-to-Done.", serverLatencyBuckets),
+		replTails: reg.Counter("spatialjoin_server_repl_tail_streams_total",
+			"WAL tail streams opened by replicas."),
+		replSnaps: reg.Counter("spatialjoin_server_repl_snapshot_streams_total",
+			"Snapshot and delta streams opened by replicas."),
 	}
 }
 
@@ -164,7 +191,9 @@ func (s *Server) queryEnd() {
 }
 
 // New builds a server over db. The database's read paths must stay
-// read-only for the server's lifetime (no concurrent Inserts).
+// read-only for the server's lifetime (no concurrent Inserts). db may be
+// nil when Options.DB resolves the database per query instead (a replica
+// server fronting a Follower).
 func New(db *spatialjoin.Database, opts Options) *Server {
 	if opts.MaxConns <= 0 {
 		opts.MaxConns = DefaultMaxConns
@@ -177,6 +206,12 @@ func New(db *spatialjoin.Database, opts Options) *Server {
 	}
 	if opts.BatchSize > wire.MaxMatchesPerFrame {
 		opts.BatchSize = wire.MaxMatchesPerFrame
+	}
+	if opts.DB == nil {
+		fixed := db
+		opts.DB = func() (*spatialjoin.Database, func(), error) {
+			return fixed, func() {}, nil
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{

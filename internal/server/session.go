@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"spatialjoin"
 	"spatialjoin/internal/wire"
 )
 
@@ -59,6 +60,8 @@ func (ss *session) run() {
 			ss.writeFrame(wire.Frame{Type: wire.TypePong, Request: f.Request})
 		case wire.TypeSelect, wire.TypeJoin:
 			ss.dispatch(f)
+		case wire.TypeReplTail, wire.TypeSnapDelta:
+			ss.startRepl(f)
 		default:
 			// A response-typed frame from a client is a protocol error the
 			// stream cannot recover from.
@@ -81,6 +84,20 @@ func (ss *session) writeFrame(f wire.Frame) {
 	}
 	// A write error means the client is gone; the read loop will notice
 	// the closed connection — nothing to do here.
+}
+
+// writeFrameErr sends one frame under the session write lock and reports
+// the failure, so a streaming loop can stop instead of shipping into a dead
+// connection. The plain writeFrame stays error-blind for response paths
+// where the read loop notices the closed connection anyway.
+func (ss *session) writeFrameErr(f wire.Frame) error {
+	ss.wmu.Lock()
+	err := wire.WriteFrame(ss.conn, f)
+	ss.wmu.Unlock()
+	if err == nil {
+		ss.srv.m.framesOut.Inc()
+	}
+	return err
 }
 
 // writeDone sends a Done verdict for a request.
@@ -169,6 +186,23 @@ func (ss *session) badRequest(request uint64, kind string, status wire.Status, m
 	ss.writeDone(request, 0, wire.Done{Status: status, Message: msg})
 }
 
+// acquireDB resolves the database for one query through the provider,
+// answering the typed verdict — STALE, for a replica beyond its lag
+// policy — when the provider refuses.
+func (ss *session) acquireDB(request uint64, kind string) (*spatialjoin.Database, func(), bool) {
+	db, release, err := ss.srv.opts.DB()
+	if err == nil {
+		return db, release, true
+	}
+	status := wire.StatusInternal
+	var se *wire.StatusError
+	if errors.As(err, &se) {
+		status = se.Status
+	}
+	ss.badRequest(request, kind, status, err.Error())
+	return nil, nil, false
+}
+
 // runSelect executes an admitted SELECT and streams its result.
 func (ss *session) runSelect(f wire.Frame) {
 	q, err := wire.DecodeSelect(f.Payload)
@@ -176,7 +210,12 @@ func (ss *session) runSelect(f wire.Frame) {
 		ss.badRequest(f.Request, "select", wire.StatusBadRequest, err.Error())
 		return
 	}
-	col, ok := ss.srv.db.Collection(q.Collection)
+	db, release, ok := ss.acquireDB(f.Request, "select")
+	if !ok {
+		return
+	}
+	defer release()
+	col, ok := db.Collection(q.Collection)
 	if !ok {
 		ss.badRequest(f.Request, "select", wire.StatusNotFound, "unknown collection "+q.Collection)
 		return
@@ -191,7 +230,7 @@ func (ss *session) runSelect(f wire.Frame) {
 		ss.badRequest(f.Request, "select", wire.StatusBadRequest, err.Error())
 		return
 	}
-	ids, stats, err := ss.srv.db.SelectContext(ss.srv.baseCtx, col, q.Selector, op, strat)
+	ids, stats, err := db.SelectContext(ss.srv.baseCtx, col, q.Selector, op, strat)
 	status := statusOf(stats, err, ss.srv.draining.Load())
 	ss.srv.m.queryOutcome("select", status)
 	d := wire.Done{Status: status, Stats: wireStats(stats)}
@@ -223,12 +262,17 @@ func (ss *session) runJoin(f wire.Frame) {
 		ss.badRequest(f.Request, "join", wire.StatusBadRequest, err.Error())
 		return
 	}
-	r, ok := ss.srv.db.Collection(q.R)
+	db, release, ok := ss.acquireDB(f.Request, "join")
+	if !ok {
+		return
+	}
+	defer release()
+	r, ok := db.Collection(q.R)
 	if !ok {
 		ss.badRequest(f.Request, "join", wire.StatusNotFound, "unknown collection "+q.R)
 		return
 	}
-	s, ok := ss.srv.db.Collection(q.S)
+	s, ok := db.Collection(q.S)
 	if !ok {
 		ss.badRequest(f.Request, "join", wire.StatusNotFound, "unknown collection "+q.S)
 		return
@@ -243,7 +287,7 @@ func (ss *session) runJoin(f wire.Frame) {
 		ss.badRequest(f.Request, "join", wire.StatusBadRequest, err.Error())
 		return
 	}
-	ms, stats, err := ss.srv.db.JoinContext(ss.srv.baseCtx, r, s, op, strat)
+	ms, stats, err := db.JoinContext(ss.srv.baseCtx, r, s, op, strat)
 	status := statusOf(stats, err, ss.srv.draining.Load())
 	ss.srv.m.queryOutcome("join", status)
 	d := wire.Done{Status: status, Stats: wireStats(stats)}

@@ -292,6 +292,9 @@ func (l *Log) AppendCheckpointEnd(cp Checkpoint) (LSN, error) {
 func (l *Log) TruncateBelow(keep LSN) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.retain > 0 && l.retain < keep {
+		keep = l.retain
+	}
 	n := l.dev.NumPages(LogFileID)
 	zeroed := 0
 	zero := make([]byte, l.pageSize)
@@ -325,4 +328,16 @@ func (l *Log) TruncateBelow(keep LSN) (int, error) {
 		zeroed++
 	}
 	return zeroed, nil
+}
+
+// Retain pins truncation: TruncateBelow will not zero records at or above
+// lsn until the pin moves or clears (lsn 0). A replication source holds the
+// pin at its reader's position so checkpoint truncation cannot outrun it —
+// the write-ahead-log cousin of a replication slot. An over-slow reader is
+// the caller's problem: release the pin and let the reader fall back to a
+// snapshot resync rather than retain the log forever.
+func (l *Log) Retain(lsn LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retain = lsn
 }

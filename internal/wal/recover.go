@@ -26,6 +26,13 @@ type RecoveryStats struct {
 	// heap scan. The wal package never sets it — Reopen does.
 	IndexRebuildsSkipped int64
 	NextTxn              uint64
+	// NextApplyFloor is the safe Options.ApplyFloor for the *next*
+	// recovery of this device once everything scanned here has been
+	// applied: the stream end, lowered to the begin LSN of the oldest
+	// transaction still open at the end of the scan (its images are not
+	// applied yet and must be replayed once its commit arrives). Full-page
+	// redo is idempotent, so the lowering only ever re-replays.
+	NextApplyFloor LSN
 }
 
 // ErrNotALog reports that the device's first file does not begin with a WAL
@@ -41,6 +48,18 @@ type Options struct {
 	// assert that bounded and full recovery reconstruct identical state.
 	// It cannot resurrect records a checkpoint already truncated away.
 	IgnoreCheckpoints bool
+	// ApplyFloor, when positive, replaces checkpoint-bounded redo with an
+	// explicit cut: committed images below the floor are skipped
+	// unconditionally and everything at or above it is replayed
+	// unconditionally, never consulting the dirty-page table. Checkpoint
+	// decoding (manifest, transaction table) is unaffected. Replication
+	// followers need this because a shipped checkpoint's DPT describes the
+	// *primary's* flush state — bounding a follower's redo by it would
+	// skip images the follower never applied. A follower that has applied
+	// everything below LSN n recovers with ApplyFloor = n; one whose
+	// device state is unknown (fresh seed, delta resync) uses ApplyFloor = 1
+	// to replay the whole surviving stream.
+	ApplyFloor LSN
 }
 
 // Result is everything RecoverWith hands back to the catalog layer.
@@ -106,7 +125,7 @@ func RecoverWith(dev storage.Device, opts Options) (*Result, error) {
 	}
 
 	committed := make(map[uint64]bool)
-	begun := make(map[uint64]bool)
+	begun := make(map[uint64]LSN)
 	aborted := make(map[uint64]bool)
 	var maxTxn uint64
 	for _, r := range records {
@@ -115,7 +134,9 @@ func RecoverWith(dev storage.Device, opts Options) (*Result, error) {
 		}
 		switch r.Type {
 		case RecBegin:
-			begun[r.Txn] = true
+			if _, dup := begun[r.Txn]; !dup {
+				begun[r.Txn] = r.LSN
+			}
 		case RecCommit:
 			committed[r.Txn] = true
 		case RecAbort:
@@ -149,6 +170,25 @@ func RecoverWith(dev storage.Device, opts Options) (*Result, error) {
 			break
 		}
 	}
+	// The safe floor for the next bounded re-recovery: the stream end,
+	// lowered to the oldest still-open transaction's begin (images of a
+	// transaction that commits later must be replayed then). Checkpoint
+	// Active entries cover straddlers whose begin record was truncated.
+	floor := base + consumed
+	for txn, beginLSN := range begun {
+		if !committed[txn] && !aborted[txn] && beginLSN < floor {
+			floor = beginLSN
+		}
+	}
+	if cp := res.Checkpoint; cp != nil {
+		for _, a := range cp.Active {
+			if !committed[a.Txn] && !aborted[a.Txn] && a.BeginLSN < floor {
+				floor = a.BeginLSN
+			}
+		}
+	}
+	stats.NextApplyFloor = floor
+
 	replayStart := LSN(0)
 	dpt := make(map[storage.PageID]LSN)
 	if cp := res.Checkpoint; cp != nil {
@@ -169,7 +209,13 @@ func RecoverWith(dev storage.Device, opts Options) (*Result, error) {
 		}
 		switch r.Type {
 		case RecImage:
-			if res.Checkpoint != nil && r.LSN < replayStart {
+			if opts.ApplyFloor > 0 {
+				if r.LSN < opts.ApplyFloor {
+					// The caller vouches the device holds this image.
+					stats.RecordsSkipped++
+					continue
+				}
+			} else if res.Checkpoint != nil && r.LSN < replayStart {
 				if floor, inDPT := dpt[r.Page]; !inDPT || r.LSN < floor {
 					// The checkpoint flushed this page past r.LSN: the
 					// device already holds content at least this new.

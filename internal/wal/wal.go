@@ -173,6 +173,7 @@ type Log struct {
 	pending   int    // commits appended since the last sync
 	bounds    []LSN  // start LSNs of buffered records, for page firstRec
 	truncFrom int32  // first log page the next TruncateBelow examines
+	retain    LSN    // TruncateBelow keeps records at or above this pin
 
 	stats    Stats
 	observer func(batchCommits, pagesWritten int)

@@ -19,7 +19,23 @@ func frameFixtures() []Frame {
 		{Type: TypeMatches, Request: 7, Payload: EncodeMatches(nil)},
 		{Type: TypeIDs, Request: 7, Payload: EncodeIDs([]int{1, 2, 3})},
 		{Type: TypeDone, Request: 7, Flags: FlagShed, Payload: EncodeDone(Done{Status: StatusServerBusy})},
+		{Type: TypeReplTail, Request: 8, Payload: EncodeReplTail(ReplTailRequest{FromLSN: 1234})},
+		{Type: TypeSnapDelta, Request: 9, Payload: EncodeSnapDelta(SnapDeltaRequest{SinceLSN: 99})},
+		{Type: TypeWALChunk, Request: 8, Payload: mustPayload(EncodeWALChunk(WALChunk{
+			BaseLSN: 1234, DurableLSN: 2048, Records: []byte("raw records"),
+		}))},
+		{Type: TypeSnapChunk, Request: 9, Payload: mustPayload(EncodeSnapChunk(SnapChunk{
+			Offset: 512, Data: bytes.Repeat([]byte{0x5A}, 64),
+		}))},
 	}
+}
+
+// mustPayload unwraps a payload encoder that cannot fail on fixture input.
+func mustPayload(p []byte, err error) []byte {
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 func TestFrameRoundTrip(t *testing.T) {

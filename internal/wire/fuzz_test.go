@@ -109,5 +109,17 @@ func checkPayloadDecoders(t *testing.T, fr Frame) {
 	case TypeDone:
 		_, err := DecodeDone(fr.Payload)
 		assertTyped(err)
+	case TypeReplTail:
+		_, err := DecodeReplTail(fr.Payload)
+		assertTyped(err)
+	case TypeSnapDelta:
+		_, err := DecodeSnapDelta(fr.Payload)
+		assertTyped(err)
+	case TypeWALChunk:
+		_, err := DecodeWALChunk(fr.Payload)
+		assertTyped(err)
+	case TypeSnapChunk:
+		_, err := DecodeSnapChunk(fr.Payload)
+		assertTyped(err)
 	}
 }

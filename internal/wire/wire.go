@@ -62,6 +62,12 @@ const (
 	TypeSelect uint8 = 0x02
 	// TypeJoin carries a JoinRequest payload.
 	TypeJoin uint8 = 0x03
+	// TypeReplTail carries a ReplTailRequest payload: a replica asking the
+	// primary to stream WAL records from an LSN.
+	TypeReplTail uint8 = 0x04
+	// TypeSnapDelta carries a SnapDeltaRequest payload: a replica asking
+	// for a snapshot of the pages dirtied since an LSN (0 = full snapshot).
+	TypeSnapDelta uint8 = 0x05
 
 	// TypePong is the empty answer to TypePing.
 	TypePong uint8 = 0x81
@@ -72,6 +78,12 @@ const (
 	// TypeDone terminates a query's response: typed status, result count,
 	// and the query's measured work (see Done).
 	TypeDone uint8 = 0x84
+	// TypeWALChunk is one streamed batch of raw WAL records answering a
+	// TypeReplTail request.
+	TypeWALChunk uint8 = 0x85
+	// TypeSnapChunk is one streamed slice of an encoded snapshot (full or
+	// delta) answering a TypeSnapDelta request.
+	TypeSnapChunk uint8 = 0x86
 )
 
 // Flags.
@@ -116,6 +128,14 @@ const (
 	// StatusInternal: a typed storage fault degradation could not route
 	// around, or any other engine failure.
 	StatusInternal Status = 7
+	// StatusStale: a replica refused the query because its replication lag
+	// exceeded the configured bound; retry against the primary or wait for
+	// the replica to catch up. A stale query did zero engine work.
+	StatusStale Status = 8
+	// StatusGone: the primary can no longer serve the requested WAL tail —
+	// a checkpoint truncated the log above the replica's ask. The replica
+	// must fall back to a snapshot-delta resync.
+	StatusGone Status = 9
 )
 
 // String implements fmt.Stringer.
@@ -137,6 +157,10 @@ func (s Status) String() string {
 		return "NOT_FOUND"
 	case StatusInternal:
 		return "INTERNAL"
+	case StatusStale:
+		return "STALE"
+	case StatusGone:
+		return "GONE"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -181,7 +205,8 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // validType reports whether t is a frame type this version defines.
 func validType(t uint8) bool {
 	switch t {
-	case TypePing, TypeSelect, TypeJoin, TypePong, TypeMatches, TypeIDs, TypeDone:
+	case TypePing, TypeSelect, TypeJoin, TypeReplTail, TypeSnapDelta,
+		TypePong, TypeMatches, TypeIDs, TypeDone, TypeWALChunk, TypeSnapChunk:
 		return true
 	}
 	return false

@@ -99,10 +99,106 @@ func SeedFromSnapshot(cfg Config, r io.Reader) (*Database, SnapshotInfo, error) 
 		return nil, info, err
 	}
 	if stats.CheckpointLSN != info.CheckpointLSN {
+		// The device opened, so it must be closed: a seed that leaks its
+		// half-built database keeps the log and pool frames alive.
+		db.Close()
 		return nil, info, fmt.Errorf("spatialjoin: snapshot names checkpoint %d but recovery found %d (corrupt or mismatched stream)",
 			info.CheckpointLSN, stats.CheckpointLSN)
 	}
 	return db, info, nil
+}
+
+// deltaMagic heads a snapshot-delta stream: the same length as snapMagic,
+// so a receiver dispatches on the first eight bytes of either stream.
+var deltaMagic = []byte("SJDELTA1")
+
+const deltaVersion = 1
+
+// DeltaInfo describes an exported or applied snapshot delta.
+type DeltaInfo struct {
+	// SinceLSN is the replica's last-applied LSN the delta was cut against:
+	// every page whose latest logged image is at or above it is included.
+	SinceLSN wal.LSN
+	// WALDurable is the primary log's durable tail at export.
+	WALDurable wal.LSN
+	// DataPages is the number of dirtied data pages shipped.
+	DataPages int
+	// LogPages is the number of log pages shipped (the log travels whole —
+	// it is the delta's authority on what committed).
+	LogPages int
+}
+
+// ExportDelta streams the pages in pages plus the entire write-ahead log to
+// w as a snapshot delta. The caller — a replication source — is responsible
+// for the protocol around it: checkpoint first so committed content is on
+// the device, derive pages from the log's image records since the replica's
+// applied LSN, and keep the log pinned (RetainWAL) so truncation cannot
+// outrun that derivation. The log ships authoritative: the receiver zeroes
+// whatever log pages the delta does not carry, then replays the shipped log
+// end to end, which rewinds any page content newer than the shipped prefix
+// back to a consistent state the subsequent tail stream rebuilds from.
+func (db *Database) ExportDelta(w io.Writer, since wal.LSN, pages []storage.PageID) (DeltaInfo, error) {
+	var info DeltaInfo
+	if db.wal == nil {
+		return info, fmt.Errorf("spatialjoin: ExportDelta requires Config.WAL")
+	}
+	info.SinceLSN = since
+	info.WALDurable = db.wal.DurableLSN()
+	if _, err := w.Write(deltaMagic); err != nil {
+		return info, err
+	}
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], deltaVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(info.SinceLSN))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(info.WALDurable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return info, err
+	}
+	var err error
+	info.DataPages, info.LogPages, err = storage.WritePageSetImage(
+		w, db.Device(), pages, []storage.FileID{wal.LogFileID})
+	return info, err
+}
+
+// ApplySnapshotDelta patches a replica's raw disk in place from a delta
+// stream. The caller must have closed the database using the disk first and
+// must reopen it through full-log recovery (ReopenAt with floor 1) after:
+// the shipped log is the only authority on which of the patched pages'
+// contents are committed. On error the disk may be half-patched and must be
+// discarded in favor of a full reseed.
+func ApplySnapshotDelta(disk *storage.Disk, r io.Reader) (DeltaInfo, error) {
+	var info DeltaInfo
+	var m [8]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil || string(m[:]) != string(deltaMagic) {
+		return info, fmt.Errorf("spatialjoin: stream is not a snapshot delta")
+	}
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return info, fmt.Errorf("spatialjoin: truncated delta header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != deltaVersion {
+		return info, fmt.Errorf("spatialjoin: delta version %d, want %d", v, deltaVersion)
+	}
+	info.SinceLSN = wal.LSN(binary.LittleEndian.Uint64(hdr[4:]))
+	info.WALDurable = wal.LSN(binary.LittleEndian.Uint64(hdr[12:]))
+	var err error
+	info.DataPages, info.LogPages, err = storage.ApplyPageSetImage(r, disk)
+	return info, err
+}
+
+// SniffSnapshot inspects the eight-byte prefix of a seeding stream and
+// reports whether it heads a full snapshot (true) or a snapshot delta
+// (false). Replicas use it to dispatch a resync response, since a primary
+// answers a delta request with a full snapshot when its dirty-page
+// tracking does not reach back far enough.
+func SniffSnapshot(prefix []byte) (bool, error) {
+	switch {
+	case string(prefix) == string(snapMagic):
+		return true, nil
+	case string(prefix) == string(deltaMagic):
+		return false, nil
+	}
+	return false, fmt.Errorf("spatialjoin: stream is neither a snapshot nor a delta")
 }
 
 // countPages totals the pages of every file on a freshly imaged disk.

@@ -7,8 +7,11 @@ package spatialjoin
 
 import (
 	"bytes"
+	"encoding/binary"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // exportWorkload runs the full crash workload and exports a snapshot,
@@ -124,4 +127,85 @@ func TestSnapshotRejectsCorruptStreams(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestSeedFailuresReleaseResources sweeps every rejection branch of
+// SeedFromSnapshot — including the deepest one, where a whole database
+// opens through recovery before the checkpoint cross-check fails — and
+// verifies each failure releases what it built: no half-seeded *Database
+// escapes, no goroutines survive, and the very same config immediately
+// seeds cleanly afterwards, so a failed seed cannot wedge a retry loop.
+func TestSeedFailuresReleaseResources(t *testing.T) {
+	cfg := crashConfig(1, 1)
+	_, stream, final := exportWorkload(t, cfg)
+	baseline := settledTestGoroutines()
+
+	// The header's checkpoint LSN lives at bytes 12..20 of the stream
+	// (after the 8-byte magic and 4-byte version). Pointing it somewhere
+	// recovery will not confirm takes the only branch where the database
+	// has fully opened — its pool and log must be torn down again.
+	mismatched := append([]byte(nil), stream...)
+	binary.LittleEndian.PutUint64(mismatched[12:],
+		binary.LittleEndian.Uint64(stream[12:])+12345)
+
+	badPageSize := cfg
+	badPageSize.PageSize = cfg.PageSize * 2
+
+	cases := []struct {
+		name string
+		cfg  Config
+		data []byte
+		want string
+	}{
+		{"bad magic", cfg, append([]byte("NOTSNAP\n"), stream[8:]...), "not a snapshot"},
+		{"truncated header", cfg, stream[:12], "truncated snapshot header"},
+		{"bad version", cfg, func() []byte {
+			s := append([]byte(nil), stream...)
+			s[8] = 99
+			return s
+		}(), "snapshot version"},
+		{"torn image", cfg, stream[:len(stream)-64], ""},
+		{"page size mismatch", badPageSize, stream, "snapshot page size"},
+		{"checkpoint mismatch", cfg, mismatched, "names checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, _, err := SeedFromSnapshot(tc.cfg, bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("rejection branch seeded a replica")
+			}
+			if db != nil {
+				t.Error("failed seed leaked a non-nil database")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	if after := settledTestGoroutines(); after > baseline {
+		t.Errorf("goroutines settled at %d after the failure sweep, started at %d — leak", after, baseline)
+	}
+	replica, _, err := SeedFromSnapshot(cfg, bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("clean seed after the failure sweep: %v", err)
+	}
+	mustMatch(t, replica, final, "replica seeded after failures")
+}
+
+// settledTestGoroutines samples the goroutine count until it stops
+// shrinking.
+func settledTestGoroutines() int {
+	best := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		time.Sleep(2 * time.Millisecond)
+		n := runtime.NumGoroutine()
+		if n >= best && i > 5 {
+			return best
+		}
+		if n < best {
+			best = n
+		}
+	}
+	return best
 }
