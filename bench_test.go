@@ -651,3 +651,70 @@ func BenchmarkAblationZOrderGridLevel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFig8RecorderOverhead prices the always-on flight recorder on
+// the measured Figure-8 workload. "record_event" is one live emission
+// into the ring (the marginal cost every recorded event pays; must be
+// allocation-free); "record_event_nil" is the nil-recorder floor (what a
+// compiled-out hook would cost); "query_always_on" runs the full query
+// path with the recorder armed exactly as it ships — per-query overhead
+// is events/query × record_event, which must keep the always-on path
+// within 2% of an uninstrumented build. EXPERIMENTS.md tabulates the
+// measured numbers.
+func BenchmarkFig8RecorderOverhead(b *testing.B) {
+	b.Run("record_event", func(b *testing.B) {
+		r := obs.NewRecorder(4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Record(obs.RecQueryFinish, obs.RecCodeOK, uint64(i), int64(i), 0)
+		}
+	})
+	b.Run("record_event_nil", func(b *testing.B) {
+		var r *obs.Recorder
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Record(obs.RecQueryFinish, obs.RecCodeOK, uint64(i), int64(i), 0)
+		}
+	})
+	b.Run("query_always_on", func(b *testing.B) {
+		db, err := Open(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		rc, err := db.CreateCollection("r")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < 500; i++ {
+			x, y := rng.Float64()*900, rng.Float64()*900
+			if _, err := rc.Insert(NewRect(x, y, x+10, y+10), ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+		q := NewRect(100, 100, 420, 420)
+		ctx := context.Background()
+		// Sequence numbers are global and monotonic, so the emitted-event
+		// count stays exact even after the ring wraps.
+		maxSeq := func() uint64 {
+			var m uint64
+			for _, e := range obs.Events() {
+				if e.Seq > m {
+					m = e.Seq
+				}
+			}
+			return m
+		}
+		before := maxSeq()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.SelectContext(ctx, rc, q, Overlaps(), TreeStrategy); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(maxSeq()-before)/float64(b.N), "events/query")
+	})
+}

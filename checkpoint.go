@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"spatialjoin/internal/fault"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/storage"
 	"spatialjoin/internal/wal"
 )
@@ -87,6 +88,7 @@ func (db *Database) checkpoint(truncate bool) (CheckpointStats, error) {
 	nextTxn := db.nextTxn
 	lb := db.wal.AppendCheckpointBegin()
 	db.mu.Unlock()
+	obs.Record(obs.RecCheckpointBegin, 0, 0, int64(lb), 0)
 	sort.Slice(active, func(i, j int) bool { return active[i].Txn < active[j].Txn })
 	fault.CrashPoint("checkpoint.begin")
 
@@ -134,6 +136,7 @@ func (db *Database) checkpoint(truncate bool) (CheckpointStats, error) {
 		cs.PagesTruncated = n
 	}
 	cs.Duration = time.Since(start)
+	obs.Record(obs.RecCheckpointEnd, 0, 0, int64(cs.PagesFlushed), cs.Duration.Nanoseconds())
 
 	db.ckptMu.Lock()
 	db.ckptTotals.Checkpoints++

@@ -9,6 +9,13 @@
 //
 //	sjload -addr 127.0.0.1:7654 -curve 1,2,4,8,16,32 -duration 3s
 //	sjload -conns 8 -kind select -strategy tree
+//
+// With -trace, sjload instead issues a single traced query: the trace ID
+// is propagated to the server inside the request frame, the server's
+// spans (admission wait, engine execution with per-level reads, result
+// streaming) come back on the DONE verdict, and sjload prints the merged
+// end-to-end span tree plus the read-sum identity — the per-level reads
+// in the server's spans telescoping to the PageReads the verdict reports.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/wire"
 )
 
@@ -63,11 +71,15 @@ func run() error {
 	strategy := flag.String("strategy", "tree", "strategy: tree, scan, or index")
 	sel := flag.Float64("selectivity", 0.2, "with select queries: probe window as a fraction of the world")
 	world := flag.Float64("world", 10000, "world side length the server was started with")
+	trace := flag.Bool("trace", false, "issue one traced query and print the merged client+server span tree instead of sweeping load")
 	flag.Parse()
 
 	strat, err := parseStrategy(*strategy)
 	if err != nil {
 		return err
+	}
+	if *trace {
+		return tracedQuery(*addr, *kind, strat, *sel, *world)
 	}
 	levels := []int{*conns}
 	if *curve != "" {
@@ -97,6 +109,61 @@ func run() error {
 		report(tw, n, *duration, tl)
 	}
 	return tw.Flush()
+}
+
+// tracedQuery issues one traced query and prints the merged span tree:
+// the client-side wire span with the server's spans grafted under it, the
+// propagated trace ID (the same 16 hex digits the server's flight
+// recorder and /debug/events dump carry), and the read-sum identity.
+func tracedQuery(addr, kind string, strat uint8, sel, world float64) error {
+	cli, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	ctx, tr := obs.WithTrace(ctx)
+
+	var res *wire.Result
+	if kind == "select" {
+		probe := geom.NewRect(0, 0, world*sel, world*sel)
+		res, err = cli.Select(ctx, "s", probe, wire.Overlaps(), strat)
+	} else {
+		res, err = cli.Join(ctx, "r", "s", wire.Overlaps(), strat)
+	}
+	if err != nil {
+		return err
+	}
+	if err := res.Err(); err != nil {
+		return err
+	}
+	results := len(res.Matches)
+	if kind == "select" {
+		results = len(res.IDs)
+	}
+	fmt.Printf("trace id: %016x\n", tr.ID())
+	fmt.Printf("status %s, %d results, %d page reads\n", res.Status, results, res.Stats.PageReads)
+	if err := tr.WriteTree(os.Stdout); err != nil {
+		return err
+	}
+	var levelReads int64
+	for _, sp := range tr.SpansNamed("level") {
+		if v, ok := sp.IntAttr("reads"); ok {
+			levelReads += v
+		}
+	}
+	fmt.Printf("read-sum identity: level reads %d, Stats.PageReads %d", levelReads, res.Stats.PageReads)
+	if levelReads == res.Stats.PageReads {
+		fmt.Println(" (exact)")
+	} else {
+		fmt.Println(" (MISMATCH)")
+		return fmt.Errorf("per-level reads %d do not telescope to PageReads %d", levelReads, res.Stats.PageReads)
+	}
+	if len(res.Spans) == 0 {
+		return fmt.Errorf("server returned no spans; is it running a pre-trace build?")
+	}
+	return nil
 }
 
 func parseStrategy(s string) (uint8, error) {

@@ -67,6 +67,7 @@ func run() error {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "join worker goroutines")
 	bufferPages := flag.Int("buffer-pages", 256, "buffer pool capacity in pages")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline (0 = none); expiry answers TIMEOUT")
+	slowQuery := flag.Duration("slow-query", 0, "record queries slower than this in the flight recorder as slow_query events (0 = off)")
 
 	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "concurrent session limit; excess connections are refused SERVER_BUSY")
 	maxQueries := flag.Int("max-queries", 0, "concurrent query limit (0 = 4×GOMAXPROCS); excess queries are shed SERVER_BUSY")
@@ -94,6 +95,7 @@ func run() error {
 	cfg.Workers = *workers
 	cfg.BufferPages = *bufferPages
 	cfg.QueryTimeout = *queryTimeout
+	cfg.SlowQuery = *slowQuery
 	cfg.Metrics = reg
 	cfg.WAL = *useWAL || *seedFrom != "" || *replicateFrom != ""
 	cfg.WALGroupCommit = *walGroup
@@ -315,6 +317,19 @@ func runReplica(reg *obs.Registry, cfg spatialjoin.Config, from string, maxLag t
 	f.Start()
 	fmt.Printf("sjoind: replicating from %s, waiting for the seed\n", from)
 
+	// Metrics come up before the seed wait: NewFollower registers the
+	// spatialjoin_repl_* gauges eagerly, so the very first scrape shows the
+	// replica seeding (state gauge at 0, zero lag) even while the primary
+	// is still unreachable. Starting the listener after the wait would make
+	// the replica unobservable during exactly the phase an operator most
+	// wants to watch.
+	stopMetrics, err := startMetrics(metricsAddr, reg)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	defer stopMetrics()
+
 	// Block serving until the first seed lands, then banner the dataset
 	// fingerprint — identical to the primary's, which is what the chaos
 	// smoke diffs.
@@ -344,13 +359,6 @@ func runReplica(reg *obs.Registry, cfg spatialjoin.Config, from string, maxLag t
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-
-	stopMetrics, err := startMetrics(metricsAddr, reg)
-	if err != nil {
-		f.Close()
-		return err
-	}
-	defer stopMetrics()
 
 	srv := server.New(nil, server.Options{
 		MaxConns:   so.maxConns,
@@ -388,7 +396,9 @@ func startMetrics(addr string, reg *obs.Registry) (func(), error) {
 }
 
 // serveAndDrain listens, serves until SIGINT/SIGTERM, drains gracefully,
-// and runs the close hook once every session has unwound.
+// and runs the close hook once every session has unwound. SIGQUIT dumps
+// the flight recorder to stderr without stopping anything — the live
+// post-incident snapshot for a daemon with no metrics listener.
 func serveAndDrain(srv *server.Server, addr string, drainTimeout time.Duration, closeAll func() error) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -398,6 +408,18 @@ func serveAndDrain(srv *server.Server, addr string, drainTimeout time.Duration, 
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "sjoind: SIGQUIT: flight recorder dump")
+			if err := obs.WriteEventsJSON(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "sjoind: event dump:", err)
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

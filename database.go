@@ -39,6 +39,11 @@ type Config struct {
 	// context.DeadlineExceeded. Contexts passed to JoinContext /
 	// SelectContext compose with it (whichever fires first wins).
 	QueryTimeout time.Duration
+	// SlowQuery, when positive, is the latency threshold above which a
+	// finished query additionally lands in the always-on flight recorder
+	// as a slow_query event (see internal/obs: /debug/events, SIGQUIT
+	// dump), carrying its trace ID when the query was traced.
+	SlowQuery time.Duration
 	// Fault, when non-nil, interposes a deterministic fault-injecting
 	// device (see internal/fault) between the buffer pool and the disk.
 	// Production-shaped code never sets this; chaos tests and the CLI

@@ -11,9 +11,10 @@ import (
 // inner loops (core, join, zorder), code nested two or more loops deep
 // must neither allocate geometry (a fresh slice, heap escape, or append
 // of geom-package values per candidate pair multiplies into O(n·m)
-// garbage) nor call into the observability layer (tracing and metrics
-// hooks belong at level and block boundaries, where their cost amortizes
-// over a whole frontier — that is what keeps the nil-trace path free).
+// garbage) nor call into the observability layer (tracing, metrics, and
+// flight-recorder emission belong at level and block boundaries, where
+// their cost amortizes over a whole frontier — that is what keeps the
+// nil-trace path free and the recorder ring from flooding).
 // Function literals reset the nesting count: a worker body handed to the
 // parallel pool starts its own loop structure.
 var JoinAlloc = &Analyzer{
@@ -91,6 +92,16 @@ func checkAllocNode(pass *Pass, n ast.Node) {
 			}
 		}
 		if fn := calleeFunc(pass, v); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == obsPkgPath {
+			// The flight recorder gets its own message: Record is wait-free,
+			// which tempts per-pair emission — but a per-pair event floods
+			// the fixed-size ring and evicts the sparse events (checkpoint
+			// marks, state transitions, sheds) a post-incident dump needs.
+			if fn.Name() == "Record" {
+				pass.Reportf(v.Pos(),
+					"flight-recorder emission %s.%s inside a join inner loop; a per-pair event floods the ring — emit at level or block boundaries",
+					fn.Pkg().Name(), fn.Name())
+				return
+			}
 			pass.Reportf(v.Pos(),
 				"observability call %s.%s inside a join inner loop; hoist tracing and metrics to the level or block boundary so the per-pair path stays free",
 				fn.Pkg().Name(), fn.Name())

@@ -53,6 +53,30 @@ func nestedTracing(tr *obs.Trace, sp obs.SpanID, rs, ss []geom.Rect) {
 	}
 }
 
+// nestedRecorder emits a flight-recorder event per candidate pair: the
+// ring is wait-free, but a per-pair event floods its fixed capacity and
+// evicts the sparse events a post-incident dump actually needs.
+func nestedRecorder(rec *obs.Recorder, rs, ss []geom.Rect) {
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Intersects(s) {
+				obs.Record(obs.RecFaultRetry, obs.RecCodeRead, 0, 0, 0) // want "flight-recorder emission obs.Record"
+				rec.Record(obs.RecFaultRetry, obs.RecCodeRead, 0, 0, 0) // want "flight-recorder emission obs.Record"
+			}
+		}
+	}
+}
+
+// levelRecorder is the approved recorder pattern: one event per level,
+// at loop depth one where its cost amortizes over the whole frontier.
+func levelRecorder(rs, ss []geom.Rect) {
+	for range rs {
+		obs.Record(obs.RecQueryStart, obs.RecCodeJoin, 0, 0, 0)
+		for range ss {
+		}
+	}
+}
+
 // outerLoopBuffer is the approved pattern: the buffer grows at loop depth
 // one, and a value-typed geometry literal is a stack value at any depth.
 func outerLoopBuffer(rs, ss []geom.Rect) []geom.Rect {

@@ -214,14 +214,25 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// EventsHandler serves the process-wide flight recorder as a JSON array —
+// the /debug/events endpoint.
+func EventsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteEventsJSON(w)
+	})
+}
+
 // NewMux returns the observability endpoint surface: /metrics (Prometheus
 // text), /debug/vars (expvar, including the registry published as
-// "spatialjoin"), and the stdlib pprof endpoints under /debug/pprof/.
+// "spatialjoin"), /debug/events (the flight recorder's ring as JSON), and
+// the stdlib pprof endpoints under /debug/pprof/.
 func NewMux(r *Registry) *http.ServeMux {
 	r.PublishExpvar("spatialjoin")
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/events", EventsHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

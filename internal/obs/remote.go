@@ -1,0 +1,88 @@
+package obs
+
+import "time"
+
+// RemoteSpan is one span flattened for transport: the process-independent
+// projection of a Span that a server serializes into a DONE verdict and a
+// client grafts back under its own call span, reconstructing one
+// end-to-end tree for a query that crossed a process boundary.
+//
+// Parent indexes into the same slice (-1 marks a root of the remote
+// trace); Start is the offset from the remote trace's start and Dur is the
+// span's duration (0 while the remote span was still open when exported).
+type RemoteSpan struct {
+	Parent     int32
+	Name       string
+	Start, Dur time.Duration
+	Attrs      []Attr
+}
+
+// Export flattens the trace's spans for transport. Span IDs become slice
+// indices (parents always precede children, because Begin assigns IDs in
+// creation order), so the result is self-contained and Graft on the far
+// side needs no ID translation. Nil-safe.
+func (t *Trace) Export() []RemoteSpan {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]RemoteSpan, len(spans))
+	for i, s := range spans {
+		rs := RemoteSpan{Parent: int32(s.Parent) - 1, Name: s.Name, Start: s.Start}
+		if s.End != 0 {
+			// Floor a closed span to 1ns so Dur 0 stays the "still open"
+			// sentinel on the far side.
+			if rs.Dur = s.End - s.Start; rs.Dur <= 0 {
+				rs.Dur = 1
+			}
+		}
+		if len(s.Attrs) > 0 {
+			rs.Attrs = append([]Attr(nil), s.Attrs...)
+		}
+		out[i] = rs
+	}
+	return out
+}
+
+// Graft splices a remote trace's exported spans into this trace as
+// children of under (0 = root): remote roots become children of under and
+// remote parent/child edges are preserved. Remote clocks are not
+// synchronized with ours, so remote offsets are rebased onto the under
+// span's start — the grafted subtree lands inside the client span that
+// covered the remote call, which is where it belongs causally even if the
+// two clocks disagree. Nil-safe; malformed parent indices degrade to
+// children of under rather than corrupting the tree.
+func (t *Trace) Graft(under SpanID, remote []RemoteSpan) {
+	if t == nil || len(remote) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var off time.Duration
+	if i := int(under) - 1; i >= 0 && i < len(t.spans) {
+		off = t.spans[i].Start
+	}
+	base := len(t.spans)
+	for i, rs := range remote {
+		parent := under
+		if rs.Parent >= 0 && int(rs.Parent) < i {
+			parent = SpanID(base + int(rs.Parent) + 1)
+		}
+		start := off + rs.Start
+		if start <= 0 {
+			start = 1
+		}
+		var end time.Duration
+		if rs.Dur > 0 {
+			end = start + rs.Dur
+		}
+		t.spans = append(t.spans, Span{
+			ID:     SpanID(len(t.spans) + 1),
+			Parent: parent,
+			Name:   rs.Name,
+			Start:  start,
+			End:    end,
+			Attrs:  append([]Attr(nil), rs.Attrs...),
+		})
+	}
+}

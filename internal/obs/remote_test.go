@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildRemoteTrace makes a trace shaped like a server-side query:
+// root ⊃ {admission, work ⊃ level, stream(open)}.
+func buildRemoteTrace() *Trace {
+	tr := NewTrace()
+	root := tr.Begin(0, "server")
+	adm := tr.Begin(root, "admission")
+	tr.End(adm)
+	work := tr.Begin(root, "work")
+	lvl := tr.Begin(work, "level")
+	tr.End(lvl, Int("reads", 7))
+	tr.End(work, Int("page_reads", 7), Str("strategy", "tree"))
+	//sjlint:ignore spanclose the open span IS the fixture — Export must keep Dur 0
+	tr.Begin(root, "stream")
+	tr.End(root)
+	return tr
+}
+
+func TestExportShape(t *testing.T) {
+	tr := buildRemoteTrace()
+	out := tr.Export()
+	if len(out) != 5 {
+		t.Fatalf("%d exported spans, want 5", len(out))
+	}
+	if out[0].Name != "server" || out[0].Parent != -1 {
+		t.Fatalf("root: %+v", out[0])
+	}
+	for i, rs := range out[1:] {
+		if rs.Parent < 0 || int(rs.Parent) > i {
+			t.Fatalf("span %d: parent %d does not precede it", i+1, rs.Parent)
+		}
+	}
+	// work is index 2, child of root; level index 3, child of work.
+	if out[2].Name != "work" || out[2].Parent != 0 {
+		t.Fatalf("work: %+v", out[2])
+	}
+	if out[3].Name != "level" || out[3].Parent != 2 {
+		t.Fatalf("level: %+v", out[3])
+	}
+	// Attrs ride along.
+	if len(out[2].Attrs) != 2 || out[2].Attrs[0].Key != "page_reads" || out[2].Attrs[0].Int != 7 {
+		t.Fatalf("work attrs: %+v", out[2].Attrs)
+	}
+	if !out[2].Attrs[1].IsString() || out[2].Attrs[1].Str != "tree" {
+		t.Fatalf("work str attr: %+v", out[2].Attrs[1])
+	}
+	// Closed spans have positive Dur; the open stream span keeps Dur 0.
+	for i, rs := range out {
+		if rs.Name == "stream" {
+			if rs.Dur != 0 {
+				t.Fatalf("open span exported Dur %v", rs.Dur)
+			}
+		} else if rs.Dur <= 0 {
+			t.Fatalf("closed span %d exported Dur %v", i, rs.Dur)
+		}
+	}
+}
+
+func TestExportEmpty(t *testing.T) {
+	if out := NewTrace().Export(); out != nil {
+		t.Fatalf("empty trace exported %d spans", len(out))
+	}
+}
+
+func TestGraftPreservesStructure(t *testing.T) {
+	remote := buildRemoteTrace().Export()
+
+	local := NewTrace()
+	call := local.Begin(0, "wire.join")
+	local.Graft(call, remote)
+	local.End(call)
+
+	spans := local.Spans()
+	if len(spans) != 1+5 {
+		t.Fatalf("%d spans after graft, want 6", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["server"].Parent != call {
+		t.Errorf("server grafted under %d, want the call span %d", byName["server"].Parent, call)
+	}
+	if byName["admission"].Parent != byName["server"].ID {
+		t.Errorf("admission grafted under %d, want server", byName["admission"].Parent)
+	}
+	if byName["level"].Parent != byName["work"].ID {
+		t.Errorf("level grafted under %d, want work", byName["level"].Parent)
+	}
+	if v, ok := byName["level"].IntAttr("reads"); !ok || v != 7 {
+		t.Errorf("level attrs lost in graft: %+v", byName["level"].Attrs)
+	}
+	// The open remote span stays open after grafting.
+	if byName["stream"].End != 0 {
+		t.Errorf("open remote span grafted closed: %+v", byName["stream"])
+	}
+	// Grafted spans are rebased onto the call span's start: every grafted
+	// start is at or after it.
+	for _, s := range spans {
+		if s.ID == call {
+			continue
+		}
+		if s.Start < byName["wire.join"].Start {
+			t.Errorf("%s starts %v before the call span %v", s.Name, s.Start, byName["wire.join"].Start)
+		}
+	}
+}
+
+func TestGraftMalformedParentDegrades(t *testing.T) {
+	local := NewTrace()
+	call := local.Begin(0, "call")
+	local.Graft(call, []RemoteSpan{
+		{Parent: 5, Name: "forward-ref", Start: 1, Dur: 1}, // points past itself
+		{Parent: -7, Name: "weird-root", Start: 1, Dur: 1}, // nonsense negative
+	})
+	for _, s := range local.Spans()[1:] {
+		if s.Parent != call {
+			t.Errorf("%s degraded to parent %d, want the graft point %d", s.Name, s.Parent, call)
+		}
+	}
+}
+
+func TestGraftNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Graft(0, []RemoteSpan{{Name: "x"}}) // must not panic
+	live := NewTrace()
+	live.Graft(1, nil) // no-op
+	if n := len(live.Spans()); n != 0 {
+		t.Fatalf("nil graft appended %d spans", n)
+	}
+}
+
+func TestExportGraftRoundTripRendersOneTree(t *testing.T) {
+	remote := buildRemoteTrace()
+	local := NewTrace()
+	call := local.Begin(0, "wire.select")
+	time.Sleep(time.Microsecond)
+	local.Graft(call, remote.Export())
+	local.End(call)
+	// WriteTree must walk the merged tree without losing spans; a cheap
+	// proxy: every span name renders.
+	var sb strings.Builder
+	if err := local.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"wire.select", "server", "admission", "work", "level", "stream"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("merged tree render is missing %q:\n%s", name, sb.String())
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,6 +33,10 @@ func Int(key string, v int64) Attr { return Attr{Key: key, Int: v} }
 
 // Str builds a string attribute.
 func Str(key, value string) Attr { return Attr{Key: key, Str: value, str: true} }
+
+// IsString reports whether the attribute carries its string value (Str)
+// rather than its integer value (Int) — the discriminator wire codecs need.
+func (a Attr) IsString() bool { return a.str }
 
 // value renders the attribute's value.
 func (a Attr) value() any {
@@ -106,14 +111,47 @@ type Event struct {
 // off — the allocation-free fast path the hot loops rely on.
 type Trace struct {
 	start time.Time
+	id    atomic.Uint64
 
 	mu     sync.Mutex
 	spans  []Span
 	events []Event
 }
 
-// NewTrace returns an empty trace whose clock starts now.
-func NewTrace() *Trace { return &Trace{start: time.Now()} }
+// traceIDs feeds NewTrace: a time-seeded counter advanced by a large odd
+// constant (the 64-bit golden-ratio increment), so IDs are unique within a
+// process and collide across processes only by birthday accident.
+var traceIDs atomic.Uint64
+
+func init() { traceIDs.Store(uint64(time.Now().UnixNano())) }
+
+// NewTrace returns an empty trace whose clock starts now, carrying a fresh
+// process-unique trace ID.
+func NewTrace() *Trace {
+	t := &Trace{start: time.Now()}
+	t.id.Store(traceIDs.Add(0x9E3779B97F4A7C15))
+	return t
+}
+
+// ID returns the trace's identity — the value propagated across process
+// boundaries so client and server spans of one query correlate. Zero on a
+// nil trace.
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id.Load()
+}
+
+// SetID overrides the trace's identity. A server adopting a client's
+// propagated trace context calls this so its spans and flight-recorder
+// events carry the caller's ID.
+func (t *Trace) SetID(id uint64) {
+	if t == nil {
+		return
+	}
+	t.id.Store(id)
+}
 
 // traceKey is the context key under which the trace travels.
 type traceKey struct{}
@@ -126,6 +164,13 @@ type spanKey struct{}
 func WithTrace(ctx context.Context) (context.Context, *Trace) {
 	tr := NewTrace()
 	return context.WithValue(ctx, traceKey{}, tr), tr
+}
+
+// ContextWithTrace arms an existing trace on the context — the server-side
+// counterpart of WithTrace, used when the trace was created to adopt a
+// propagated wire trace context rather than freshly at the call site.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
 }
 
 // TraceFrom returns the context's trace, or nil when tracing is off. The

@@ -184,12 +184,14 @@ func (f *Follower) Acquire() (*spatialjoin.Database, func(), error) {
 	if f.db == nil {
 		f.mu.RUnlock()
 		f.staleRejct.Add(1)
+		obs.Record(obs.RecReplStale, 0, 0, 0, 0)
 		return nil, nil, &wire.StatusError{Status: wire.StatusStale, Message: "replica has no seeded database yet"}
 	}
 	if f.opts.MaxLagBytes > 0 {
 		if lag := f.lagBytes(); lag > f.opts.MaxLagBytes {
 			f.mu.RUnlock()
 			f.staleRejct.Add(1)
+			obs.Record(obs.RecReplStale, 0, 0, lag, 0)
 			return nil, nil, &wire.StatusError{
 				Status:  wire.StatusStale,
 				Message: fmt.Sprintf("replica lags the primary by %d log bytes (max %d)", lag, f.opts.MaxLagBytes),
@@ -200,6 +202,7 @@ func (f *Follower) Acquire() (*spatialjoin.Database, func(), error) {
 		if age := f.lagAge(); age > f.opts.MaxLagAge {
 			f.mu.RUnlock()
 			f.staleRejct.Add(1)
+			obs.Record(obs.RecReplStale, 0, 0, 0, age.Nanoseconds())
 			return nil, nil, &wire.StatusError{
 				Status:  wire.StatusStale,
 				Message: fmt.Sprintf("no word from the primary for %.1fs (max %s)", age.Seconds(), f.opts.MaxLagAge),
@@ -211,6 +214,16 @@ func (f *Follower) Acquire() (*spatialjoin.Database, func(), error) {
 
 // State reports the follower's current lifecycle state.
 func (f *Follower) State() State { return State(f.state.Load()) }
+
+// toState moves the state machine, landing the transition in the always-on
+// flight recorder when the state actually changes (the tail loop re-asserts
+// its state per chunk; only real transitions are worth a ring slot). The
+// State and recorder code spaces coincide by construction.
+func (f *Follower) toState(s State) {
+	if prev := State(f.state.Swap(int32(s))); prev != s {
+		obs.Record(obs.RecReplState, uint8(s), 0, int64(prev), 0)
+	}
+}
 
 // Lag reports how far the replica trails the primary: in log bytes (the
 // primary's durable LSN minus the replica's) and in time since the last
@@ -304,9 +317,9 @@ func (f *Follower) setConn(c net.Conn) {
 // runs only after Stop has joined the goroutine.
 func (f *Follower) setDisconnected() {
 	if f.db == nil {
-		f.state.Store(int32(StateSeeding))
+		f.toState(StateSeeding)
 	} else {
-		f.state.Store(int32(StateStalled))
+		f.toState(StateStalled)
 	}
 }
 
@@ -342,13 +355,13 @@ var errResync = errors.New("repl: tail ask truncated on the primary; resyncing f
 // log until the connection or the follower dies.
 func (f *Follower) session(conn net.Conn) error {
 	if f.db == nil {
-		f.state.Store(int32(StateSeeding))
+		f.toState(StateSeeding)
 		if err := f.fullSeed(conn, 1); err != nil {
 			return err
 		}
 		f.needResync.Store(false)
 	} else if f.needResync.Load() {
-		f.state.Store(int32(StateCatchingUp))
+		f.toState(StateCatchingUp)
 		if err := f.resync(conn, 1); err != nil {
 			return err
 		}
@@ -485,7 +498,7 @@ func (f *Follower) tail(conn net.Conn, req uint64) error {
 	}); err != nil {
 		return err
 	}
-	f.state.Store(int32(StateCatchingUp))
+	f.toState(StateCatchingUp)
 	for {
 		if f.stopped() {
 			return nil
@@ -523,9 +536,9 @@ func (f *Follower) tail(conn net.Conn, req uint64) error {
 				}
 			}
 			if int64(f.db.DurableLSN()) >= int64(c.DurableLSN) {
-				f.state.Store(int32(StateStreaming))
+				f.toState(StateStreaming)
 			} else {
-				f.state.Store(int32(StateCatchingUp))
+				f.toState(StateCatchingUp)
 			}
 		case wire.TypeDone:
 			d, derr := wire.DecodeDone(fr.Payload)
@@ -533,6 +546,7 @@ func (f *Follower) tail(conn net.Conn, req uint64) error {
 				return derr
 			}
 			if d.Status == wire.StatusGone {
+				obs.Record(obs.RecReplGone, 0, 0, int64(from), 0)
 				f.needResync.Store(true)
 				return errResync
 			}

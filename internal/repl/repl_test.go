@@ -462,3 +462,49 @@ func TestFollowerStalenessPolicy(t *testing.T) {
 		t.Error("stale rejection not counted")
 	}
 }
+
+// TestFollowerMetricsScrapableBeforeConnect pins registration order: every
+// spatialjoin_repl_* family must be present (at its zero value) from the
+// moment NewFollower returns — before Start, before the primary is even
+// reachable — so a scrape during the seed wait observes the replica
+// seeding instead of an empty exposition. Regression test for the daemon
+// starting its metrics listener only after the blocking seed wait.
+func TestFollowerMetricsScrapableBeforeConnect(t *testing.T) {
+	reg := obs.NewRegistry()
+	f, err := NewFollower(FollowerOptions{
+		Addr:    "127.0.0.1:1", // nothing listens here
+		Config:  replConfig(),
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close waits for the replication loop, so it needs Start first; the
+	// scrape below happens before either, which is the point.
+	defer func() { f.Start(); f.Close() }()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	exposition := buf.String()
+	for _, family := range []string{
+		"spatialjoin_repl_state",
+		"spatialjoin_repl_lag_bytes",
+		"spatialjoin_repl_lag_seconds",
+		"spatialjoin_repl_reconnects_total",
+		"spatialjoin_repl_resyncs_total",
+		"spatialjoin_repl_full_seeds_total",
+		"spatialjoin_repl_corrupt_chunks_total",
+		"spatialjoin_repl_chunks_total",
+		"spatialjoin_repl_bytes_total",
+		"spatialjoin_repl_refreshes_total",
+	} {
+		if !strings.Contains(exposition, family) {
+			t.Errorf("pre-connect exposition is missing %s", family)
+		}
+	}
+	if !strings.Contains(exposition, fmt.Sprintf("spatialjoin_repl_state %d", StateSeeding)) {
+		t.Error("pre-connect state gauge does not read seeding")
+	}
+}

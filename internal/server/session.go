@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"spatialjoin"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/wire"
 )
 
@@ -110,28 +112,78 @@ func (ss *session) writeDone(request uint64, flags uint16, d wire.Done) {
 	})
 }
 
-// shed refuses a query without executing anything.
-func (ss *session) shed(request uint64, kind string, status wire.Status) {
+// shed refuses a query without executing anything. The refusal lands in
+// the flight recorder with the request's propagated trace ID (0 when
+// untraced), so a post-incident dump shows which traced callers were
+// turned away.
+func (ss *session) shed(request uint64, kind string, status wire.Status, traceID uint64) {
 	ss.srv.m.shed.Inc()
 	ss.srv.m.queryOutcome(kind, status)
+	code := obs.RecCodeBusy
+	if status == wire.StatusShuttingDown {
+		code = obs.RecCodeShuttingDown
+	}
+	obs.Record(obs.RecAdmissionShed, code, traceID, 0, 0)
 	ss.writeDone(request, wire.FlagShed, wire.Done{
 		Status:  status,
 		Message: "query shed: " + status.String(),
 	})
 }
 
+// queryTrace is the server-side trace of one traced query: the adopted
+// obs.Trace (carrying the client's propagated ID) and its root span, under
+// which admission, engine, and streaming spans nest. The zero value means
+// the request carried no trace context and every method no-ops.
+type queryTrace struct {
+	tr   *obs.Trace
+	root obs.SpanID
+}
+
+// adoptTrace builds the server-side trace for a request frame carrying a
+// sampled trace context.
+func adoptTrace(f wire.Frame) queryTrace {
+	if f.Flags&wire.FlagTraceContext == 0 || f.Trace.Flags&wire.TraceFlagSampled == 0 {
+		return queryTrace{}
+	}
+	tr := obs.NewTrace()
+	tr.SetID(f.Trace.ID)
+	return queryTrace{tr: tr, root: tr.Begin(0, "server")}
+}
+
+// ctx arms the trace on the engine context so engine spans (query, levels,
+// scrubs) nest under the server root span.
+func (qt queryTrace) ctx(base context.Context) context.Context {
+	if qt.tr == nil {
+		return base
+	}
+	return obs.ContextWithSpan(obs.ContextWithTrace(base, qt.tr), qt.root)
+}
+
+// export closes the root span and flattens the trace for the DONE verdict.
+func (qt queryTrace) export() []obs.RemoteSpan {
+	if qt.tr == nil {
+		return nil
+	}
+	qt.tr.End(qt.root)
+	return qt.tr.Export()
+}
+
 // dispatch runs admission control for one request frame and, when
 // admitted, executes it in its own goroutine so the session keeps reading
-// pipelined requests.
+// pipelined requests. A request carrying a sampled trace context gets a
+// server-side trace adopted before admission, so the admission wait is the
+// first server span of the merged tree.
 func (ss *session) dispatch(f wire.Frame) {
 	kind := "select"
 	if f.Type == wire.TypeJoin {
 		kind = "join"
 	}
 	if ss.srv.draining.Load() {
-		ss.shed(f.Request, kind, wire.StatusShuttingDown)
+		ss.shed(f.Request, kind, wire.StatusShuttingDown, f.Trace.ID)
 		return
 	}
+	qt := adoptTrace(f)
+	admSpan := qt.tr.Begin(qt.root, "admission")
 	// Admission: take a slot now, or within AdmitWait, or shed. The
 	// semaphore bounds concurrent engine work; nothing queues beyond the
 	// wait, so overload degrades into fast typed refusals instead of
@@ -140,7 +192,8 @@ func (ss *session) dispatch(f wire.Frame) {
 	case ss.srv.admit <- struct{}{}:
 	default:
 		if ss.srv.opts.AdmitWait <= 0 {
-			ss.shed(f.Request, kind, wire.StatusServerBusy)
+			qt.tr.End(admSpan)
+			ss.shed(f.Request, kind, wire.StatusServerBusy, f.Trace.ID)
 			return
 		}
 		timer := time.NewTimer(ss.srv.opts.AdmitWait)
@@ -148,17 +201,20 @@ func (ss *session) dispatch(f wire.Frame) {
 		case ss.srv.admit <- struct{}{}:
 			timer.Stop()
 		case <-timer.C:
-			ss.shed(f.Request, kind, wire.StatusServerBusy)
+			qt.tr.End(admSpan)
+			ss.shed(f.Request, kind, wire.StatusServerBusy, f.Trace.ID)
 			return
 		case <-ss.srv.baseCtx.Done():
 			timer.Stop()
-			ss.shed(f.Request, kind, wire.StatusShuttingDown)
+			qt.tr.End(admSpan)
+			ss.shed(f.Request, kind, wire.StatusShuttingDown, f.Trace.ID)
 			return
 		}
 	}
+	qt.tr.End(admSpan)
 	if !ss.srv.queryBegin() {
 		<-ss.srv.admit
-		ss.shed(f.Request, kind, wire.StatusShuttingDown)
+		ss.shed(f.Request, kind, wire.StatusShuttingDown, f.Trace.ID)
 		return
 	}
 	ss.srv.m.activeQ.Add(1)
@@ -172,9 +228,9 @@ func (ss *session) dispatch(f wire.Frame) {
 		}()
 		start := time.Now()
 		if f.Type == wire.TypeJoin {
-			ss.runJoin(f)
+			ss.runJoin(f, qt)
 		} else {
-			ss.runSelect(f)
+			ss.runSelect(f, qt)
 		}
 		ss.srv.m.latency.Observe(time.Since(start).Seconds())
 	}()
@@ -204,7 +260,7 @@ func (ss *session) acquireDB(request uint64, kind string) (*spatialjoin.Database
 }
 
 // runSelect executes an admitted SELECT and streams its result.
-func (ss *session) runSelect(f wire.Frame) {
+func (ss *session) runSelect(f wire.Frame, qt queryTrace) {
 	q, err := wire.DecodeSelect(f.Payload)
 	if err != nil {
 		ss.badRequest(f.Request, "select", wire.StatusBadRequest, err.Error())
@@ -230,16 +286,19 @@ func (ss *session) runSelect(f wire.Frame) {
 		ss.badRequest(f.Request, "select", wire.StatusBadRequest, err.Error())
 		return
 	}
-	ids, stats, err := db.SelectContext(ss.srv.baseCtx, col, q.Selector, op, strat)
+	ids, stats, err := db.SelectContext(qt.ctx(ss.srv.baseCtx), col, q.Selector, op, strat)
 	status := statusOf(stats, err, ss.srv.draining.Load())
 	ss.srv.m.queryOutcome("select", status)
 	d := wire.Done{Status: status, Stats: wireStats(stats)}
 	if err != nil {
 		d.Message = err.Error()
+		d.Spans = qt.export()
 		ss.writeDone(f.Request, 0, d)
 		return
 	}
+	stream := qt.tr.Begin(qt.root, "stream")
 	batch := ss.srv.opts.BatchSize
+	frames := int64(0)
 	for off := 0; off < len(ids); off += batch {
 		end := off + batch
 		if end > len(ids) {
@@ -250,13 +309,16 @@ func (ss *session) runSelect(f wire.Frame) {
 			Request: f.Request,
 			Payload: wire.EncodeIDs(ids[off:end]),
 		})
+		frames++
 	}
+	qt.tr.End(stream, obs.Int("frames", frames), obs.Int("results", int64(len(ids))))
 	d.Results = uint64(len(ids))
+	d.Spans = qt.export()
 	ss.writeDone(f.Request, 0, d)
 }
 
 // runJoin executes an admitted JOIN and streams its canonical match set.
-func (ss *session) runJoin(f wire.Frame) {
+func (ss *session) runJoin(f wire.Frame, qt queryTrace) {
 	q, err := wire.DecodeJoin(f.Payload)
 	if err != nil {
 		ss.badRequest(f.Request, "join", wire.StatusBadRequest, err.Error())
@@ -287,16 +349,19 @@ func (ss *session) runJoin(f wire.Frame) {
 		ss.badRequest(f.Request, "join", wire.StatusBadRequest, err.Error())
 		return
 	}
-	ms, stats, err := db.JoinContext(ss.srv.baseCtx, r, s, op, strat)
+	ms, stats, err := db.JoinContext(qt.ctx(ss.srv.baseCtx), r, s, op, strat)
 	status := statusOf(stats, err, ss.srv.draining.Load())
 	ss.srv.m.queryOutcome("join", status)
 	d := wire.Done{Status: status, Stats: wireStats(stats)}
 	if err != nil {
 		d.Message = err.Error()
+		d.Spans = qt.export()
 		ss.writeDone(f.Request, 0, d)
 		return
 	}
+	stream := qt.tr.Begin(qt.root, "stream")
 	batch := ss.srv.opts.BatchSize
+	frames := int64(0)
 	for off := 0; off < len(ms); off += batch {
 		end := off + batch
 		if end > len(ms) {
@@ -307,7 +372,10 @@ func (ss *session) runJoin(f wire.Frame) {
 			Request: f.Request,
 			Payload: wire.EncodeMatches(ms[off:end]),
 		})
+		frames++
 	}
+	qt.tr.End(stream, obs.Int("frames", frames), obs.Int("results", int64(len(ms))))
 	d.Results = uint64(len(ms))
+	d.Spans = qt.export()
 	ss.writeDone(f.Request, 0, d)
 }

@@ -1,0 +1,241 @@
+package server_test
+
+// Wire-level trace propagation: a traced client query must come back as
+// ONE merged span tree — the client's wire span with the server's spans
+// (admission wait, engine execution with its per-level reads, result
+// streaming) grafted underneath — and the grafted spans must carry the
+// same I/O accounting the Done frame reports.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialjoin"
+	"spatialjoin/internal/fault"
+	"spatialjoin/internal/obs"
+	"spatialjoin/internal/server"
+	"spatialjoin/internal/wire"
+)
+
+// spanByName finds the unique span with the given name, failing on zero
+// or many.
+func spanByName(t *testing.T, tr *obs.Trace, name string) obs.Span {
+	t.Helper()
+	spans := tr.SpansNamed(name)
+	if len(spans) != 1 {
+		t.Fatalf("%d %q spans, want 1", len(spans), name)
+	}
+	return spans[0]
+}
+
+// isUnder reports whether span id's parent chain reaches ancestor.
+func isUnder(spans []obs.Span, id, ancestor obs.SpanID) bool {
+	byID := make(map[obs.SpanID]obs.Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for cur, ok := byID[id]; ok; cur, ok = byID[cur.Parent] {
+		if cur.Parent == ancestor {
+			return true
+		}
+		if cur.Parent == cur.ID {
+			return false
+		}
+	}
+	return false
+}
+
+func TestWireTraceMergedTree(t *testing.T) {
+	db, _, _ := newServerDB(t, false, nil)
+	if err := db.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, db, server.Options{})
+	c := dialClient(t, addr)
+
+	ctx, tr := obs.WithTrace(context.Background())
+	res, err := c.Join(ctx, "r", "s", wire.Overlaps(), wire.StrategyTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 || res.Stats.PageReads == 0 {
+		t.Fatalf("workload too small: matches=%d reads=%d", len(res.Matches), res.Stats.PageReads)
+	}
+	if tr.ID() == 0 {
+		t.Fatal("traced client call left trace ID zero")
+	}
+	if len(res.Spans) == 0 {
+		t.Fatal("traced Done carried no server spans")
+	}
+
+	// The merged tree: wire.join ⊃ server ⊃ {admission, join ⊃ level*, stream}.
+	spans := tr.Spans()
+	call := spanByName(t, tr, "wire.join")
+	srv := spanByName(t, tr, "server")
+	if srv.Parent != call.ID {
+		t.Errorf("server span parent %d, want the wire.join span %d", srv.Parent, call.ID)
+	}
+	for _, name := range []string{"admission", "join", "stream"} {
+		sp := spanByName(t, tr, name)
+		if !isUnder(spans, sp.ID, call.ID) {
+			t.Errorf("%q span is not under the client call span", name)
+		}
+		if sp.End == 0 {
+			t.Errorf("%q span never closed", name)
+		}
+	}
+
+	// The read-sum identity survives the wire: per-level reads in the
+	// grafted spans telescope exactly to the Done frame's PageReads.
+	levels := tr.SpansNamed("level")
+	if len(levels) < 2 {
+		t.Fatalf("only %d grafted level spans", len(levels))
+	}
+	var sum int64
+	for _, sp := range levels {
+		if !isUnder(spans, sp.ID, srv.ID) {
+			t.Errorf("level span %d is not under the server span", sp.ID)
+		}
+		if v, ok := sp.IntAttr("reads"); ok {
+			sum += v
+		}
+	}
+	if sum != res.Stats.PageReads {
+		t.Errorf("grafted level reads sum %d, Stats.PageReads %d", sum, res.Stats.PageReads)
+	}
+	if got, _ := spanByName(t, tr, "join").IntAttr("page_reads"); got != res.Stats.PageReads {
+		t.Errorf("engine span page_reads %d, Stats.PageReads %d", got, res.Stats.PageReads)
+	}
+
+	// The tree renders as one tree, rooted at the client span.
+	var sb strings.Builder
+	if err := tr.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wire.join") || !strings.Contains(sb.String(), "server") {
+		t.Errorf("rendered tree is missing merged spans:\n%s", sb.String())
+	}
+}
+
+func TestWireTraceSelectMergedTree(t *testing.T) {
+	db, _, _ := newServerDB(t, false, nil)
+	if err := db.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, db, server.Options{})
+	c := dialClient(t, addr)
+
+	_, _, world := serverWorkload()
+	ctx, tr := obs.WithTrace(context.Background())
+	res, err := c.Select(ctx, "r", world, wire.Overlaps(), wire.StrategyTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	spanByName(t, tr, "wire.select")
+	srv := spanByName(t, tr, "server")
+	spanByName(t, tr, "select")
+	var sum int64
+	for _, sp := range tr.SpansNamed("level") {
+		if !isUnder(tr.Spans(), sp.ID, srv.ID) {
+			t.Errorf("level span %d is not under the server span", sp.ID)
+		}
+		if v, ok := sp.IntAttr("reads"); ok {
+			sum += v
+		}
+	}
+	if sum != res.Stats.PageReads {
+		t.Errorf("grafted level reads sum %d, Stats.PageReads %d", sum, res.Stats.PageReads)
+	}
+}
+
+// TestUntracedQueryCarriesNoSpans pins the compatibility contract: a
+// query without a trace in its context produces version-1 frames and a
+// span-free Done, byte-for-byte what an old client would see.
+func TestUntracedQueryCarriesNoSpans(t *testing.T) {
+	db, _, _ := newServerDB(t, false, nil)
+	_, addr := startServer(t, db, server.Options{})
+	c := dialClient(t, addr)
+
+	res, err := c.Join(context.Background(), "r", "s", wire.Overlaps(), wire.StrategyTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Spans != nil {
+		t.Fatalf("untraced query returned %d server spans", len(res.Spans))
+	}
+}
+
+// TestTracedErrorStillExportsSpans asserts a traced query that fails in
+// the engine — here, a starved deadline — still gets the server's spans
+// back on the error Done, merged under the client span like any other.
+func TestTracedErrorStillExportsSpans(t *testing.T) {
+	db, _, _ := newServerDB(t, false, func(c *spatialjoin.Config) {
+		c.Workers = 1
+		c.QueryTimeout = 5 * time.Millisecond
+		c.Fault = &fault.Options{Seed: 4300, ReadLatency: 2 * time.Millisecond}
+	})
+	if err := db.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, db, server.Options{})
+	c := dialClient(t, addr)
+
+	ctx, tr := obs.WithTrace(context.Background())
+	res, err := c.Join(ctx, "r", "s", wire.Overlaps(), wire.StrategyTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != wire.StatusTimeout {
+		t.Fatalf("status %s (%s), want timeout", res.Status, res.Message)
+	}
+	srv := spanByName(t, tr, "server")
+	if srv.End == 0 {
+		t.Error("server span never closed on the error path")
+	}
+	call := spanByName(t, tr, "wire.join")
+	if srv.Parent != call.ID {
+		t.Errorf("error-path server span parent %d, want %d", srv.Parent, call.ID)
+	}
+	if call.End == 0 {
+		t.Error("client span never closed on the error path")
+	}
+}
+
+// TestTracedBadRequestClosesClientSpan pins the refusal path: a traced
+// query answered before the engine runs (unknown collection) returns no
+// server spans, but the client span still closes with the verdict.
+func TestTracedBadRequestClosesClientSpan(t *testing.T) {
+	db, _, _ := newServerDB(t, false, nil)
+	_, addr := startServer(t, db, server.Options{})
+	c := dialClient(t, addr)
+
+	ctx, tr := obs.WithTrace(context.Background())
+	res, err := c.Join(ctx, "r", "nonexistent", wire.Overlaps(), wire.StrategyTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Fatal("join against missing collection succeeded")
+	}
+	if res.Spans != nil {
+		t.Errorf("refused query returned %d server spans", len(res.Spans))
+	}
+	call := spanByName(t, tr, "wire.join")
+	if call.End == 0 {
+		t.Error("client span never closed on the refusal path")
+	}
+	if status, _ := call.StrAttr("status"); status != wire.StatusNotFound.Label() {
+		t.Errorf("client span status %q, want %q", status, wire.StatusNotFound.Label())
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"spatialjoin/internal/obs"
 )
 
 // PoolStats counts the buffer pool's activity. LogicalReads is every page
@@ -155,6 +157,7 @@ func (bp *BufferPool) readPage(id PageID) ([]byte, error) {
 	for attempt := 1; attempt <= budget; attempt++ {
 		if attempt > 1 {
 			bp.readRetries.Add(1)
+			obs.Record(obs.RecFaultRetry, obs.RecCodeRead, 0, int64(id.File), int64(id.Page))
 			bp.retry.pause(attempt-1, id)
 		}
 		buf, err := bp.disk.ReadPage(id)
@@ -183,6 +186,7 @@ func (bp *BufferPool) writePage(id PageID, buf []byte) error {
 	for attempt := 1; attempt <= budget; attempt++ {
 		if attempt > 1 {
 			bp.writeRetries.Add(1)
+			obs.Record(obs.RecFaultRetry, obs.RecCodeWrite, 0, int64(id.File), int64(id.Page))
 			bp.retry.pause(attempt-1, id)
 		}
 		err := bp.disk.WritePage(id, buf)

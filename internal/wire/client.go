@@ -11,6 +11,7 @@ import (
 
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
 )
 
 // ErrClientClosed is returned for calls on a closed Client.
@@ -18,7 +19,10 @@ var ErrClientClosed = errors.New("wire: client closed")
 
 // Result is one query's complete response: the typed status, the streamed
 // results reassembled in arrival order (the server streams them in the
-// engine's canonical order), and the measured work from the Done frame.
+// engine's canonical order), the measured work from the Done frame, and —
+// for a traced call against a trace-capable server — the server's span
+// summary (already grafted into the caller's trace by Select/Join; kept
+// here for callers that want the raw spans).
 type Result struct {
 	Status  Status
 	Flags   uint16
@@ -26,6 +30,7 @@ type Result struct {
 	IDs     []int        // SELECT results
 	Stats   QueryStats
 	Message string
+	Spans   []obs.RemoteSpan
 }
 
 // Err converts the status to an error: nil for StatusOK and — because the
@@ -166,6 +171,7 @@ func (c *Client) readLoop() {
 			cl.res.Flags = f.Flags
 			cl.res.Stats = d.Stats
 			cl.res.Message = d.Message
+			cl.res.Spans = d.Spans
 			var verr error
 			if got := uint64(len(cl.res.Matches) + len(cl.res.IDs)); got != d.Results {
 				verr = fmt.Errorf("%w: Done claims %d results, %d streamed", ErrBadPayload, d.Results, got)
@@ -187,8 +193,10 @@ func (c *Client) complete(id uint64, cl *call, err error) {
 	close(cl.done)
 }
 
-// send registers a call and writes its request frame.
-func (c *Client) send(typ uint8, payload []byte) (*call, uint64, error) {
+// send registers a call and writes its request frame. A non-zero flags
+// value carrying FlagTraceContext sends the frame as VersionTrace with tc
+// prefixed, propagating the caller's trace identity to the server.
+func (c *Client) send(typ uint8, payload []byte, flags uint16, tc TraceContext) (*call, uint64, error) {
 	cl := &call{done: make(chan struct{})}
 	c.mu.Lock()
 	if c.broken != nil {
@@ -202,7 +210,7 @@ func (c *Client) send(typ uint8, payload []byte) (*call, uint64, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := WriteFrame(c.conn, Frame{Type: typ, Request: id, Payload: payload})
+	err := WriteFrame(c.conn, Frame{Type: typ, Flags: flags, Request: id, Trace: tc, Payload: payload})
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -232,7 +240,7 @@ func (c *Client) wait(ctx context.Context, cl *call, id uint64) (*Result, error)
 
 // Ping round-trips an empty liveness frame.
 func (c *Client) Ping(ctx context.Context) error {
-	cl, id, err := c.send(TypePing, nil)
+	cl, id, err := c.send(TypePing, nil, 0, TraceContext{})
 	if err != nil {
 		return err
 	}
@@ -240,9 +248,45 @@ func (c *Client) Ping(ctx context.Context) error {
 	return err
 }
 
+// traceCall opens a client span covering one wire call when the context
+// carries an obs.Trace, and returns the frame flags and trace context to
+// propagate. With tracing off everything returned is zero and the request
+// goes out as a plain version-1 frame — the untraced path is byte-identical
+// to a client predating the extension.
+func traceCall(ctx context.Context, name string) (*obs.Trace, obs.SpanID, uint16, TraceContext) {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return nil, 0, 0, TraceContext{}
+	}
+	span := tr.Begin(obs.SpanFromContext(ctx), name)
+	return tr, span, FlagTraceContext, TraceContext{ID: tr.ID(), Flags: TraceFlagSampled}
+}
+
+// traceDone closes the call span, grafting the server's span summary (if
+// the response carried one) under it so the caller's trace renders one
+// end-to-end tree.
+func traceDone(tr *obs.Trace, span obs.SpanID, res *Result, err error) {
+	if tr == nil {
+		return
+	}
+	if res != nil {
+		tr.Graft(span, res.Spans)
+		tr.End(span,
+			obs.Str("status", res.Status.Label()),
+			obs.Int("results", int64(len(res.Matches)+len(res.IDs))))
+		return
+	}
+	if err != nil {
+		tr.Event(span, "error", obs.Str("error", err.Error()))
+	}
+	tr.End(span)
+}
+
 // Select runs a SELECT on the server. The returned result's IDs are exact
 // for StatusOK and StatusDegraded; other statuses carry no results (check
-// Result.Err).
+// Result.Err). When ctx carries an obs.Trace, the trace's identity is
+// propagated on the request frame and the server's spans are grafted back
+// under a "wire.select" client span.
 func (c *Client) Select(ctx context.Context, collection string, selector geom.Rect, op OpSpec, strategy uint8) (*Result, error) {
 	payload, err := EncodeSelect(SelectRequest{
 		Strategy: strategy, Op: op, Collection: collection, Selector: selector,
@@ -250,24 +294,35 @@ func (c *Client) Select(ctx context.Context, collection string, selector geom.Re
 	if err != nil {
 		return nil, err
 	}
-	cl, id, err := c.send(TypeSelect, payload)
+	tr, span, flags, tc := traceCall(ctx, "wire.select")
+	cl, id, err := c.send(TypeSelect, payload, flags, tc)
 	if err != nil {
+		traceDone(tr, span, nil, err)
 		return nil, err
 	}
-	return c.wait(ctx, cl, id)
+	res, err := c.wait(ctx, cl, id)
+	traceDone(tr, span, res, err)
+	return res, err
 }
 
 // Join runs a JOIN on the server. The returned result's Matches are the
 // engine's canonical (R, S)-sorted match set for StatusOK and
-// StatusDegraded; other statuses carry no results (check Result.Err).
+// StatusDegraded; other statuses carry no results (check Result.Err). When
+// ctx carries an obs.Trace, the trace's identity is propagated on the
+// request frame and the server's spans are grafted back under a
+// "wire.join" client span.
 func (c *Client) Join(ctx context.Context, r, s string, op OpSpec, strategy uint8) (*Result, error) {
 	payload, err := EncodeJoin(JoinRequest{Strategy: strategy, Op: op, R: r, S: s})
 	if err != nil {
 		return nil, err
 	}
-	cl, id, err := c.send(TypeJoin, payload)
+	tr, span, flags, tc := traceCall(ctx, "wire.join")
+	cl, id, err := c.send(TypeJoin, payload, flags, tc)
 	if err != nil {
+		traceDone(tr, span, nil, err)
 		return nil, err
 	}
-	return c.wait(ctx, cl, id)
+	res, err := c.wait(ctx, cl, id)
+	traceDone(tr, span, res, err)
+	return res, err
 }

@@ -8,34 +8,55 @@ import (
 )
 
 // Frame is one protocol frame: the decoded header fields plus the raw
-// message payload its Type describes.
+// message payload its Type describes. When Flags carries FlagTraceContext,
+// Trace holds the stripped trace-context extension and Payload is the
+// message alone — encoders and decoders keep the two separated so message
+// codecs never see the extension.
 type Frame struct {
 	Type    uint8
 	Flags   uint16
 	Request uint64
+	Trace   TraceContext
 	Payload []byte
 }
 
 // AppendFrame appends the frame's canonical encoding to dst and returns the
-// extended slice. It panics if the payload exceeds MaxPayload — callers
-// construct payloads with the bounded message encoders, so an oversized
-// frame is a programming error, not an input condition.
+// extended slice. A frame whose Flags set FlagTraceContext encodes as
+// protocol version VersionTrace with the trace-context extension prefixed
+// to the payload; any other frame encodes as version 1, byte-identical to
+// what this package has always produced. It panics if payload plus
+// extension exceed MaxPayload — callers construct payloads with the bounded
+// message encoders, so an oversized frame is a programming error, not an
+// input condition.
 func AppendFrame(dst []byte, f Frame) []byte {
-	if len(f.Payload) > MaxPayload {
-		panic(fmt.Sprintf("wire: frame payload %d exceeds MaxPayload", len(f.Payload)))
+	version := uint8(Version)
+	ext := 0
+	if f.Flags&FlagTraceContext != 0 {
+		version = VersionTrace
+		ext = traceExtSize
+	}
+	if len(f.Payload)+ext > MaxPayload {
+		panic(fmt.Sprintf("wire: frame payload %d exceeds MaxPayload", len(f.Payload)+ext))
 	}
 	off := len(dst)
 	var hdr [HeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], Magic)
-	hdr[4] = Version
+	hdr[4] = version
 	hdr[5] = f.Type
 	binary.LittleEndian.PutUint16(hdr[6:], f.Flags)
 	binary.LittleEndian.PutUint64(hdr[8:], f.Request)
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(f.Payload)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(f.Payload)+ext))
 	dst = append(dst, hdr[:]...)
+	if ext != 0 {
+		var tc [traceExtSize]byte
+		binary.LittleEndian.PutUint64(tc[0:], f.Trace.ID)
+		binary.LittleEndian.PutUint16(tc[8:], f.Trace.Flags)
+		// tc[10:12] reserved, zero.
+		dst = append(dst, tc[:]...)
+	}
 	dst = append(dst, f.Payload...)
-	sum := crc32.Update(0, castagnoli, dst[off:off+20])
-	sum = crc32.Update(sum, castagnoli, f.Payload)
+	sum := crc32.Update(0, castagnoli, dst[off+0:off+20])
+	sum = crc32.Update(sum, castagnoli, dst[off+HeaderSize:])
 	binary.LittleEndian.PutUint32(dst[off+20:off+24], sum)
 	return dst
 }
@@ -45,7 +66,7 @@ func AppendFrame(dst []byte, f Frame) []byte {
 // callers serialize Write calls (both peers guard the connection with a
 // write mutex).
 func WriteFrame(w io.Writer, f Frame) error {
-	buf := AppendFrame(make([]byte, 0, HeaderSize+len(f.Payload)), f)
+	buf := AppendFrame(make([]byte, 0, HeaderSize+traceExtSize+len(f.Payload)), f)
 	_, err := w.Write(buf)
 	return err
 }
@@ -73,7 +94,8 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 	if m := binary.LittleEndian.Uint32(hdr[0:]); m != Magic {
 		return Frame{}, fmt.Errorf("%w: 0x%08x", ErrBadMagic, m)
 	}
-	if v := hdr[4]; v != Version {
+	v := hdr[4]
+	if v != Version && v != VersionTrace {
 		return Frame{}, fmt.Errorf("%w: %d", ErrVersion, v)
 	}
 	f := Frame{
@@ -84,8 +106,17 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 	if !validType(f.Type) {
 		return Frame{}, fmt.Errorf("%w: 0x%02x", ErrUnknownType, f.Type)
 	}
-	if bad := f.Flags &^ flagsDefined; bad != 0 {
+	defined := uint16(flagsDefined)
+	if v == VersionTrace {
+		defined |= FlagTraceContext
+	}
+	if bad := f.Flags &^ defined; bad != 0 {
 		return Frame{}, fmt.Errorf("%w: 0x%04x", ErrBadFlags, bad)
+	}
+	// The version byte and the flag bit must agree: the frame's shape is
+	// determined by the header alone, with no legal ambiguous encoding.
+	if v == VersionTrace && f.Flags&FlagTraceContext == 0 {
+		return Frame{}, fmt.Errorf("%w: version %d frame without FlagTraceContext", ErrBadTrace, v)
 	}
 	n := binary.LittleEndian.Uint32(hdr[16:])
 	if n > uint32(maxPayload) {
@@ -93,15 +124,34 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 	}
 	want := binary.LittleEndian.Uint32(hdr[20:])
 	sum := crc32.Update(0, castagnoli, hdr[:20])
+	payload := []byte(nil)
 	if n > 0 {
-		f.Payload = make([]byte, n)
-		if _, err := io.ReadFull(r, f.Payload); err != nil {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
 			return Frame{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
 		}
-		sum = crc32.Update(sum, castagnoli, f.Payload)
+		sum = crc32.Update(sum, castagnoli, payload)
 	}
 	if sum != want {
 		return Frame{}, fmt.Errorf("%w: computed 0x%08x, frame claims 0x%08x", ErrChecksum, sum, want)
 	}
+	if f.Flags&FlagTraceContext != 0 {
+		if len(payload) < traceExtSize {
+			return Frame{}, fmt.Errorf("%w: payload of %d bytes below the %d-byte extension", ErrBadTrace, len(payload), traceExtSize)
+		}
+		f.Trace.ID = binary.LittleEndian.Uint64(payload[0:])
+		f.Trace.Flags = binary.LittleEndian.Uint16(payload[8:])
+		if bad := f.Trace.Flags &^ traceFlagsDefined; bad != 0 {
+			return Frame{}, fmt.Errorf("%w: undefined trace flag bits 0x%04x", ErrBadTrace, bad)
+		}
+		if rsv := binary.LittleEndian.Uint16(payload[10:]); rsv != 0 {
+			return Frame{}, fmt.Errorf("%w: non-zero reserved bytes 0x%04x", ErrBadTrace, rsv)
+		}
+		payload = payload[traceExtSize:]
+		if len(payload) == 0 {
+			payload = nil
+		}
+	}
+	f.Payload = payload
 	return f, nil
 }

@@ -15,7 +15,7 @@ import (
 // (besides a clean io.EOF at a frame boundary).
 var frameDecodeTypedErrors = []error{
 	ErrBadMagic, ErrVersion, ErrBadFlags, ErrUnknownType,
-	ErrFrameTooLarge, ErrChecksum, ErrTruncated,
+	ErrFrameTooLarge, ErrChecksum, ErrTruncated, ErrBadTrace,
 }
 
 // FuzzFrameDecode feeds arbitrary bytes into the frame decoder and asserts
@@ -45,6 +45,36 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(huge)
 	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
 	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize*2))
+	// Trace-context extension seeds: a traced request, a traced DONE
+	// carrying a span summary, and hostile shapes around the extension
+	// (version 2 without the flag; payload shorter than the extension;
+	// undefined trace-flag and reserved bits).
+	traced := AppendFrame(nil, Frame{
+		Type: TypeSelect, Flags: FlagTraceContext, Request: 11,
+		Trace: TraceContext{ID: 0xDEADBEEFCAFEF00D, Flags: TraceFlagSampled}, Payload: sel,
+	})
+	f.Add(traced)
+	f.Add(AppendFrame(nil, Frame{
+		Type: TypeDone, Request: 11,
+		Payload: EncodeDone(Done{Status: StatusOK, Results: 0, Spans: sampleRemoteSpans()}),
+	}))
+	v2noflag := append([]byte(nil), traced...)
+	v2noflag[6], v2noflag[7] = 0, 0
+	refreshCRC(v2noflag)
+	f.Add(v2noflag)
+	shortExt := AppendFrame(nil, Frame{Type: TypePing, Request: 1})
+	shortExt[4] = VersionTrace
+	binary.LittleEndian.PutUint16(shortExt[6:], FlagTraceContext)
+	refreshCRC(shortExt)
+	f.Add(shortExt)
+	badTFlags := append([]byte(nil), traced...)
+	badTFlags[HeaderSize+8] = 0xFF
+	refreshCRC(badTFlags)
+	f.Add(badTFlags)
+	badRsv := append([]byte(nil), traced...)
+	badRsv[HeaderSize+10] = 0x01
+	refreshCRC(badRsv)
+	f.Add(badRsv)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)

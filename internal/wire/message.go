@@ -7,6 +7,7 @@ import (
 
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/pred"
 )
 
@@ -101,13 +102,19 @@ type QueryStats struct {
 }
 
 // Done is the payload of a TypeDone frame: the query's typed verdict, the
-// total number of results streamed before it, the measured work, and an
-// optional diagnostic message.
+// total number of results streamed before it, the measured work, an
+// optional diagnostic message, and — only when the request carried a
+// sampled trace context — the server's span summary, which the client
+// grafts under its call span to render one end-to-end tree. The span block
+// is appended after the message field only when non-empty, so a Done
+// without spans is byte-identical to what peers predating the extension
+// produced and expect.
 type Done struct {
 	Status  Status
 	Results uint64
 	Stats   QueryStats
 	Message string
+	Spans   []obs.RemoteSpan
 }
 
 // buf is a cursor over a payload being decoded; all take-methods fail with
@@ -387,6 +394,9 @@ func EncodeDone(d Done) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(d.Stats.IndexReads))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(d.Stats.Downgrades))
 	dst = appendStr(dst, msg)
+	if len(d.Spans) > 0 {
+		dst = appendSpans(dst, d.Spans)
+	}
 	return dst
 }
 
@@ -424,5 +434,12 @@ func DecodeDone(p []byte) (Done, error) {
 	}
 	d.Message = string(b.b[:n])
 	b.b = b.b[n:]
+	if len(b.b) > 0 {
+		// An appended span summary; an empty remainder is the pre-extension
+		// encoding and means no spans.
+		if d.Spans, err = decodeSpans(&b); err != nil {
+			return d, err
+		}
+	}
 	return d, b.done()
 }

@@ -85,7 +85,7 @@ func TestDoneRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("round trip: %+v vs %+v", got, want)
 	}
 }

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"spatialjoin/internal/obs"
+)
+
+// Span-summary bounds. A DONE verdict carries at most MaxSpansPerDone
+// spans, each with at most MaxAttrsPerSpan attributes; encoders truncate
+// (the summary is best-effort diagnostics), decoders reject (the bounds
+// cap what a hostile DONE can make a client allocate). The worst-case
+// encoding stays far under MaxPayload.
+const (
+	// MaxSpansPerDone bounds the span summary of one DONE verdict.
+	MaxSpansPerDone = 256
+	// MaxAttrsPerSpan bounds one serialized span's attributes.
+	MaxAttrsPerSpan = 8
+	// maxSpanNameLen bounds a serialized span or attribute name.
+	maxSpanNameLen = 64
+	// maxAttrStrLen bounds a serialized string attribute value.
+	maxAttrStrLen = 256
+)
+
+// attrKind discriminates serialized attribute values.
+const (
+	attrInt uint8 = 0
+	attrStr uint8 = 1
+)
+
+// truncStr bounds s to n bytes for encoding.
+func truncStr(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// appendSpans appends the span-summary block: u16 span count, then per
+// span the parent index (u32, two's-complement -1 for roots), the name,
+// start and duration in nanoseconds, and the bounded attribute list.
+// Inputs beyond the bounds are truncated, never rejected — the summary is
+// best-effort diagnostics riding a verdict that must always encode.
+func appendSpans(dst []byte, spans []obs.RemoteSpan) []byte {
+	if len(spans) > MaxSpansPerDone {
+		spans = spans[:MaxSpansPerDone]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(spans)))
+	for _, s := range spans {
+		parent := s.Parent
+		if int(parent) >= MaxSpansPerDone {
+			// The parent was truncated away; reparent to the remote root so
+			// the span still lands inside the grafted subtree.
+			parent = -1
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(parent))
+		dst = appendStr(dst, truncStr(s.Name, maxSpanNameLen))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Start.Nanoseconds()))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Dur.Nanoseconds()))
+		attrs := s.Attrs
+		if len(attrs) > MaxAttrsPerSpan {
+			attrs = attrs[:MaxAttrsPerSpan]
+		}
+		dst = append(dst, uint8(len(attrs)))
+		for _, a := range attrs {
+			if a.IsString() {
+				dst = append(dst, attrStr)
+				dst = appendStr(dst, truncStr(a.Key, maxSpanNameLen))
+				dst = appendStr(dst, truncStr(a.Str, maxAttrStrLen))
+			} else {
+				dst = append(dst, attrInt)
+				dst = appendStr(dst, truncStr(a.Key, maxSpanNameLen))
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(a.Int))
+			}
+		}
+	}
+	return dst
+}
+
+// decodeSpans parses a span-summary block off the cursor.
+func decodeSpans(b *buf) ([]obs.RemoteSpan, error) {
+	n, err := b.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > MaxSpansPerDone {
+		return nil, fmt.Errorf("%w: span summary claims %d spans (max %d)", ErrBadPayload, n, MaxSpansPerDone)
+	}
+	spans := make([]obs.RemoteSpan, 0, n)
+	for i := 0; i < int(n); i++ {
+		var s obs.RemoteSpan
+		parent, err := b.u32()
+		if err != nil {
+			return nil, err
+		}
+		s.Parent = int32(parent)
+		if s.Parent < -1 || int(s.Parent) >= i {
+			return nil, fmt.Errorf("%w: span %d claims parent %d", ErrBadPayload, i, s.Parent)
+		}
+		if s.Name, err = b.str(); err != nil {
+			return nil, err
+		}
+		if len(s.Name) > maxSpanNameLen {
+			return nil, fmt.Errorf("%w: span name of %d bytes", ErrBadPayload, len(s.Name))
+		}
+		start, err := b.u64()
+		if err != nil {
+			return nil, err
+		}
+		dur, err := b.u64()
+		if err != nil {
+			return nil, err
+		}
+		s.Start, s.Dur = time.Duration(start), time.Duration(dur)
+		if s.Start < 0 || s.Dur < 0 {
+			return nil, fmt.Errorf("%w: negative span time", ErrBadPayload)
+		}
+		na, err := b.u8()
+		if err != nil {
+			return nil, err
+		}
+		if int(na) > MaxAttrsPerSpan {
+			return nil, fmt.Errorf("%w: span claims %d attrs (max %d)", ErrBadPayload, na, MaxAttrsPerSpan)
+		}
+		for j := 0; j < int(na); j++ {
+			kind, err := b.u8()
+			if err != nil {
+				return nil, err
+			}
+			key, err := b.str()
+			if err != nil {
+				return nil, err
+			}
+			if len(key) > maxSpanNameLen {
+				return nil, fmt.Errorf("%w: attr key of %d bytes", ErrBadPayload, len(key))
+			}
+			switch kind {
+			case attrInt:
+				v, err := b.u64()
+				if err != nil {
+					return nil, err
+				}
+				s.Attrs = append(s.Attrs, obs.Int(key, int64(v)))
+			case attrStr:
+				v, err := b.str()
+				if err != nil {
+					return nil, err
+				}
+				s.Attrs = append(s.Attrs, obs.Str(key, v))
+			default:
+				return nil, fmt.Errorf("%w: unknown attr kind %d", ErrBadPayload, kind)
+			}
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
+}

@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/obs"
+)
+
+// refreshCRC recomputes a hand-mutated frame's checksum so the mutation
+// under test is the only decode obstacle.
+func refreshCRC(enc []byte) {
+	sum := crc32.Update(0, castagnoli, enc[:20])
+	sum = crc32.Update(sum, castagnoli, enc[HeaderSize:])
+	binary.LittleEndian.PutUint32(enc[20:24], sum)
+}
+
+// sampleRemoteSpans is a small server-shaped span summary fixture.
+func sampleRemoteSpans() []obs.RemoteSpan {
+	return []obs.RemoteSpan{
+		{Parent: -1, Name: "server", Start: 1, Dur: 5 * time.Millisecond},
+		{Parent: 0, Name: "admission", Start: 2, Dur: time.Microsecond},
+		{Parent: 0, Name: "select", Start: 2 * time.Microsecond, Dur: 4 * time.Millisecond,
+			Attrs: []obs.Attr{obs.Str("strategy", "tree"), obs.Int("page_reads", 17)}},
+		{Parent: 2, Name: "level", Start: 3 * time.Microsecond, Dur: time.Millisecond,
+			Attrs: []obs.Attr{obs.Int("depth", 0), obs.Int("reads", 9)}},
+		{Parent: 0, Name: "stream", Start: 5 * time.Millisecond,
+			Attrs: []obs.Attr{obs.Int("frames", 2)}},
+	}
+}
+
+func TestTracedFrameRoundTrip(t *testing.T) {
+	want := Frame{
+		Type:    TypeJoin,
+		Flags:   FlagTraceContext,
+		Request: 42,
+		Trace:   TraceContext{ID: 0x0123456789ABCDEF, Flags: TraceFlagSampled},
+		Payload: []byte("join payload"),
+	}
+	enc := AppendFrame(nil, want)
+	if enc[4] != VersionTrace {
+		t.Fatalf("traced frame encoded version %d, want %d", enc[4], VersionTrace)
+	}
+	got, err := ReadFrame(bytes.NewReader(enc), MaxPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || got.Flags != want.Flags || got.Request != want.Request ||
+		got.Trace != want.Trace || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("round trip: %+v vs %+v", got, want)
+	}
+	// Bijectivity: the decoded frame re-encodes byte-identically.
+	if reenc := AppendFrame(nil, got); !bytes.Equal(reenc, enc) {
+		t.Fatalf("re-encode diverged:\n%x\n%x", reenc, enc)
+	}
+	// An untraced frame still encodes as version 1 — byte-identical to the
+	// pre-extension protocol.
+	plain := AppendFrame(nil, Frame{Type: TypeJoin, Request: 42, Payload: []byte("join payload")})
+	if plain[4] != Version {
+		t.Fatalf("untraced frame encoded version %d, want %d", plain[4], Version)
+	}
+}
+
+func TestTracedFrameEmptyPayload(t *testing.T) {
+	want := Frame{Type: TypePing, Flags: FlagTraceContext, Request: 7,
+		Trace: TraceContext{ID: 99, Flags: TraceFlagSampled}}
+	got, err := ReadFrame(bytes.NewReader(AppendFrame(nil, want)), MaxPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != want.Trace || len(got.Payload) != 0 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestTraceExtensionTypedErrors(t *testing.T) {
+	traced := func() []byte {
+		return AppendFrame(nil, Frame{
+			Type: TypeSelect, Flags: FlagTraceContext, Request: 5,
+			Trace:   TraceContext{ID: 1, Flags: TraceFlagSampled},
+			Payload: []byte("p"),
+		})
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"v2 without flag", func(enc []byte) []byte {
+			binary.LittleEndian.PutUint16(enc[6:], 0)
+			return enc
+		}, ErrBadTrace},
+		{"v1 with trace flag", func(enc []byte) []byte {
+			enc[4] = Version
+			return enc
+		}, ErrBadFlags},
+		{"version 3", func(enc []byte) []byte {
+			enc[4] = 3
+			return enc
+		}, ErrVersion},
+		{"undefined trace flags", func(enc []byte) []byte {
+			enc[HeaderSize+9] = 0x80
+			return enc
+		}, ErrBadTrace},
+		{"non-zero reserved", func(enc []byte) []byte {
+			enc[HeaderSize+11] = 0x01
+			return enc
+		}, ErrBadTrace},
+	}
+	for _, tc := range cases {
+		enc := tc.mutate(traced())
+		refreshCRC(enc)
+		if _, err := ReadFrame(bytes.NewReader(enc), MaxPayload); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Payload shorter than the extension: rebuild by hand so the header
+	// declares the short length honestly.
+	short := AppendFrame(nil, Frame{Type: TypePing, Request: 1, Payload: []byte{1, 2, 3}})
+	short[4] = VersionTrace
+	binary.LittleEndian.PutUint16(short[6:], FlagTraceContext)
+	refreshCRC(short)
+	if _, err := ReadFrame(bytes.NewReader(short), MaxPayload); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("short extension: got %v, want ErrBadTrace", err)
+	}
+}
+
+// TestTracedClientAgainstOldServer asserts the interop gate: a decoder
+// that only speaks version 1 (the pre-extension ReadFrame behavior,
+// reproduced here by its version check) rejects a traced frame with
+// ErrVersion rather than misreading the extension as message payload.
+func TestOldPeerRejectsTracedFrame(t *testing.T) {
+	enc := AppendFrame(nil, Frame{
+		Type: TypeSelect, Flags: FlagTraceContext, Request: 5,
+		Trace: TraceContext{ID: 1, Flags: TraceFlagSampled},
+	})
+	if v := enc[4]; v == Version {
+		t.Fatalf("traced frame claims version %d; an old peer would misread it", v)
+	}
+}
+
+func TestSpanSummaryRoundTrip(t *testing.T) {
+	want := sampleRemoteSpans()
+	enc := appendSpans(nil, want)
+	b := buf{enc}
+	got, err := decodeSpans(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.done(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("spans round trip:\n%+v\n%+v", got, want)
+	}
+}
+
+func TestDoneWithSpansRoundTrip(t *testing.T) {
+	want := Done{
+		Status:  StatusOK,
+		Results: 3,
+		Stats:   QueryStats{PageReads: 17},
+		Spans:   sampleRemoteSpans(),
+	}
+	got, err := DecodeDone(EncodeDone(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n%+v\n%+v", got, want)
+	}
+
+	// A span-free Done still encodes byte-identically to the
+	// pre-extension codec: nothing follows the message field.
+	plain := Done{Status: StatusOK, Results: 1, Message: "m"}
+	enc := EncodeDone(plain)
+	wantLen := 2 + 8 + 5*8 + 2 + len(plain.Message)
+	if len(enc) != wantLen {
+		t.Fatalf("span-free Done encodes %d bytes, want %d", len(enc), wantLen)
+	}
+	back, err := DecodeDone(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spans != nil {
+		t.Fatalf("span-free Done decoded spans: %+v", back.Spans)
+	}
+}
+
+func TestSpanSummaryBounds(t *testing.T) {
+	// Encoding truncates; decoding rejects. Build an oversized summary and
+	// assert the encoder clamps it under the decoder's bounds.
+	big := make([]obs.RemoteSpan, MaxSpansPerDone+50)
+	for i := range big {
+		parent := int32(-1)
+		if i > 0 {
+			parent = 0
+		}
+		big[i] = obs.RemoteSpan{
+			Parent: parent,
+			Name:   strings.Repeat("n", 200),
+			Start:  time.Duration(i),
+			Dur:    1,
+			Attrs: []obs.Attr{
+				obs.Str(strings.Repeat("k", 100), strings.Repeat("v", 500)),
+				obs.Int("a", 1), obs.Int("b", 2), obs.Int("c", 3), obs.Int("d", 4),
+				obs.Int("e", 5), obs.Int("f", 6), obs.Int("g", 7), obs.Int("h", 8),
+				obs.Int("dropped", 9),
+			},
+		}
+	}
+	b := buf{appendSpans(nil, big)}
+	got, err := decodeSpans(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.done(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxSpansPerDone {
+		t.Fatalf("encoder kept %d spans, want %d", len(got), MaxSpansPerDone)
+	}
+	for _, s := range got {
+		if len(s.Name) > maxSpanNameLen {
+			t.Fatalf("span name of %d bytes survived encoding", len(s.Name))
+		}
+		if len(s.Attrs) > MaxAttrsPerSpan {
+			t.Fatalf("%d attrs survived encoding", len(s.Attrs))
+		}
+		for _, a := range s.Attrs {
+			if len(a.Key) > maxSpanNameLen || len(a.Str) > maxAttrStrLen {
+				t.Fatalf("oversized attr survived encoding: %q=%q", a.Key, a.Str)
+			}
+		}
+	}
+
+	// A hostile span count is rejected, typed.
+	hostile := binary.LittleEndian.AppendUint16(nil, MaxSpansPerDone+1)
+	hb := buf{hostile}
+	if _, err := decodeSpans(&hb); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("hostile span count: got %v, want ErrBadPayload", err)
+	}
+
+	// A forward parent reference is rejected, typed.
+	fwd := appendSpans(nil, []obs.RemoteSpan{{Parent: -1, Name: "a"}, {Parent: -1, Name: "b"}})
+	binary.LittleEndian.PutUint32(fwd[2:], 1) // span 0 claims parent 1
+	fb := buf{fwd}
+	if _, err := decodeSpans(&fb); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("forward parent: got %v, want ErrBadPayload", err)
+	}
+}

@@ -8,12 +8,19 @@
 //
 //	offset size  field
 //	0      4     magic "SJW1" (0x31574A53 LE)
-//	4      1     protocol version (1)
+//	4      1     protocol version (1, or 2 with the trace-context extension)
 //	5      1     frame type
 //	6      2     flags (undefined bits are a decode error)
 //	8      8     request ID (client-assigned; responses echo it)
 //	16     4     payload length (≤ MaxPayload)
 //	20     4     CRC-32C over header[0:20] ++ payload
+//
+// A version-2 frame sets FlagTraceContext and opens its payload with the
+// fixed 12-byte trace-context extension (u64 trace ID, u16 trace flags,
+// u16 reserved zero); ReadFrame strips it into Frame.Trace so message
+// decoders see only the message payload. Version 1 never carries the
+// extension — an untraced conversation is byte-identical to one with a
+// peer that predates it.
 //
 // A connection is a full-duplex stream of frames. The client assigns a
 // non-zero request ID to every request and may pipeline: many requests may
@@ -27,9 +34,9 @@
 //
 // Every decode failure is a typed error (ErrBadMagic, ErrVersion,
 // ErrBadFlags, ErrUnknownType, ErrFrameTooLarge, ErrChecksum,
-// ErrTruncated, ErrBadPayload) so harnesses can assert the exact failure
-// shape, and the decoder never allocates more than MaxPayload bytes no
-// matter what length a hostile header declares.
+// ErrTruncated, ErrBadPayload, ErrBadTrace) so harnesses can assert the
+// exact failure shape, and the decoder never allocates more than
+// MaxPayload bytes no matter what length a hostile header declares.
 package wire
 
 import (
@@ -42,9 +49,17 @@ import (
 // Magic opens every frame: "SJW1" in stream order.
 const Magic uint32 = 0x31574A53 // 'S' 'J' 'W' '1' little-endian
 
-// Version is the protocol version this package speaks. Frames carrying any
-// other version are rejected with ErrVersion.
+// Version is the baseline protocol version this package speaks. Frames
+// carrying neither it nor VersionTrace are rejected with ErrVersion.
 const Version = 1
+
+// VersionTrace is the protocol version of frames carrying the trace-context
+// extension (FlagTraceContext). The version byte is the interop gate: a
+// peer that only speaks version 1 rejects a traced frame with the clean
+// typed ErrVersion instead of misreading its payload, while untraced
+// traffic stays version 1 in both directions — old and new peers
+// interoperate unchanged until a caller actually arms tracing.
+const VersionTrace = 2
 
 // HeaderSize is the fixed frame header length in bytes.
 const HeaderSize = 24
@@ -94,10 +109,45 @@ const (
 	// (SHUTTING_DOWN). A shed query did zero engine work.
 	FlagShed uint16 = 1 << 0
 
-	// flagsDefined masks the flag bits this version defines; any other set
-	// bit fails decoding with ErrBadFlags.
+	// FlagTraceContext marks a frame whose payload opens with the
+	// trace-context extension (see TraceContext). Only valid on
+	// VersionTrace frames: the flag without the version (or the version
+	// without the flag) is a decode error, so a frame's shape is always
+	// determined by its header alone.
+	FlagTraceContext uint16 = 1 << 1
+
+	// flagsDefined masks the flag bits version 1 defines; any other set
+	// bit fails decoding with ErrBadFlags. VersionTrace frames may
+	// additionally set FlagTraceContext.
 	flagsDefined = FlagShed
 )
+
+// TraceContext is the optional trace-context frame extension: when a
+// frame's header sets FlagTraceContext, its payload opens with this fixed
+// 12-byte block (little-endian u64 trace ID, u16 trace flags, u16 reserved
+// zero), which ReadFrame strips into Frame.Trace before the message payload
+// is seen by any decoder. The trace ID is the caller's obs.Trace identity;
+// the server adopts it so spans recorded on both sides of the wire carry
+// one ID.
+type TraceContext struct {
+	ID    uint64
+	Flags uint16
+}
+
+// Trace-context flag bits.
+const (
+	// TraceFlagSampled marks a trace the caller is actually recording; the
+	// server exports its span summary on the DONE verdict only for sampled
+	// traces.
+	TraceFlagSampled uint16 = 1 << 0
+
+	// traceFlagsDefined masks the trace-context flag bits this version
+	// defines; any other set bit fails decoding with ErrBadTrace.
+	traceFlagsDefined = TraceFlagSampled
+)
+
+// traceExtSize is the encoded TraceContext length prefixing the payload.
+const traceExtSize = 12
 
 // Status is the typed verdict of a Done frame.
 type Status uint8
@@ -196,6 +246,10 @@ var (
 	// ErrBadPayload: a frame's payload does not decode as the message its
 	// type promises.
 	ErrBadPayload = errors.New("wire: malformed message payload")
+	// ErrBadTrace: the frame's trace-context extension is malformed — a
+	// VersionTrace frame without FlagTraceContext, a payload too short for
+	// the extension, undefined trace-flag bits, or non-zero reserved bytes.
+	ErrBadTrace = errors.New("wire: malformed trace context")
 )
 
 // castagnoli is the CRC-32C table every frame checksum uses — the same

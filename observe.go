@@ -157,8 +157,19 @@ type queryObs struct {
 	start    time.Time
 }
 
+// recKindCode maps the query kind onto the flight recorder's code space.
+func recKindCode(kind string) uint8 {
+	if kind == "join" {
+		return obs.RecCodeJoin
+	}
+	return obs.RecCodeSelect
+}
+
 // beginQuery opens the query's root span (named by kind: "join" or
-// "select") and rewires the context so executor spans nest under it.
+// "select"), rewires the context so executor spans nest under it, and
+// drops a query_start event into the always-on flight recorder (with the
+// trace's ID when traced, so a post-incident dump correlates with the
+// caller's span tree).
 func (db *Database) beginQuery(ctx context.Context, kind string, strategy Strategy) (context.Context, queryObs) {
 	q := queryObs{db: db, kind: kind, strategy: strategy, start: time.Now()}
 	q.trace = obs.TraceFrom(ctx)
@@ -167,6 +178,7 @@ func (db *Database) beginQuery(ctx context.Context, kind string, strategy Strate
 		q.trace.Annotate(q.span, obs.Str("strategy", strategy.String()))
 		ctx = obs.ContextWithSpan(ctx, q.span)
 	}
+	obs.Record(obs.RecQueryStart, recKindCode(kind), q.trace.ID(), int64(strategy), 0)
 	return ctx, q
 }
 
@@ -187,16 +199,26 @@ func (q *queryObs) downgrade(cause error) {
 
 // end closes the query span with the final stats and outcome — also on
 // failure, so an errored or degraded query still emits a complete trace —
-// and feeds the query counters and latency histogram.
+// feeds the query counters and latency histogram, and lands query_finish
+// (plus slow_query, over Config.SlowQuery) in the flight recorder.
 func (q *queryObs) end(stats Stats, err error) {
 	outcome := "ok"
+	recCode := obs.RecCodeOK
 	switch {
 	case err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
 		outcome = "timeout"
+		recCode = obs.RecCodeTimeout
 	case err != nil:
 		outcome = "error"
+		recCode = obs.RecCodeError
 	case stats.Downgrades > 0:
 		outcome = "degraded"
+		recCode = obs.RecCodeDegraded
+	}
+	elapsed := time.Since(q.start)
+	obs.Record(obs.RecQueryFinish, recCode, q.trace.ID(), elapsed.Nanoseconds(), stats.PageReads)
+	if slow := q.db.cfg.SlowQuery; slow > 0 && elapsed >= slow {
+		obs.Record(obs.RecSlowQuery, recCode, q.trace.ID(), elapsed.Nanoseconds(), slow.Nanoseconds())
 	}
 	if q.trace != nil {
 		if err != nil {
@@ -216,6 +238,6 @@ func (q *queryObs) end(stats Stats, err error) {
 		m.Counter("spatialjoin_queries_total", "Queries executed, by kind, strategy, and outcome.",
 			append(labels[:2:2], obs.L("outcome", outcome))...).Inc()
 		m.Histogram("spatialjoin_query_seconds", "Query wall time in seconds.",
-			queryLatencyBuckets, labels...).Observe(time.Since(q.start).Seconds())
+			queryLatencyBuckets, labels...).Observe(elapsed.Seconds())
 	}
 }
